@@ -1,0 +1,224 @@
+//! §5's execution-time model: decomposition and the four comparison points.
+//!
+//! For a workload of `n` jobs, `T_exe = T_cpu + T_page + T_que + T_mig`.
+//! Comparing a baseline run (no virtual reconfiguration) against a
+//! reconfigured run, the paper examines four components:
+//!
+//! 1. **CPU service time** — identical by construction (`T_cpu = T̂_cpu`).
+//! 2. **Paging time** — reduction is the objective (`T_page > T̂_page`
+//!    expected when blocking was resolved).
+//! 3. **Queuing time** — `T̂_que = T̂ⁿ_que + Σ g(Q_r(k))`; the gain condition
+//!    requires the non-reserved queuing time to shrink more than the
+//!    reserved workstations add.
+//! 4. **Migration time** — expected nearly equal (`T_mig ≈ T̂_mig`) because
+//!    large jobs are few.
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::job::TimeBreakdown;
+use vrecon::report::RunReport;
+
+/// Verdict on one of §5's model points for a measured pair of runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCheck {
+    /// Which §5 point this checks.
+    pub name: &'static str,
+    /// Whether the measured data satisfies the model's expectation.
+    pub holds: bool,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+/// The §5 comparison of a baseline run against a virtual-reconfiguration
+/// run of the same trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTimeModel {
+    /// Baseline totals (`T_cpu`, `T_page`, `T_que`, `T_mig`).
+    pub baseline: TimeBreakdown,
+    /// Reconfigured totals (`T̂_…`).
+    pub reconfigured: TimeBreakdown,
+}
+
+impl ExecutionTimeModel {
+    /// Builds the model from two run reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reports are for different traces — the model compares
+    /// the *same* workload under two policies.
+    pub fn from_reports(baseline: &RunReport, reconfigured: &RunReport) -> Self {
+        assert_eq!(
+            baseline.trace_name, reconfigured.trace_name,
+            "§5 compares the same workload under two policies"
+        );
+        ExecutionTimeModel {
+            baseline: baseline.summary.totals,
+            reconfigured: reconfigured.summary.totals,
+        }
+    }
+
+    /// `T_exe − T̂_exe`: the total execution-time reduction (positive when
+    /// reconfiguration helped).
+    pub fn execution_time_reduction(&self) -> f64 {
+        self.baseline.wall() - self.reconfigured.wall()
+    }
+
+    /// §5's approximation: with `T_cpu = T̂_cpu` and `T_mig ≈ T̂_mig`,
+    /// `T_exe − T̂_exe ≈ (T_page − T̂_page) + (T_que − T̂_que)`.
+    pub fn approximate_reduction(&self) -> f64 {
+        (self.baseline.page - self.reconfigured.page)
+            + (self.baseline.queue - self.reconfigured.queue)
+    }
+
+    /// Runs all four §5 model points plus the gain condition.
+    ///
+    /// `mig_tolerance` is the relative slack allowed on point 4 (the paper
+    /// expects `T_mig ≈ T̂_mig`, not equality).
+    pub fn checks(&self, mig_tolerance: f64) -> Vec<ModelCheck> {
+        let b = &self.baseline;
+        let r = &self.reconfigured;
+        let mut out = Vec::new();
+        // Point 1: identical CPU demand. Jobs do the same work under both
+        // policies; small float drift from piecewise integration is allowed.
+        let cpu_rel = (b.cpu - r.cpu).abs() / b.cpu.max(1e-9);
+        out.push(ModelCheck {
+            name: "cpu-service-identical",
+            holds: cpu_rel < 1e-3,
+            detail: format!(
+                "T_cpu={:.1}s vs {:.1}s (rel diff {:.2e})",
+                b.cpu, r.cpu, cpu_rel
+            ),
+        });
+        // Point 2: paging-time reduction is the objective.
+        out.push(ModelCheck {
+            name: "paging-time-reduced",
+            holds: r.page <= b.page,
+            detail: format!("T_page={:.1}s vs {:.1}s", b.page, r.page),
+        });
+        // Point 3 (gain condition): queuing time falls overall.
+        out.push(ModelCheck {
+            name: "queuing-time-reduced",
+            holds: r.queue <= b.queue,
+            detail: format!("T_que={:.1}s vs {:.1}s", b.queue, r.queue),
+        });
+        // Point 4: migration time is insignificant in load-sharing
+        // performance. §5 expects either T_mig ≈ T̂_mig (few large jobs) or,
+        // failing that, that migration remains "only a small portion in the
+        // execution time" under both policies.
+        let mig_base = b.migration.max(1e-9);
+        let mig_rel = (r.migration - b.migration) / mig_base;
+        let small_portion =
+            b.migration / b.wall().max(1e-9) < 0.05 && r.migration / r.wall().max(1e-9) < 0.05;
+        out.push(ModelCheck {
+            name: "migration-time-insignificant",
+            holds: mig_rel.abs() <= mig_tolerance || small_portion,
+            detail: format!(
+                "T_mig={:.1}s vs {:.1}s (rel diff {:+.1}%; {:.1}%/{:.1}% of T_exe)",
+                b.migration,
+                r.migration,
+                mig_rel * 100.0,
+                b.migration / b.wall().max(1e-9) * 100.0,
+                r.migration / r.wall().max(1e-9) * 100.0,
+            ),
+        });
+        // The approximation itself: the measured reduction should be close
+        // to the page+queue delta when points 1 and 4 hold.
+        let exact = self.execution_time_reduction();
+        let approx = self.approximate_reduction();
+        let approx_rel = (exact - approx).abs() / exact.abs().max(1e-9);
+        out.push(ModelCheck {
+            name: "reduction-approximation",
+            holds: approx_rel < 0.15,
+            detail: format!(
+                "T_exe−T̂_exe={exact:.1}s vs (ΔT_page+ΔT_que)={approx:.1}s (rel err {:.1}%)",
+                approx_rel * 100.0
+            ),
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(b: TimeBreakdown, r: TimeBreakdown) -> ExecutionTimeModel {
+        ExecutionTimeModel {
+            baseline: b,
+            reconfigured: r,
+        }
+    }
+
+    fn bd(cpu: f64, page: f64, queue: f64, mig: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            cpu,
+            page,
+            queue,
+            migration: mig,
+        }
+    }
+
+    #[test]
+    fn reductions_compute() {
+        let m = model(bd(100.0, 50.0, 200.0, 10.0), bd(100.0, 20.0, 120.0, 12.0));
+        assert_eq!(m.execution_time_reduction(), 108.0);
+        assert_eq!(m.approximate_reduction(), 110.0);
+    }
+
+    #[test]
+    fn all_checks_hold_for_a_clean_win() {
+        let m = model(bd(100.0, 50.0, 200.0, 10.0), bd(100.0, 20.0, 120.0, 11.0));
+        let checks = m.checks(0.5);
+        assert!(checks.iter().all(|c| c.holds), "{checks:#?}");
+        assert_eq!(checks.len(), 5);
+    }
+
+    #[test]
+    fn paging_regression_is_flagged() {
+        let m = model(bd(100.0, 20.0, 200.0, 10.0), bd(100.0, 45.0, 120.0, 10.0));
+        let checks = m.checks(0.5);
+        let paging = checks
+            .iter()
+            .find(|c| c.name == "paging-time-reduced")
+            .unwrap();
+        assert!(!paging.holds);
+    }
+
+    #[test]
+    fn cpu_mismatch_is_flagged() {
+        let m = model(bd(100.0, 0.0, 0.0, 0.0), bd(90.0, 0.0, 0.0, 0.0));
+        let cpu = m
+            .checks(0.5)
+            .into_iter()
+            .find(|c| c.name == "cpu-service-identical")
+            .unwrap();
+        assert!(!cpu.holds);
+    }
+
+    #[test]
+    fn significant_migration_blowup_is_flagged() {
+        // Migration grows 4x AND is a large share of execution time.
+        let m = model(bd(100.0, 10.0, 50.0, 10.0), bd(100.0, 5.0, 40.0, 40.0));
+        let mig = m
+            .checks(0.5)
+            .into_iter()
+            .find(|c| c.name == "migration-time-insignificant")
+            .unwrap();
+        assert!(!mig.holds);
+    }
+
+    #[test]
+    fn small_migration_share_passes_despite_relative_growth() {
+        // Migration triples but stays under 5% of execution time under both
+        // policies — §5's "small portion" escape hatch.
+        let m = model(
+            bd(1000.0, 100.0, 2000.0, 10.0),
+            bd(1000.0, 50.0, 1200.0, 30.0),
+        );
+        let mig = m
+            .checks(0.5)
+            .into_iter()
+            .find(|c| c.name == "migration-time-insignificant")
+            .unwrap();
+        assert!(mig.holds, "{}", mig.detail);
+    }
+}

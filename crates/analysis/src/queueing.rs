@@ -1,0 +1,128 @@
+//! The reserved-workstation FIFO queuing model of §5.
+//!
+//! For reserved workstation `k` serving `Q_r(k)` migrated jobs in arrival
+//! order, with `w_kj` the interval between job `j+1`'s arrival and job `j`'s
+//! completion, the paper bounds the queuing time contributed by the
+//! workstation:
+//!
+//! ```text
+//! g(Q_r(k)) ≤ Σ_{j=1}^{Q_r(k)} (Q_r(k) − j) · w_kj
+//! ```
+//!
+//! and observes that the bound "is minimized if `w_k1 < w_k2 < … <
+//! w_kQr(k)`" — serving shorter waits first, the shortest-remaining-
+//! processing-time principle the reconfiguration implicitly applies.
+
+/// The right-hand side of the paper's bound: `Σ (Q − j) · w_j` for waits
+/// `w_1..w_Q` in service order (`j` is 1-based).
+///
+/// Waits must be non-negative.
+///
+/// # Panics
+///
+/// Panics if any wait is negative or NaN.
+pub fn reserved_queue_bound(waits: &[f64]) -> f64 {
+    let q = waits.len();
+    waits
+        .iter()
+        .enumerate()
+        .map(|(idx, w)| {
+            assert!(w.is_finite() && *w >= 0.0, "wait {w} must be non-negative");
+            (q - (idx + 1)) as f64 * w
+        })
+        .sum()
+}
+
+/// Exact FIFO queuing time for jobs served sequentially with the given
+/// service times: job `j` waits for the completion of jobs `1..j`.
+pub fn fifo_queue_time(service_times: &[f64]) -> f64 {
+    let mut total = 0.0;
+    let mut elapsed = 0.0;
+    for s in service_times {
+        total += elapsed;
+        elapsed += s;
+    }
+    total
+}
+
+/// The service order of `waits` that minimizes
+/// [`reserved_queue_bound`]: ascending (§5's `w_k1 < w_k2 < …` condition).
+pub fn minimizing_order(waits: &[f64]) -> Vec<f64> {
+    let mut sorted = waits.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("waits are never NaN"));
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_weights_early_jobs_most() {
+        // Q = 3: weights are (2, 1, 0).
+        assert_eq!(reserved_queue_bound(&[10.0, 20.0, 30.0]), 2.0 * 10.0 + 20.0);
+        assert_eq!(reserved_queue_bound(&[]), 0.0);
+        assert_eq!(reserved_queue_bound(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn ascending_order_minimizes_the_bound() {
+        let waits = [30.0, 5.0, 12.0, 44.0, 1.0];
+        let ascending = minimizing_order(&waits);
+        let best = reserved_queue_bound(&ascending);
+        // Check against every permutation of this small set.
+        let mut perm = waits.to_vec();
+        let mut checked = 0;
+        permutohedron_heap(&mut perm, &mut |p| {
+            assert!(
+                reserved_queue_bound(p) >= best - 1e-9,
+                "permutation {p:?} beats ascending order"
+            );
+            checked += 1;
+        });
+        assert_eq!(checked, 120);
+    }
+
+    /// Minimal Heap's-algorithm permutation visitor (test-only helper).
+    fn permutohedron_heap(items: &mut Vec<f64>, visit: &mut impl FnMut(&[f64])) {
+        fn heap(k: usize, items: &mut Vec<f64>, visit: &mut impl FnMut(&[f64])) {
+            if k == 1 {
+                visit(items);
+                return;
+            }
+            for i in 0..k {
+                heap(k - 1, items, visit);
+                if k.is_multiple_of(2) {
+                    items.swap(i, k - 1);
+                } else {
+                    items.swap(0, k - 1);
+                }
+            }
+        }
+        let k = items.len();
+        heap(k, items, visit);
+    }
+
+    #[test]
+    fn fifo_queue_time_accumulates_predecessors() {
+        // Services 10, 20, 30: waits 0, 10, 30 → total 40.
+        assert_eq!(fifo_queue_time(&[10.0, 20.0, 30.0]), 40.0);
+        assert_eq!(fifo_queue_time(&[]), 0.0);
+        assert_eq!(fifo_queue_time(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn srpt_ordering_reduces_fifo_queue_time() {
+        // The SRPT principle the reconfiguration leans on: shortest first
+        // minimizes total waiting.
+        let descending = [30.0, 20.0, 10.0];
+        let ascending = [10.0, 20.0, 30.0];
+        assert!(fifo_queue_time(&ascending) < fifo_queue_time(&descending));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_wait_panics() {
+        reserved_queue_bound(&[-1.0]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Micro-benchmarks of the discrete-event substrate: event-queue
+//! throughput and engine dispatch rate. These bound how large a cluster /
+//! how long a horizon the simulator can handle.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vr_simcore::engine::{Engine, Scheduler, World};
+use vr_simcore::event::EventQueue;
+use vr_simcore::time::{SimSpan, SimTime};
+
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    // Scatter times so the heap actually works.
+                    q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("schedule_cancel_10k", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                let handles: Vec<_> = (0..10_000u64)
+                    .map(|i| q.schedule(SimTime::from_micros(i), i))
+                    .collect();
+                for h in handles {
+                    black_box(q.cancel(h));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+struct Chain {
+    left: u64,
+}
+
+impl World for Chain {
+    type Event = ();
+    fn handle(&mut self, sched: &mut Scheduler<'_, ()>, _ev: ()) {
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule_in(SimSpan::from_micros(1), ());
+        }
+    }
+}
+
+fn engine_dispatch(c: &mut Criterion) {
+    c.bench_function("engine/dispatch_100k_chain", |b| {
+        b.iter(|| {
+            let mut world = Chain { left: 100_000 };
+            let mut engine = Engine::new();
+            engine.scheduler().schedule_at(SimTime::ZERO, ());
+            let stats = engine.run_until(&mut world, SimTime::MAX);
+            black_box(stats.events_processed)
+        })
+    });
+}
+
+criterion_group!(benches, event_queue, engine_dispatch);
+criterion_main!(benches);

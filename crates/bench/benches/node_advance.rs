@@ -1,0 +1,81 @@
+//! Benchmarks of the workstation model's lazy piecewise advancement — the
+//! inner loop of every simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vr_cluster::cpu::CpuParams;
+use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile, RunningJob};
+use vr_cluster::memory::{FaultModel, MemoryParams};
+use vr_cluster::node::{NodeId, NodeParams, Workstation};
+use vr_cluster::units::Bytes;
+use vr_simcore::time::{SimSpan, SimTime};
+
+fn params() -> NodeParams {
+    NodeParams {
+        cpu: CpuParams::with_slots(16),
+        memory: MemoryParams::with_capacity(Bytes::from_mb(384), Bytes::from_mb(380)),
+        fault_model: FaultModel::default(),
+        protection: Default::default(),
+    }
+}
+
+fn job(id: u64, ws_mb: u64, phases: bool) -> RunningJob {
+    let memory = if phases {
+        MemoryProfile::from_phases(vec![
+            (SimSpan::from_secs(10), Bytes::from_mb(ws_mb / 4)),
+            (SimSpan::from_secs(100), Bytes::from_mb(ws_mb)),
+            (SimSpan::MAX, Bytes::from_mb(ws_mb / 2)),
+        ])
+        .expect("static phases")
+    } else {
+        MemoryProfile::constant(Bytes::from_mb(ws_mb))
+    };
+    RunningJob::new(JobSpec {
+        id: JobId(id),
+        name: format!("bench-{id}"),
+        class: JobClass::CpuMemoryIntensive,
+        submit: SimTime::ZERO,
+        cpu_work: SimSpan::from_secs(200),
+        memory,
+        io_rate: 0.0,
+    })
+}
+
+fn loaded_node(jobs: usize, ws_mb: u64, phases: bool) -> Workstation {
+    let mut node = Workstation::new(NodeId(0), params());
+    for i in 0..jobs {
+        node.try_admit(job(i as u64, ws_mb, phases), SimTime::ZERO)
+            .expect("bench admission");
+    }
+    node
+}
+
+fn node_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_advance");
+    for &jobs in &[1usize, 4, 8] {
+        group.bench_function(format!("advance_1000s_{jobs}_flat_jobs"), |b| {
+            b.iter_batched(
+                || loaded_node(jobs, 60, false),
+                |mut node| {
+                    node.advance_to(SimTime::from_secs(1000));
+                    black_box(node.take_completed().len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("advance_1000s_8_phased_faulting_jobs", |b| {
+        b.iter_batched(
+            || loaded_node(8, 120, true), // oversubscribed: fault model active
+            |mut node| {
+                node.advance_to(SimTime::from_secs(1000));
+                black_box(node.take_completed().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, node_advance);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The paper's overhead claim: "the adaptive process causes little
+//! additional overhead" (§1, contribution 2).
+//!
+//! Two measurements back it:
+//!
+//! * the per-decision placement cost of V-Reconfiguration vs
+//!   G-Loadsharing (identical code path — the reconfiguration machinery
+//!   only runs on blocking), and
+//! * wall-clock simulation time of the same blocking workload under both
+//!   policies, which bounds the *scheduler-side* work including every
+//!   reservation, scan, and special-service migration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vr_cluster::loadinfo::LoadIndex;
+use vr_cluster::node::NodeId;
+use vr_cluster::params::ClusterParams;
+use vr_cluster::units::Bytes;
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::SimTime;
+use vr_workload::synth;
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::sim::Simulation;
+
+fn placement_decision(c: &mut Criterion) {
+    // A realistic 32-node index with mixed load.
+    let mut nodes = ClusterParams::cluster1().build_nodes();
+    let trace = synth::blocking_scenario(32, Bytes::from_mb(384));
+    for (i, job) in trace.jobs.iter().take(64).enumerate() {
+        let _ =
+            nodes[i % 32].try_admit(vr_cluster::job::RunningJob::new(job.clone()), SimTime::ZERO);
+    }
+    let mut index = LoadIndex::new();
+    index.refresh(nodes.iter(), SimTime::ZERO);
+    let probe = vr_cluster::job::RunningJob::new(trace.jobs[0].clone());
+
+    let mut group = c.benchmark_group("placement_decision");
+    for policy in [
+        PolicyKind::CpuOnly,
+        PolicyKind::GLoadSharing,
+        PolicyKind::VReconfiguration,
+    ] {
+        group.bench_function(policy.to_string(), |b| {
+            let mut rng = SimRng::seed_from(1);
+            b.iter(|| {
+                black_box(policy.place(black_box(&probe), NodeId(5), black_box(&index), &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn end_to_end_overhead(c: &mut Criterion) {
+    let mut cluster = ClusterParams::cluster2();
+    cluster.nodes.truncate(8);
+    let trace = synth::blocking_scenario(8, Bytes::from_mb(128));
+    let mut group = c.benchmark_group("simulation_wall_clock");
+    group.sample_size(10);
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        group.bench_function(policy.to_string(), |b| {
+            b.iter(|| {
+                let config = SimConfig::new(cluster.clone(), policy).with_seed(7);
+                let report = Simulation::new(config).run(&trace);
+                black_box(report.summary.jobs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, placement_decision, end_to_end_overhead);
+criterion_main!(benches);

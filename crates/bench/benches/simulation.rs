@@ -1,0 +1,30 @@
+//! End-to-end simulation throughput: how fast a full paper trace replays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vr_simcore::rng::SimRng;
+use vr_workload::trace::{app_trace, TraceLevel};
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::sim::Simulation;
+
+fn full_trace(c: &mut Criterion) {
+    let trace = app_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let mut group = c.benchmark_group("full_trace_replay");
+    group.sample_size(10);
+    group.bench_function("app_trace_1_vreconfiguration_32_nodes", |b| {
+        b.iter(|| {
+            let config = SimConfig::new(
+                vr_cluster::params::ClusterParams::cluster2(),
+                PolicyKind::VReconfiguration,
+            )
+            .with_seed(7);
+            let report = Simulation::new(config).run(&trace);
+            black_box(report.finished_at)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, full_trace);
+criterion_main!(benches);

@@ -1,0 +1,493 @@
+//! Ablations for the design points DESIGN.md calls out:
+//!
+//! 1. **§5 negative conditions** — light load, equal memory demands, and
+//!    big-job-dominant workloads, where V-Reconfiguration is predicted to
+//!    help little (or to need its reservation cap).
+//! 2. **Reserving-period end condition** — the paper's primary
+//!    `AllJobsComplete` vs the §2.1 alternative `EnoughMemory`.
+//! 3. **Pending-queue discipline** — the paper-faithful FIFO vs the
+//!    backfilling baseline.
+//! 4. **Fault-model shape** — linear vs quadratic overflow vs no faults.
+//! 5. **Baseline policies** — no load sharing / random / CPU-only vs
+//!    G-Loadsharing vs V-Reconfiguration on the blocking scenario.
+//! 6. **Network speed** — 10 Mbps vs 1 Gbps migration costs (§5 point 4).
+//! 7. **Suspension strawman** — the §1 alternative the paper rejects,
+//!    with the fairness numbers that justify rejecting it.
+//! 8. **Network RAM** — §2.3's escape hatch for jobs too big for any node.
+//! 9. **Load-information staleness** — §6's first deployment concern:
+//!    sensitivity to the exchange period.
+//! 10. **Reservation cap** — sensitivity to `max_reserved_fraction`.
+//! 11. **Heterogeneous cluster** — §2.3/§6: large-memory nodes preferred
+//!     as reserved workstations.
+//! 12. **Bursty fluctuation** — the conclusion's motivating scenario:
+//!     ON/OFF workload bursts.
+//! 13. **Thrashing protection (TPF)** — the paper's ref \[6] as an
+//!     intra-node alternative/complement to reconfiguration.
+
+use vr_bench::SIM_SEED;
+use vr_cluster::memory::FaultModel;
+use vr_cluster::network::NetworkParams;
+use vr_cluster::params::ClusterParams;
+use vr_cluster::units::Bytes;
+use vr_metrics::table::{fmt_f, TextTable};
+use vr_simcore::rng::SimRng;
+use vr_simcore::stats::reduction_pct;
+use vr_workload::synth;
+use vr_workload::trace::Trace;
+use vrecon::config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
+use vrecon::policy::PolicyKind;
+use vrecon::report::RunReport;
+use vrecon::sim::Simulation;
+
+fn cluster() -> ClusterParams {
+    let mut c = ClusterParams::cluster2();
+    c.nodes.truncate(16);
+    c
+}
+
+fn blocking_trace() -> Trace {
+    synth::blocking_scenario(16, Bytes::from_mb(128))
+}
+
+fn run(config: SimConfig, trace: &Trace) -> RunReport {
+    Simulation::new(config).run(trace)
+}
+
+fn base_config(policy: PolicyKind) -> SimConfig {
+    SimConfig::new(cluster(), policy).with_seed(SIM_SEED)
+}
+
+fn main() {
+    negative_conditions();
+    end_condition();
+    pending_discipline();
+    fault_model();
+    baselines();
+    network_speed();
+    suspension_fairness();
+    network_ram();
+    staleness();
+    reservation_cap();
+    heterogeneous();
+    bursty_fluctuation();
+    thrashing_protection();
+}
+
+/// §5's three negative conditions: V-R should gain little (adaptively doing
+/// nothing) instead of hurting.
+fn negative_conditions() {
+    println!("ablation 1 — §5 negative conditions (16-node cluster 2)\n");
+    let rng = SimRng::seed_from(3);
+    let workloads = vec![
+        ("light-load", synth::light_load(40, &mut rng.fork(0))),
+        (
+            "equal-memory",
+            synth::equal_memory(160, Bytes::from_mb(60), &mut rng.fork(1)),
+        ),
+        (
+            "big-dominant-70pct",
+            synth::big_job_dominant(160, Bytes::from_mb(128), 0.7, &mut rng.fork(2)),
+        ),
+        ("blocking (positive control)", blocking_trace()),
+    ];
+    let mut table = TextTable::new(vec![
+        "workload",
+        "G-LS slowdown",
+        "V-R slowdown",
+        "reduction",
+        "reservations",
+        "served",
+    ]);
+    for (name, trace) in &workloads {
+        let gls = run(base_config(PolicyKind::GLoadSharing), trace);
+        let vr = run(base_config(PolicyKind::VReconfiguration), trace);
+        table.row(vec![
+            (*name).to_owned(),
+            fmt_f(gls.avg_slowdown(), 2),
+            fmt_f(vr.avg_slowdown(), 2),
+            format!(
+                "{:.1}%",
+                reduction_pct(gls.avg_slowdown(), vr.avg_slowdown())
+            ),
+            vr.reservations.started.to_string(),
+            vr.reservations.jobs_served.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// §2.1's two reserving-period end conditions.
+fn end_condition() {
+    println!("ablation 2 — reserving-period end condition (blocking scenario)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "end condition",
+        "avg slowdown",
+        "T_que (s)",
+        "reservations",
+        "served",
+        "timed out",
+    ]);
+    for (name, end) in [
+        ("AllJobsComplete", ReservingEnd::AllJobsComplete),
+        ("EnoughMemory", ReservingEnd::EnoughMemory),
+    ] {
+        let config =
+            base_config(PolicyKind::VReconfiguration).with_reservation(ReservationOptions {
+                end_condition: end,
+                ..ReservationOptions::default()
+            });
+        let report = run(config, &trace);
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.total_queue_secs(), 0),
+            report.reservations.started.to_string(),
+            report.reservations.jobs_served.to_string(),
+            report.reservations.timed_out.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// FIFO ("submissions blocked") vs backfill pending queues.
+fn pending_discipline() {
+    println!("ablation 3 — pending-queue discipline (blocking scenario)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "policy",
+        "discipline",
+        "avg slowdown",
+        "T_que (s)",
+        "blocked submissions",
+    ]);
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        for (name, d) in [
+            ("fifo", PendingDiscipline::Fifo),
+            ("backfill", PendingDiscipline::Backfill),
+        ] {
+            let mut config = base_config(policy);
+            config.pending_discipline = d;
+            let report = run(config, &trace);
+            table.row(vec![
+                policy.to_string(),
+                name.to_owned(),
+                fmt_f(report.avg_slowdown(), 2),
+                fmt_f(report.total_queue_secs(), 0),
+                report.counters.blocked_submissions.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+/// Linear vs quadratic vs disabled page-fault models.
+fn fault_model() {
+    println!("ablation 4 — page-fault model shape (blocking scenario, V-R)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec!["fault model", "avg slowdown", "T_page (s)"]);
+    for (name, model) in [
+        ("linear k=4", FaultModel::LinearOverflow { kappa: 4.0 }),
+        ("linear k=8", FaultModel::LinearOverflow { kappa: 8.0 }),
+        (
+            "quadratic k=4",
+            FaultModel::QuadraticOverflow { kappa: 4.0 },
+        ),
+        ("off", FaultModel::Off),
+    ] {
+        let mut config = base_config(PolicyKind::VReconfiguration);
+        for node in &mut config.cluster.nodes {
+            node.fault_model = model;
+        }
+        let report = run(config, &trace);
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.summary.totals.page, 0),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// All five policies on the blocking scenario.
+fn baselines() {
+    println!("ablation 5 — policy baselines (blocking scenario)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "policy",
+        "avg slowdown",
+        "T_exe (s)",
+        "T_que (s)",
+        "migrations",
+    ]);
+    for policy in PolicyKind::ALL {
+        let report = run(base_config(policy), &trace);
+        table.row(vec![
+            policy.to_string(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.total_execution_secs(), 0),
+            fmt_f(report.total_queue_secs(), 0),
+            (report.counters.overload_migrations + report.counters.reserved_migrations).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// §1's rejected alternative: suspension resolves blocking for the small
+/// jobs but starves the large ones under a sustained flow.
+fn suspension_fairness() {
+    println!("ablation 7 — suspension strawman vs reconfiguration (sustained blocking)\n");
+    // Extend the blocking scenario's filler stream threefold so submissions
+    // "continue to flow" for several multiples of a giant's runtime.
+    let base = blocking_trace();
+    let mut jobs = base.jobs.clone();
+    let fillers: Vec<_> = base
+        .jobs
+        .iter()
+        .filter(|j| j.name == "filler")
+        .cloned()
+        .collect();
+    for round in 1..=3u64 {
+        for f in &fillers {
+            let mut j = f.clone();
+            j.submit += vr_simcore::time::SimSpan::from_secs(1040 * round);
+            jobs.push(j);
+        }
+    }
+    jobs.sort_by_key(|j| j.submit);
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = vr_cluster::job::JobId(i as u64);
+    }
+    let trace = Trace {
+        name: "Synth-Blocking-Sustained".into(),
+        jobs,
+    };
+    let mut table = TextTable::new(vec![
+        "policy",
+        "overall slowdown",
+        "giant slowdown",
+        "filler slowdown",
+        "Jain fairness",
+        "suspensions/reservations",
+    ]);
+    for policy in [
+        PolicyKind::GLoadSharing,
+        PolicyKind::SuspendLargest,
+        PolicyKind::VReconfiguration,
+    ] {
+        let report = run(base_config(policy), &trace);
+        let mean = |name: &str| {
+            let v: Vec<f64> = report
+                .jobs
+                .iter()
+                .filter(|j| j.spec.name == name)
+                .map(|j| j.slowdown())
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let slowdowns: Vec<f64> = report.jobs.iter().map(|j| j.slowdown()).collect();
+        table.row(vec![
+            policy.to_string(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(mean("giant"), 2),
+            fmt_f(mean("filler"), 2),
+            fmt_f(vr_metrics::fairness::jain_index(&slowdowns), 3),
+            format!(
+                "{}/{}",
+                report.counters.suspensions, report.reservations.started
+            ),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// §2.3 / ref \[12]: serving page faults from remote idle memory.
+fn network_ram() {
+    println!("ablation 8 — network RAM (blocking scenario)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec!["configuration", "avg slowdown", "T_page (s)"]);
+    for (name, netram, policy) in [
+        ("G-LS, local disk", false, PolicyKind::GLoadSharing),
+        ("G-LS + network RAM", true, PolicyKind::GLoadSharing),
+        ("V-R, local disk", false, PolicyKind::VReconfiguration),
+        ("V-R + network RAM", true, PolicyKind::VReconfiguration),
+    ] {
+        let mut config = base_config(policy);
+        if netram {
+            config = config.with_network_ram();
+        }
+        let report = run(config, &trace);
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.summary.totals.page, 0),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// §6 deployment concern 1: "the globally shared load information ...
+/// needs to be delivered timely and consistently."
+fn staleness() {
+    println!("ablation 9 — load-information exchange period (blocking scenario, V-R)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "exchange period",
+        "avg slowdown",
+        "stale bounces",
+        "blocking detections",
+    ]);
+    for secs in [1u64, 5, 15, 30] {
+        let mut config = base_config(PolicyKind::VReconfiguration);
+        config.cluster.load_exchange_period = vr_simcore::time::SimSpan::from_secs(secs);
+        let report = run(config, &trace);
+        table.row(vec![
+            format!("{secs}s"),
+            fmt_f(report.avg_slowdown(), 2),
+            report.counters.stale_rejections.to_string(),
+            report.counters.blocking_detections.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Sensitivity to the reservation cap (§2.2 point 4's protection knob).
+fn reservation_cap() {
+    println!("ablation 10 — max reserved fraction (blocking scenario, V-R)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "max fraction",
+        "avg slowdown",
+        "reservations",
+        "served",
+    ]);
+    for frac in [0.0625, 0.125, 0.25, 0.5] {
+        let config =
+            base_config(PolicyKind::VReconfiguration).with_reservation(ReservationOptions {
+                max_reserved_fraction: frac,
+                ..ReservationOptions::default()
+            });
+        let report = run(config, &trace);
+        table.row(vec![
+            format!("{frac}"),
+            fmt_f(report.avg_slowdown(), 2),
+            report.reservations.started.to_string(),
+            report.reservations.jobs_served.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// §2.3/§6: on a heterogeneous cluster the reservation candidate rule
+/// (largest idle memory) steers special service to the big-memory nodes.
+fn heterogeneous() {
+    println!("ablation 11 — heterogeneous cluster (4 x 384MB + 12 x 128MB nodes)\n");
+    let cluster = ClusterParams::heterogeneous(16, 4);
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "policy",
+        "avg slowdown",
+        "admissions/big node",
+        "admissions/small node",
+        "reservations",
+    ]);
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let config = SimConfig::new(cluster.clone(), policy).with_seed(SIM_SEED);
+        let report = run(config, &trace);
+        let big: u64 = report.node_counters[..4].iter().map(|c| c.admitted).sum();
+        let small: u64 = report.node_counters[4..].iter().map(|c| c.admitted).sum();
+        table.row(vec![
+            policy.to_string(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(big as f64 / 4.0, 1),
+            fmt_f(small as f64 / 12.0, 1),
+            report.reservations.started.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// The conclusion's motivation: accommodating workload fluctuation.
+fn bursty_fluctuation() {
+    println!("ablation 12 — bursty ON/OFF workload (group-2 programs, 16 nodes)\n");
+    let mut rng = SimRng::seed_from(5);
+    let trace = synth::bursty(240, &mut rng);
+    let mut table = TextTable::new(vec![
+        "policy",
+        "avg slowdown",
+        "p95 slowdown",
+        "T_que (s)",
+        "reservations",
+    ]);
+    for policy in [
+        PolicyKind::CpuOnly,
+        PolicyKind::GLoadSharing,
+        PolicyKind::VReconfiguration,
+    ] {
+        let report = run(base_config(policy), &trace);
+        table.row(vec![
+            policy.to_string(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.summary.p95_slowdown, 2),
+            fmt_f(report.total_queue_secs(), 0),
+            report.reservations.started.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+/// Ref \[6]: intra-node thrashing protection, alone and composed with the
+/// paper's inter-node reconfiguration.
+fn thrashing_protection() {
+    use vr_cluster::protection::ThrashingProtection;
+    println!("ablation 13 — thrashing protection (TPF, ref [6]) on the blocking scenario\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec![
+        "policy",
+        "protection",
+        "avg slowdown",
+        "T_page (s)",
+    ]);
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        for (name, protection) in [
+            ("off", ThrashingProtection::Off),
+            ("protect-largest", ThrashingProtection::ProtectLargest),
+            ("protect-shortest", ThrashingProtection::ProtectShortestRemaining),
+        ] {
+            let mut config = base_config(policy);
+            for node in &mut config.cluster.nodes {
+                node.protection = protection;
+            }
+            let report = run(config, &trace);
+            table.row(vec![
+                policy.to_string(),
+                name.to_owned(),
+                fmt_f(report.avg_slowdown(), 2),
+                fmt_f(report.summary.totals.page, 0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}
+
+/// §5 point 4: "As high speed networks become widely used in clusters, the
+/// migration time ... becomes less crucial."
+fn network_speed() {
+    println!("ablation 6 — interconnect speed (blocking scenario, V-R)\n");
+    let trace = blocking_trace();
+    let mut table = TextTable::new(vec!["network", "avg slowdown", "T_mig (s)"]);
+    for (name, net) in [
+        ("10 Mbps Ethernet", NetworkParams::ethernet_10mbps()),
+        ("1 Gbps Ethernet", NetworkParams::ethernet_1gbps()),
+    ] {
+        let mut config = base_config(PolicyKind::VReconfiguration);
+        config.cluster.network = net;
+        let report = run(config, &trace);
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.summary.totals.migration, 0),
+        ]);
+    }
+    println!("{}", table.render());
+}

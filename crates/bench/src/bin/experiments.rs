@@ -1,0 +1,267 @@
+//! Runs the full evaluation — both workload groups, all five traces, both
+//! policies — and prints the per-figure tables plus a paper-vs-measured
+//! summary. This is the data source for `EXPERIMENTS.md`.
+
+use std::io::Write;
+
+use vr_bench::render::figure_panel;
+use vr_bench::{paper, run_group, Group, PolicyPair};
+use vr_metrics::comparison::MetricComparison;
+use vr_metrics::table::TextTable;
+
+/// Writes one figure panel's data as a plot-ready CSV file under the
+/// directory named by `VR_RESULTS_DIR` (no-op when unset).
+fn export_csv(
+    name: &str,
+    pairs: &[PolicyPair],
+    metric: impl Fn(&PolicyPair) -> MetricComparison,
+) {
+    let Ok(dir) = std::env::var("VR_RESULTS_DIR") else {
+        return;
+    };
+    let dir = std::path::Path::new(&dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    let mut table = TextTable::new(vec!["trace", "g_loadsharing", "v_reconfiguration", "reduction_pct"]);
+    for pair in pairs {
+        let c = metric(pair);
+        table.row(vec![
+            pair.trace_name.clone(),
+            format!("{}", c.baseline),
+            format!("{}", c.candidate),
+            format!("{:.4}", c.reduction()),
+        ]);
+    }
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(table.render_csv().as_bytes()) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("cannot create {}: {e}", path.display()),
+    }
+}
+
+fn summary_row(
+    table: &mut TextTable,
+    artifact: &str,
+    pairs: &[PolicyPair],
+    quoted: &[paper::Quoted; 5],
+    metric: impl Fn(&PolicyPair) -> MetricComparison,
+) {
+    let measured: Vec<f64> = pairs.iter().map(|p| metric(p).reduction()).collect();
+    let wins = measured.iter().filter(|r| **r > 0.0).count();
+    let mean = measured.iter().sum::<f64>() / measured.len() as f64;
+    let paper_quoted: Vec<f64> = quoted.iter().flatten().copied().collect();
+    let paper_mean = if paper_quoted.is_empty() {
+        0.0
+    } else {
+        paper_quoted.iter().sum::<f64>() / paper_quoted.len() as f64
+    };
+    table.row(vec![
+        artifact.to_owned(),
+        format!("{wins}/5"),
+        format!("{mean:+.1}%"),
+        format!("{paper_mean:+.1}%"),
+    ]);
+}
+
+fn main() {
+    println!("# Full evaluation run\n");
+    if std::env::var("VR_RESULTS_DIR").is_ok() {
+        println!("(also exporting per-figure CSVs to $VR_RESULTS_DIR)\n");
+    }
+    println!("## Workload group 1 (SPEC 2000, cluster 1)\n");
+    let spec = run_group(Group::Spec);
+    println!("```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 1 left: total execution times (s)",
+            &spec,
+            &paper::FIG1_EXEC,
+            0,
+            |p| p.execution_time()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 1 right: total queuing times (s)",
+            &spec,
+            &paper::FIG1_QUEUE,
+            0,
+            |p| p.queue_time()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 2 left: average slowdowns",
+            &spec,
+            &paper::FIG2_SLOWDOWN,
+            2,
+            |p| p.slowdown()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 2 right: average idle memory volumes (MB)",
+            &spec,
+            &paper::FIG2_IDLE,
+            0,
+            |p| p.idle_memory()
+        )
+    );
+    println!("```\n");
+    export_csv("fig1_exec", &spec, |p| p.execution_time());
+    export_csv("fig1_queue", &spec, |p| p.queue_time());
+    export_csv("fig2_slowdown", &spec, |p| p.slowdown());
+    export_csv("fig2_idle_memory", &spec, |p| p.idle_memory());
+
+    println!("## Workload group 2 (applications, cluster 2)\n");
+    let app = run_group(Group::App);
+    println!("```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 3 left: total execution times (s)",
+            &app,
+            &paper::FIG3_EXEC,
+            0,
+            |p| p.execution_time()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 3 right: total queuing times (s)",
+            &app,
+            &paper::FIG3_QUEUE,
+            0,
+            |p| p.queue_time()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 4 left: average slowdowns",
+            &app,
+            &paper::FIG4_SLOWDOWN,
+            2,
+            |p| p.slowdown()
+        )
+    );
+    println!("```\n```text");
+    print!(
+        "{}",
+        figure_panel(
+            "Figure 4 right: average job balance skews",
+            &app,
+            &paper::FIG4_SKEW,
+            3,
+            |p| p.balance_skew()
+        )
+    );
+    println!("```\n");
+    export_csv("fig3_exec", &app, |p| p.execution_time());
+    export_csv("fig3_queue", &app, |p| p.queue_time());
+    export_csv("fig4_slowdown", &app, |p| p.slowdown());
+    export_csv("fig4_skew", &app, |p| p.balance_skew());
+
+    println!("## Paper-vs-measured summary (mean reduction across traces)\n");
+    let mut table = TextTable::new(vec![
+        "artifact",
+        "V-R wins",
+        "measured mean",
+        "paper mean (quoted)",
+    ]);
+    summary_row(
+        &mut table,
+        "Fig 1 L: exec time (group 1)",
+        &spec,
+        &paper::FIG1_EXEC,
+        |p| p.execution_time(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 1 R: queue time (group 1)",
+        &spec,
+        &paper::FIG1_QUEUE,
+        |p| p.queue_time(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 2 L: slowdown (group 1)",
+        &spec,
+        &paper::FIG2_SLOWDOWN,
+        |p| p.slowdown(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 2 R: idle memory (group 1)",
+        &spec,
+        &paper::FIG2_IDLE,
+        |p| p.idle_memory(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 3 L: exec time (group 2)",
+        &app,
+        &paper::FIG3_EXEC,
+        |p| p.execution_time(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 3 R: queue time (group 2)",
+        &app,
+        &paper::FIG3_QUEUE,
+        |p| p.queue_time(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 4 L: slowdown (group 2)",
+        &app,
+        &paper::FIG4_SLOWDOWN,
+        |p| p.slowdown(),
+    );
+    summary_row(
+        &mut table,
+        "Fig 4 R: balance skew (group 2)",
+        &app,
+        &paper::FIG4_SKEW,
+        |p| p.balance_skew(),
+    );
+    println!("```text\n{}```\n", table.render());
+
+    println!("## Reconfiguration activity (V-R runs)\n");
+    let mut table = TextTable::new(vec![
+        "trace",
+        "reservations",
+        "served",
+        "released unused",
+        "timed out",
+        "blocking detections",
+    ]);
+    for pair in spec.iter().chain(app.iter()) {
+        let r = pair.vr.reservations;
+        table.row(vec![
+            pair.trace_name.clone(),
+            r.started.to_string(),
+            r.jobs_served.to_string(),
+            r.released_unused.to_string(),
+            r.timed_out.to_string(),
+            pair.vr.counters.blocking_detections.to_string(),
+        ]);
+    }
+    println!("```text\n{}```", table.render());
+}

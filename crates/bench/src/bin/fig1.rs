@@ -1,0 +1,31 @@
+//! Regenerates **Figure 1**: total execution times (left) and queuing times
+//! (right) of the 5 workload-group-1 traces on a 32-workstation cluster,
+//! scheduled by G-Loadsharing vs V-Reconfiguration.
+
+use vr_bench::render::figure_panel;
+use vr_bench::{paper, run_group, Group};
+
+fn main() {
+    println!("Figure 1 — workload group 1 (SPEC 2000) on cluster 1 (32 nodes)\n");
+    let pairs = run_group(Group::Spec);
+    println!(
+        "{}",
+        figure_panel(
+            "left: total execution times (s)",
+            &pairs,
+            &paper::FIG1_EXEC,
+            0,
+            |p| p.execution_time(),
+        )
+    );
+    println!(
+        "{}",
+        figure_panel(
+            "right: total queuing times (s)",
+            &pairs,
+            &paper::FIG1_QUEUE,
+            0,
+            |p| p.queue_time(),
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Figure 3**: total execution times (left) and queuing times
+//! (right) of the 5 workload-group-2 traces on a 32-workstation cluster.
+
+use vr_bench::render::figure_panel;
+use vr_bench::{paper, run_group, Group};
+
+fn main() {
+    println!("Figure 3 — workload group 2 (applications) on cluster 2 (32 nodes)\n");
+    let pairs = run_group(Group::App);
+    println!(
+        "{}",
+        figure_panel(
+            "left: total execution times (s)",
+            &pairs,
+            &paper::FIG3_EXEC,
+            0,
+            |p| p.execution_time(),
+        )
+    );
+    println!(
+        "{}",
+        figure_panel(
+            "right: total queuing times (s)",
+            &pairs,
+            &paper::FIG3_QUEUE,
+            0,
+            |p| p.queue_time(),
+        )
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Figure 4**: average slowdowns (left) and average job
+//! balance skews (right) for the 5 workload-group-2 traces, plus the
+//! sampling-interval insensitivity check for the skew gauge (§4.2).
+
+use vr_bench::render::figure_panel;
+use vr_bench::{paper, run_group, Group};
+use vr_metrics::table::{fmt_f, TextTable};
+use vr_simcore::time::SimSpan;
+
+fn main() {
+    println!("Figure 4 — workload group 2 (applications) on cluster 2 (32 nodes)\n");
+    let pairs = run_group(Group::App);
+    println!(
+        "{}",
+        figure_panel(
+            "left: average slowdowns",
+            &pairs,
+            &paper::FIG4_SLOWDOWN,
+            2,
+            |p| p.slowdown(),
+        )
+    );
+    println!(
+        "{}",
+        figure_panel(
+            "right: average job balance skews (non-reserved workstations)",
+            &pairs,
+            &paper::FIG4_SKEW,
+            3,
+            |p| p.balance_skew(),
+        )
+    );
+
+    // §4.2 interval-insensitivity check on the V-R runs.
+    let mut table = TextTable::new(vec!["trace", "1s", "10s", "30s", "60s"]);
+    for pair in &pairs {
+        let series = &pair.vr.gauges.balance_skew;
+        let cells: Vec<String> = [1u64, 10, 30, 60]
+            .iter()
+            .map(|s| fmt_f(series.resample(SimSpan::from_secs(*s)).sample_average(), 3))
+            .collect();
+        let mut row = vec![pair.trace_name.clone()];
+        row.extend(cells);
+        table.row(row);
+    }
+    println!(
+        "sampling-interval insensitivity of the average job balance skew (V-R):\n{}",
+        table.render()
+    );
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Table 1**: execution performance and memory-related data of
+//! the 6 SPEC CPU2000 benchmark programs, including a dedicated-environment
+//! simulation of each program on a cluster-1 workstation to confirm the
+//! catalog values are what the simulator actually delivers.
+
+use vr_bench::SIM_SEED;
+use vr_cluster::job::JobId;
+use vr_cluster::params::ClusterParams;
+use vr_metrics::table::{fmt_f, TextTable};
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::SimTime;
+use vr_workload::spec2000;
+use vr_workload::trace::Trace;
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::sim::Simulation;
+
+fn main() {
+    println!("Table 1: the 6 SPEC CPU2000 programs of workload group 1");
+    println!("(lifetimes at catalog scale 1.0; traces apply SPEC_LIFETIME_SCALE)\n");
+    let mut table = TextTable::new(vec![
+        "program",
+        "description",
+        "input file",
+        "working set (MB)",
+        "lifetime (s)",
+        "dedicated slowdown",
+    ]);
+    let mut cluster = ClusterParams::cluster1();
+    cluster.nodes.truncate(1);
+    for program in spec2000::programs() {
+        // Dedicated run: one job, one workstation, no competition.
+        let mut rng = SimRng::seed_from(SIM_SEED);
+        let job = program.instantiate(JobId(0), SimTime::ZERO, &mut rng, 0.0);
+        let trace = Trace {
+            name: format!("dedicated-{}", program.name),
+            jobs: vec![job],
+        };
+        let report =
+            Simulation::new(SimConfig::new(cluster.clone(), PolicyKind::NoLoadSharing)).run(&trace);
+        assert!(report.all_completed(), "{} did not complete", program.name);
+        table.row(vec![
+            program.name.to_owned(),
+            program.description.to_owned(),
+            program.input.to_owned(),
+            fmt_f(program.working_set_mb, 2),
+            fmt_f(program.lifetime_secs, 1),
+            fmt_f(report.avg_slowdown(), 3),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "A dedicated slowdown of ~1.0 confirms each program runs without\n\
+         major page faults on a dedicated 384 MB workstation (§3.2)."
+    );
+}

@@ -1,0 +1,171 @@
+//! # vr-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§3–§4).
+//! Each `src/bin/*` binary prints one artifact; the `experiments` binary
+//! runs everything and emits the markdown that backs `EXPERIMENTS.md`.
+//!
+//! | Binary        | Paper artifact |
+//! |---------------|----------------|
+//! | `table1`      | Table 1 — SPEC 2000 program characteristics |
+//! | `table2`      | Table 2 — application program characteristics |
+//! | `fig1`        | Figure 1 — group 1 total execution & queuing times |
+//! | `fig2`        | Figure 2 — group 1 slowdowns & idle memory volumes |
+//! | `fig3`        | Figure 3 — group 2 total execution & queuing times |
+//! | `fig4`        | Figure 4 — group 2 slowdowns & job balance skews |
+//! | `model_check` | §5 — analytical model verified against measurements |
+//! | `ablation`    | §2.2/§2.3 — negative conditions & design ablations |
+//! | `experiments` | everything above, as markdown |
+//!
+//! The Criterion benches under `benches/` quantify the overhead claims
+//! ("the adaptive process causes little additional overhead").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper;
+pub mod render;
+
+use vr_cluster::params::ClusterParams;
+use vr_metrics::comparison::MetricComparison;
+use vr_simcore::rng::SimRng;
+use vr_workload::trace::{app_trace, spec_trace, Trace, TraceLevel};
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::report::RunReport;
+use vrecon::sim::Simulation;
+
+/// Seed used to regenerate the workload traces (fixed so every binary sees
+/// the same ten traces).
+pub const TRACE_SEED: u64 = 42;
+
+/// Seed used for scheduling randomness inside the simulator.
+pub const SIM_SEED: u64 = 7;
+
+/// The two workload groups of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Group {
+    /// Workload group 1: SPEC 2000 on cluster 1 (384 MB nodes).
+    Spec,
+    /// Workload group 2: scientific applications on cluster 2 (128 MB
+    /// nodes).
+    App,
+}
+
+impl Group {
+    /// The cluster this group runs on.
+    pub fn cluster(self) -> ClusterParams {
+        match self {
+            Group::Spec => ClusterParams::cluster1(),
+            Group::App => ClusterParams::cluster2(),
+        }
+    }
+
+    /// Regenerates this group's trace at `level`.
+    pub fn trace(self, level: TraceLevel) -> Trace {
+        let mut rng = SimRng::seed_from(TRACE_SEED);
+        match self {
+            Group::Spec => spec_trace(level, &mut rng),
+            Group::App => app_trace(level, &mut rng),
+        }
+    }
+}
+
+/// A G-Loadsharing / V-Reconfiguration pair of runs over one trace.
+#[derive(Debug)]
+pub struct PolicyPair {
+    /// The trace both policies executed.
+    pub trace_name: String,
+    /// Baseline run.
+    pub gls: RunReport,
+    /// Virtual-reconfiguration run.
+    pub vr: RunReport,
+}
+
+impl PolicyPair {
+    /// Comparison of total execution times.
+    pub fn execution_time(&self) -> MetricComparison {
+        MetricComparison::new(
+            self.gls.total_execution_secs(),
+            self.vr.total_execution_secs(),
+        )
+    }
+
+    /// Comparison of total queuing times.
+    pub fn queue_time(&self) -> MetricComparison {
+        MetricComparison::new(self.gls.total_queue_secs(), self.vr.total_queue_secs())
+    }
+
+    /// Comparison of average slowdowns.
+    pub fn slowdown(&self) -> MetricComparison {
+        MetricComparison::new(self.gls.avg_slowdown(), self.vr.avg_slowdown())
+    }
+
+    /// Comparison of average idle memory volumes (MB, virtual cluster).
+    pub fn idle_memory(&self) -> MetricComparison {
+        MetricComparison::new(self.gls.avg_idle_memory_mb(), self.vr.avg_idle_memory_mb())
+    }
+
+    /// Comparison of average job balance skews.
+    pub fn balance_skew(&self) -> MetricComparison {
+        MetricComparison::new(self.gls.avg_balance_skew(), self.vr.avg_balance_skew())
+    }
+}
+
+/// Runs one trace under a single policy with the harness defaults.
+pub fn run_policy(group: Group, trace: &Trace, policy: PolicyKind) -> RunReport {
+    let config = SimConfig::new(group.cluster(), policy).with_seed(SIM_SEED);
+    Simulation::new(config).run(trace)
+}
+
+/// Runs one trace under both policies (in parallel threads — the runs are
+/// independent).
+pub fn run_pair(group: Group, level: TraceLevel) -> PolicyPair {
+    let trace = group.trace(level);
+    let (gls, vr) = std::thread::scope(|scope| {
+        let gls = scope.spawn(|| run_policy(group, &trace, PolicyKind::GLoadSharing));
+        let vr = scope.spawn(|| run_policy(group, &trace, PolicyKind::VReconfiguration));
+        (
+            gls.join().expect("baseline run panicked"),
+            vr.join().expect("reconfiguration run panicked"),
+        )
+    });
+    PolicyPair {
+        trace_name: trace.name,
+        gls,
+        vr,
+    }
+}
+
+/// Runs all five arrival levels of a group, each level's two policies in
+/// parallel.
+pub fn run_group(group: Group) -> Vec<PolicyPair> {
+    TraceLevel::ALL
+        .into_iter()
+        .map(|level| run_pair(group, level))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_stable_across_calls() {
+        let a = Group::Spec.trace(TraceLevel::Light);
+        let b = Group::Spec.trace(TraceLevel::Light);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 359);
+    }
+
+    #[test]
+    fn groups_map_to_their_clusters() {
+        assert_eq!(
+            Group::Spec.cluster().nodes[0].memory.user,
+            vr_cluster::units::Bytes::from_mb(384)
+        );
+        assert_eq!(
+            Group::App.cluster().nodes[0].memory.user,
+            vr_cluster::units::Bytes::from_mb(128)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! The numbers the paper reports, for side-by-side comparison.
+//!
+//! §4 quotes every reduction percentage in prose; the figures themselves are
+//! unreadable in the source text, so the quoted reductions are the
+//! comparison target. `None` marks points the paper only describes
+//! qualitatively ("the reductions to other three traces are modest").
+
+/// Paper-reported reduction (%) for one trace level, if quoted.
+pub type Quoted = Option<f64>;
+
+/// Figure 1 left: group 1 total execution time reductions.
+pub const FIG1_EXEC: [Quoted; 5] = [Some(29.3), Some(32.4), Some(32.4), Some(30.3), Some(27.4)];
+
+/// Figure 1 right: group 1 total queuing time reductions.
+pub const FIG1_QUEUE: [Quoted; 5] = [Some(24.8), Some(35.8), Some(36.7), Some(34.0), Some(38.2)];
+
+/// Figure 2 left: group 1 average slowdown reductions.
+pub const FIG2_SLOWDOWN: [Quoted; 5] =
+    [Some(23.4), Some(27.7), Some(22.6), Some(24.6), Some(28.46)];
+
+/// Figure 2 right: group 1 average idle memory volume reductions.
+pub const FIG2_IDLE: [Quoted; 5] = [Some(12.9), Some(24.2), Some(29.7), Some(40.9), Some(50.8)];
+
+/// Figure 3 left: group 2 total execution time reductions ("the reductions
+/// to other three traces are modest").
+pub const FIG3_EXEC: [Quoted; 5] = [None, Some(13.4), Some(14.0), None, None];
+
+/// Figure 3 right: group 2 total queuing time reductions.
+pub const FIG3_QUEUE: [Quoted; 5] = [None, Some(16.3), Some(16.8), None, None];
+
+/// Figure 4 left: group 2 average slowdown reductions.
+pub const FIG4_SLOWDOWN: [Quoted; 5] = [None, Some(16.3), Some(16.8), Some(6.8), None];
+
+/// Figure 4 right: group 2 average job balance skew reductions.
+pub const FIG4_SKEW: [Quoted; 5] = [None, Some(10.3), Some(16.5), Some(6.3), None];
+
+/// Renders a quoted value for a table cell.
+pub fn quoted_cell(q: Quoted) -> String {
+    match q {
+        Some(v) => format!("{v:.1}%"),
+        None => "(modest)".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoted_series_have_five_levels() {
+        for series in [
+            FIG1_EXEC,
+            FIG1_QUEUE,
+            FIG2_SLOWDOWN,
+            FIG2_IDLE,
+            FIG3_EXEC,
+            FIG3_QUEUE,
+            FIG4_SLOWDOWN,
+            FIG4_SKEW,
+        ] {
+            assert_eq!(series.len(), 5);
+        }
+    }
+
+    #[test]
+    fn group1_is_fully_quoted() {
+        assert!(FIG1_EXEC.iter().all(Option::is_some));
+        assert!(FIG2_IDLE.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn cells_render() {
+        assert_eq!(quoted_cell(Some(29.3)), "29.3%");
+        assert_eq!(quoted_cell(None), "(modest)");
+    }
+}

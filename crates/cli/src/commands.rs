@@ -1,0 +1,502 @@
+//! The CLI subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+
+use vr_cluster::params::ClusterParams;
+use vr_metrics::comparison::MetricComparison;
+use vr_metrics::table::{fmt_f, TextTable};
+use vr_simcore::rng::SimRng;
+use vr_workload::trace::{
+    app_trace_scaled, spec_trace_scaled, Trace, TraceLevel, APP_LIFETIME_SCALE, SPEC_LIFETIME_SCALE,
+};
+use vr_workload::{read_trace, write_trace};
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::report::RunReport;
+use vrecon::sim::Simulation;
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+vrecon — adaptive & virtual cluster reconfiguration (ICDCS 2002 reproduction)
+
+USAGE:
+  vrecon gen     --group <spec|app> --level <1..5> [--seed N] [--scale F] [--out FILE]
+  vrecon inspect <TRACE_FILE>
+  vrecon run     <TRACE_FILE> --cluster <cluster1|cluster2> --policy <POLICY>
+                 [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
+  vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
+  vrecon sweep   --group <spec|app> [--seed N] [--trace-seed N]
+
+POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
+";
+
+fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
+    match raw {
+        "1" => Ok(TraceLevel::Light),
+        "2" => Ok(TraceLevel::Moderate),
+        "3" => Ok(TraceLevel::Normal),
+        "4" => Ok(TraceLevel::ModeratelyIntensive),
+        "5" => Ok(TraceLevel::HighlyIntensive),
+        other => Err(ArgError(format!("--level must be 1..5, got {other}"))),
+    }
+}
+
+fn parse_policy(raw: &str) -> Result<PolicyKind, ArgError> {
+    match raw {
+        "none" => Ok(PolicyKind::NoLoadSharing),
+        "random" => Ok(PolicyKind::Random),
+        "cpu" => Ok(PolicyKind::CpuOnly),
+        "gls" => Ok(PolicyKind::GLoadSharing),
+        "weighted" => Ok(PolicyKind::WeightedCpuMem),
+        "suspend" => Ok(PolicyKind::SuspendLargest),
+        "vrecon" => Ok(PolicyKind::VReconfiguration),
+        other => Err(ArgError(format!(
+            "unknown policy {other}; expected none|random|cpu|weighted|gls|suspend|vrecon"
+        ))),
+    }
+}
+
+fn parse_cluster(args: &Args) -> Result<ClusterParams, ArgError> {
+    let mut cluster = match args.opt("cluster") {
+        Some("cluster1") => ClusterParams::cluster1(),
+        Some("cluster2") | None => ClusterParams::cluster2(),
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown cluster {other}; expected cluster1|cluster2"
+            )))
+        }
+    };
+    if let Some(n) = args.opt_parse::<usize>("nodes")? {
+        if n == 0 || n > cluster.size() {
+            return Err(ArgError(format!(
+                "--nodes must be 1..={}, got {n}",
+                cluster.size()
+            )));
+        }
+        cluster.nodes.truncate(n);
+    }
+    Ok(cluster)
+}
+
+fn load_trace(path: &str) -> Result<Trace, ArgError> {
+    let file = File::open(path).map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+    let trace = read_trace(BufReader::new(file))
+        .map_err(|e| ArgError(format!("cannot parse {path}: {e}")))?;
+    trace
+        .validate()
+        .map_err(|e| ArgError(format!("{path} is not a valid trace: {e}")))?;
+    Ok(trace)
+}
+
+/// `vrecon gen` — generate a paper trace and write it out.
+pub fn gen(args: &Args) -> Result<String, ArgError> {
+    let level = parse_level(args.opt_or("level", "3"))?;
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(42);
+    let mut rng = SimRng::seed_from(seed);
+    let trace = match args.opt_or("group", "spec") {
+        "spec" => {
+            let scale = args
+                .opt_parse::<f64>("scale")?
+                .unwrap_or(SPEC_LIFETIME_SCALE);
+            spec_trace_scaled(level, &mut rng, scale)
+        }
+        "app" => {
+            let scale = args
+                .opt_parse::<f64>("scale")?
+                .unwrap_or(APP_LIFETIME_SCALE);
+            app_trace_scaled(level, &mut rng, scale)
+        }
+        other => return Err(ArgError(format!("--group must be spec|app, got {other}"))),
+    };
+    let out_path = args
+        .opt("out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.vrt", trace.name.to_lowercase()));
+    let file =
+        File::create(&out_path).map_err(|e| ArgError(format!("cannot create {out_path}: {e}")))?;
+    let mut w = BufWriter::new(file);
+    write_trace(&trace, &mut w).map_err(|e| ArgError(format!("cannot write {out_path}: {e}")))?;
+    w.flush().map_err(|e| ArgError(e.to_string()))?;
+    Ok(format!(
+        "wrote {} ({} jobs, window {:.0}s) to {out_path}",
+        trace.name,
+        trace.len(),
+        trace.last_submission().as_secs_f64()
+    ))
+}
+
+/// `vrecon inspect` — print a trace's statistics.
+pub fn inspect(args: &Args) -> Result<String, ArgError> {
+    let trace = load_trace(args.single_positional("trace file")?)?;
+    let mut per_program: std::collections::BTreeMap<&str, (usize, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for job in &trace.jobs {
+        let entry = per_program
+            .entry(job.name.as_str())
+            .or_insert((0, 0.0, 0.0));
+        entry.0 += 1;
+        entry.1 += job.cpu_work.as_secs_f64();
+        entry.2 += job.max_working_set().as_mb_f64();
+    }
+    let mut table = TextTable::new(vec![
+        "program",
+        "jobs",
+        "mean cpu work (s)",
+        "mean peak ws (MB)",
+    ]);
+    for (name, (count, work, ws)) in &per_program {
+        table.row(vec![
+            (*name).to_owned(),
+            count.to_string(),
+            fmt_f(work / *count as f64, 1),
+            fmt_f(ws / *count as f64, 1),
+        ]);
+    }
+    Ok(format!(
+        "trace {}: {} jobs over {:.0}s, total CPU work {:.0}s\n\n{}",
+        trace.name,
+        trace.len(),
+        trace.last_submission().as_secs_f64(),
+        trace.total_cpu_work_secs(),
+        table.render()
+    ))
+}
+
+fn render_report(report: &RunReport, csv: bool) -> String {
+    if csv {
+        let mut table = TextTable::new(vec![
+            "trace",
+            "policy",
+            "jobs",
+            "avg_slowdown",
+            "t_exe_s",
+            "t_que_s",
+            "t_page_s",
+            "t_mig_s",
+            "idle_mb",
+            "skew",
+            "reservations",
+            "suspensions",
+        ]);
+        table.row(vec![
+            report.trace_name.clone(),
+            report.policy.to_string().replace(',', ";"),
+            report.summary.jobs.to_string(),
+            fmt_f(report.avg_slowdown(), 4),
+            fmt_f(report.total_execution_secs(), 1),
+            fmt_f(report.total_queue_secs(), 1),
+            fmt_f(report.summary.totals.page, 1),
+            fmt_f(report.summary.totals.migration, 1),
+            fmt_f(report.avg_idle_memory_mb(), 1),
+            fmt_f(report.avg_balance_skew(), 4),
+            report.reservations.started.to_string(),
+            report.counters.suspensions.to_string(),
+        ]);
+        table.render_csv()
+    } else {
+        let b = &report.summary.totals;
+        let histogram =
+            vr_simcore::histogram::slowdown_histogram(report.jobs.iter().map(|j| j.slowdown()));
+        format!(
+            "{}\nbreakdown: T_cpu {:.0}s  T_page {:.0}s  T_que {:.0}s  T_mig {:.0}s\n\
+             median slowdown {:.2}, p95 {:.2}; {} blocked submissions, {} stale bounces\n\
+             slowdown distribution:\n{}",
+            report.brief(),
+            b.cpu,
+            b.page,
+            b.queue,
+            b.migration,
+            report.summary.median_slowdown,
+            report.summary.p95_slowdown,
+            report.counters.blocked_submissions,
+            report.counters.stale_rejections,
+            histogram.render_ascii(40),
+        )
+    }
+}
+
+/// Renders an ASCII occupancy chart: one row per workstation, one column
+/// per time bucket, cells showing the resident job count (' ' idle, digits,
+/// '+' for 10+, capital letters never used so 'R' marks reserved periods).
+fn render_gantt(report: &RunReport, nodes: usize, width: usize) -> String {
+    use vr_analysis::timeline::{node_occupancy_timeline, reservation_timeline};
+    let occupancy = node_occupancy_timeline(&report.events, nodes);
+    if occupancy.is_empty() {
+        return "(no occupancy events)".to_owned();
+    }
+    let end = report.finished_at.as_secs_f64().max(1.0);
+    let bucket = end / width as f64;
+    // Sample each node's count at bucket midpoints.
+    let mut grid = vec![vec![0usize; width]; nodes];
+    let mut idx = 0;
+    for (b, row_time) in (0..width).map(|b| (b, (b as f64 + 0.5) * bucket)) {
+        while idx + 1 < occupancy.len() && occupancy[idx + 1].0.as_secs_f64() <= row_time {
+            idx += 1;
+        }
+        for (n, cell) in occupancy[idx].1.iter().enumerate() {
+            grid[n][b] = *cell;
+        }
+    }
+    // Reserved intervals per bucket (cluster-level count > 0 marked on a
+    // separate footer row; per-node attribution would need node ids from
+    // the reservation events, which we have).
+    let mut reserved_row = vec![' '; width];
+    let res = reservation_timeline(&report.events);
+    let mut ridx = 0usize;
+    let mut current = 0usize;
+    for (b, row_time) in (0..width).map(|b| (b, (b as f64 + 0.5) * bucket)) {
+        while ridx < res.len() && res[ridx].0.as_secs_f64() <= row_time {
+            current = res[ridx].1;
+            ridx += 1;
+        }
+        if current > 0 {
+            reserved_row[b] = 'R';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "occupancy over {:.0}s ({} buckets of {:.0}s):\n",
+        end, width, bucket
+    ));
+    for (n, row) in grid.iter().enumerate() {
+        out.push_str(&format!("node {n:>3} |"));
+        for c in row {
+            out.push(match c {
+                0 => ' ',
+                1..=9 => char::from_digit(*c as u32, 10).expect("digit"),
+                _ => '+',
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push_str("reserved |");
+    out.extend(reserved_row);
+    out.push_str("|\n");
+    out
+}
+
+/// `vrecon run` — replay a trace under one policy.
+pub fn run(args: &Args) -> Result<String, ArgError> {
+    let trace = load_trace(args.single_positional("trace file")?)?;
+    let cluster = parse_cluster(args)?;
+    let cluster_size = cluster.size();
+    let policy = parse_policy(args.opt_or("policy", "vrecon"))?;
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
+    let mut config = SimConfig::new(cluster, policy).with_seed(seed);
+    if args.flag("netram") {
+        config = config.with_network_ram();
+    }
+    let nodes = cluster_size;
+    let report = Simulation::new(config).run(&trace);
+    let mut out = render_report(&report, args.flag("csv"));
+    if args.flag("gantt") {
+        out.push_str("\n\n");
+        out.push_str(&render_gantt(&report, nodes, 100));
+    }
+    if args.flag("log") {
+        out.push_str("\n\nscheduler event log:\n");
+        for event in report.events.entries() {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// `vrecon compare` — G-Loadsharing vs V-Reconfiguration on one trace.
+pub fn compare(args: &Args) -> Result<String, ArgError> {
+    let trace = load_trace(args.single_positional("trace file")?)?;
+    let cluster = parse_cluster(args)?;
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
+    let run_one = |policy| {
+        Simulation::new(SimConfig::new(cluster.clone(), policy).with_seed(seed)).run(&trace)
+    };
+    let gls = run_one(PolicyKind::GLoadSharing);
+    let vr = run_one(PolicyKind::VReconfiguration);
+    let mut table = TextTable::new(vec![
+        "metric",
+        "G-Loadsharing",
+        "V-Reconfiguration",
+        "reduction",
+    ]);
+    let mut row = |name: &str, a: f64, b: f64, digits: usize| {
+        let c = MetricComparison::new(a, b);
+        table.row(vec![
+            name.to_owned(),
+            fmt_f(a, digits),
+            fmt_f(b, digits),
+            format!("{:.1}%", c.reduction()),
+        ]);
+    };
+    row(
+        "total execution time (s)",
+        gls.total_execution_secs(),
+        vr.total_execution_secs(),
+        0,
+    );
+    row(
+        "total queuing time (s)",
+        gls.total_queue_secs(),
+        vr.total_queue_secs(),
+        0,
+    );
+    row(
+        "total paging time (s)",
+        gls.summary.totals.page,
+        vr.summary.totals.page,
+        0,
+    );
+    row("average slowdown", gls.avg_slowdown(), vr.avg_slowdown(), 2);
+    row(
+        "avg idle memory (MB)",
+        gls.avg_idle_memory_mb(),
+        vr.avg_idle_memory_mb(),
+        0,
+    );
+    row(
+        "avg balance skew",
+        gls.avg_balance_skew(),
+        vr.avg_balance_skew(),
+        3,
+    );
+    Ok(format!(
+        "{}\nreconfigurations: {} reservations, {} jobs served",
+        table.render(),
+        vr.reservations.started,
+        vr.reservations.jobs_served
+    ))
+}
+
+/// `vrecon sweep` — the full five-trace sweep of one workload group,
+/// G-Loadsharing vs V-Reconfiguration (the data behind Figures 1–4).
+pub fn sweep(args: &Args) -> Result<String, ArgError> {
+    let group = args.opt_or("group", "spec");
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
+    let trace_seed = args.opt_parse::<u64>("trace-seed")?.unwrap_or(42);
+    let (cluster, build): (ClusterParams, fn(TraceLevel, &mut SimRng) -> Trace) = match group {
+        "spec" => (ClusterParams::cluster1(), |l, r| {
+            spec_trace_scaled(l, r, SPEC_LIFETIME_SCALE)
+        }),
+        "app" => (ClusterParams::cluster2(), |l, r| {
+            app_trace_scaled(l, r, APP_LIFETIME_SCALE)
+        }),
+        other => return Err(ArgError(format!("--group must be spec|app, got {other}"))),
+    };
+    let mut table = TextTable::new(vec![
+        "trace",
+        "exec reduction",
+        "queue reduction",
+        "slowdown G-LS",
+        "slowdown V-R",
+        "slowdown reduction",
+    ]);
+    for level in TraceLevel::ALL {
+        let trace = build(level, &mut SimRng::seed_from(trace_seed));
+        let run_one = |policy| {
+            Simulation::new(SimConfig::new(cluster.clone(), policy).with_seed(seed)).run(&trace)
+        };
+        let gls = run_one(PolicyKind::GLoadSharing);
+        let vr = run_one(PolicyKind::VReconfiguration);
+        let exec = MetricComparison::new(gls.total_execution_secs(), vr.total_execution_secs());
+        let queue = MetricComparison::new(gls.total_queue_secs(), vr.total_queue_secs());
+        let slow = MetricComparison::new(gls.avg_slowdown(), vr.avg_slowdown());
+        table.row(vec![
+            trace.name.clone(),
+            format!("{:.1}%", exec.reduction()),
+            format!("{:.1}%", queue.reduction()),
+            fmt_f(slow.baseline, 2),
+            fmt_f(slow.candidate, 2),
+            format!("{:.1}%", slow.reduction()),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// Dispatches a subcommand.
+pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
+    match subcommand {
+        "gen" => gen(args),
+        "inspect" => inspect(args),
+        "run" => run(args),
+        "compare" => compare(args),
+        "sweep" => sweep(args),
+        other => Err(ArgError(format!("unknown subcommand {other}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::units::Bytes;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied(), &["netram", "csv", "log"]).unwrap()
+    }
+
+    #[test]
+    fn level_and_policy_parsing() {
+        assert_eq!(parse_level("1").unwrap(), TraceLevel::Light);
+        assert_eq!(parse_level("5").unwrap(), TraceLevel::HighlyIntensive);
+        assert!(parse_level("6").is_err());
+        assert_eq!(
+            parse_policy("vrecon").unwrap(),
+            PolicyKind::VReconfiguration
+        );
+        assert_eq!(parse_policy("suspend").unwrap(), PolicyKind::SuspendLargest);
+        assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn cluster_parsing_with_truncation() {
+        let c = parse_cluster(&args(&["--cluster", "cluster1", "--nodes", "4"])).unwrap();
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.nodes[0].memory.user, Bytes::from_mb(384));
+        assert!(parse_cluster(&args(&["--cluster", "weird"])).is_err());
+        assert!(parse_cluster(&args(&["--nodes", "0"])).is_err());
+        assert!(parse_cluster(&args(&["--nodes", "999"])).is_err());
+    }
+
+    #[test]
+    fn gen_inspect_run_compare_round_trip() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vrt");
+        let path_str = path.to_str().unwrap();
+        // gen (small synthetic via app group level 1 but scaled tiny for speed)
+        let msg = gen(&args(&[
+            "--group", "app", "--level", "1", "--scale", "0.02", "--out", path_str,
+        ]))
+        .unwrap();
+        assert!(msg.contains("App-Trace-1"), "{msg}");
+        let msg = inspect(&args(&[path_str])).unwrap();
+        assert!(msg.contains("359 jobs"), "{msg}");
+        let msg = run(&args(&[
+            path_str, "--policy", "gls", "--nodes", "8", "--csv",
+        ]))
+        .unwrap();
+        assert!(msg.contains("avg_slowdown"), "{msg}");
+        let msg = compare(&args(&[path_str, "--nodes", "8"])).unwrap();
+        assert!(msg.contains("average slowdown"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_group() {
+        assert!(sweep(&args(&["--group", "weird"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown() {
+        let err = dispatch("frobnicate", &args(&[])).unwrap_err();
+        assert!(err.0.contains("unknown subcommand"));
+    }
+
+    #[test]
+    fn run_reports_missing_file() {
+        let err = run(&args(&["/nonexistent/trace.vrt"])).unwrap_err();
+        assert!(err.0.contains("cannot open"));
+    }
+}

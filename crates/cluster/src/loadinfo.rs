@@ -1,0 +1,292 @@
+//! The global load index.
+//!
+//! "Each workstation maintains a global load index file which contains CPU,
+//! memory, and I/O load status information of other computing nodes. The
+//! load sharing system periodically collects and distributes the load
+//! information among the workstations." (§3.3.1)
+//!
+//! [`LoadIndex`] models that: a snapshot of every node's load, refreshed at
+//! the exchange period. Scheduling policies read the *index*, not the live
+//! node state, so their decisions suffer the same staleness a real
+//! distributed system would.
+
+use serde::{Deserialize, Serialize};
+use vr_simcore::time::SimTime;
+
+use crate::node::{NodeId, Workstation};
+use crate::units::Bytes;
+
+/// One node's entry in the global load index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeLoad {
+    /// Which node.
+    pub node: NodeId,
+    /// Number of resident jobs.
+    pub active_jobs: usize,
+    /// Idle user memory.
+    pub idle_memory: Bytes,
+    /// Demand beyond user memory (being paged).
+    pub overflow: Bytes,
+    /// `true` if the node is experiencing page faults.
+    pub faulting: bool,
+    /// `true` if a CPU job slot is free.
+    pub has_slot: bool,
+    /// `true` if the node is reserved for special service.
+    pub reserved: bool,
+    /// User memory size (static, but carried for heterogeneity-aware
+    /// decisions).
+    pub user_memory: Bytes,
+}
+
+impl NodeLoad {
+    /// Captures a node's current load. The node should have been advanced to
+    /// `now` by the caller for exact values.
+    pub fn capture(node: &Workstation) -> NodeLoad {
+        let usage = node.memory_usage();
+        NodeLoad {
+            node: node.id(),
+            active_jobs: node.active_jobs(),
+            idle_memory: usage.idle(),
+            overflow: usage.overflow(),
+            faulting: usage.is_oversubscribed(),
+            has_slot: node.has_slot(),
+            reserved: node.is_reserved(),
+            user_memory: usage.user,
+        }
+    }
+
+    /// The paper's qualification for accepting a submission: idle memory
+    /// space, a free job slot, and not reserved.
+    pub fn accepts_submissions(&self) -> bool {
+        !self.reserved && self.has_slot && !self.idle_memory.is_zero()
+    }
+}
+
+/// A periodically refreshed snapshot of every node's load.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadIndex {
+    entries: Vec<NodeLoad>,
+    refreshed_at: SimTime,
+}
+
+impl LoadIndex {
+    /// An empty index (before the first exchange).
+    pub fn new() -> Self {
+        LoadIndex::default()
+    }
+
+    /// Replaces the index with fresh captures of every node.
+    pub fn refresh<'a>(&mut self, nodes: impl IntoIterator<Item = &'a Workstation>, now: SimTime) {
+        self.entries = nodes.into_iter().map(NodeLoad::capture).collect();
+        self.entries.sort_by_key(|e| e.node);
+        self.refreshed_at = now;
+    }
+
+    /// When the index was last refreshed.
+    pub fn refreshed_at(&self) -> SimTime {
+        self.refreshed_at
+    }
+
+    /// The entry for one node, if present.
+    pub fn get(&self, node: NodeId) -> Option<&NodeLoad> {
+        self.entries
+            .binary_search_by_key(&node, |e| e.node)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// All entries, ordered by node id.
+    pub fn iter(&self) -> impl Iterator<Item = &NodeLoad> {
+        self.entries.iter()
+    }
+
+    /// Number of nodes in the index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` before the first refresh.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total idle memory accumulated across the cluster — the precondition
+    /// gauge for virtual reconfiguration (§2.1).
+    pub fn accumulated_idle_memory(&self) -> Bytes {
+        self.entries.iter().map(|e| e.idle_memory).sum()
+    }
+
+    /// Average user memory per workstation (the reconfiguration threshold).
+    pub fn average_user_memory(&self) -> Bytes {
+        if self.entries.is_empty() {
+            return Bytes::ZERO;
+        }
+        let total: Bytes = self.entries.iter().map(|e| e.user_memory).sum();
+        Bytes::new(total.as_u64() / self.entries.len() as u64)
+    }
+
+    /// The best destination for an ordinary submission or migration: a
+    /// non-reserved node with a free slot and idle memory, preferring the
+    /// fewest active jobs, then the most idle memory.
+    ///
+    /// `exclude` filters out the source node.
+    pub fn best_destination(&self, exclude: Option<NodeId>) -> Option<&NodeLoad> {
+        self.entries
+            .iter()
+            .filter(|e| Some(e.node) != exclude && e.accepts_submissions())
+            .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
+    }
+
+    /// The paper's `reserve_a_workstation()` choice: the most lightly loaded
+    /// non-reserved workstation with the largest idle memory (in a
+    /// heterogeneous cluster this also favours large-memory nodes, §2.3).
+    pub fn reservation_candidate(&self) -> Option<&NodeLoad> {
+        self.entries.iter().filter(|e| !e.reserved).max_by_key(|e| {
+            (
+                e.idle_memory,
+                std::cmp::Reverse(e.active_jobs),
+                std::cmp::Reverse(e.node),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuParams;
+    use crate::job::{JobClass, JobId, JobSpec, MemoryProfile, RunningJob};
+    use crate::memory::{FaultModel, MemoryParams};
+    use crate::node::NodeParams;
+    use vr_simcore::time::SimSpan;
+
+    fn params(user_mb: u64) -> NodeParams {
+        NodeParams {
+            cpu: CpuParams::with_slots(4),
+            memory: MemoryParams::with_capacity(Bytes::from_mb(user_mb), Bytes::from_mb(user_mb)),
+            fault_model: FaultModel::default(),
+            protection: Default::default(),
+        }
+    }
+
+    fn node_with_jobs(id: u32, user_mb: u64, jobs: &[(u64, u64)]) -> Workstation {
+        let mut node = Workstation::new(NodeId(id), params(user_mb));
+        for &(jid, ws) in jobs {
+            node.try_admit(
+                RunningJob::new(JobSpec {
+                    id: JobId(jid),
+                    name: format!("j{jid}"),
+                    class: JobClass::CpuIntensive,
+                    submit: SimTime::ZERO,
+                    cpu_work: SimSpan::from_secs(100),
+                    memory: MemoryProfile::constant(Bytes::from_mb(ws)),
+                    io_rate: 0.0,
+                }),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        }
+        node
+    }
+
+    #[test]
+    fn capture_reflects_node_state() {
+        let node = node_with_jobs(3, 128, &[(1, 100), (2, 50)]);
+        let load = NodeLoad::capture(&node);
+        assert_eq!(load.node, NodeId(3));
+        assert_eq!(load.active_jobs, 2);
+        assert_eq!(load.idle_memory, Bytes::ZERO);
+        assert_eq!(load.overflow, Bytes::from_mb(22));
+        assert!(load.faulting);
+        assert!(load.has_slot);
+        assert!(!load.accepts_submissions()); // no idle memory
+    }
+
+    #[test]
+    fn index_lookup_and_gauges() {
+        let nodes = [node_with_jobs(0, 128, &[(1, 28)]),
+            node_with_jobs(1, 128, &[(2, 100)]),
+            node_with_jobs(2, 128, &[])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::from_secs(5));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.refreshed_at(), SimTime::from_secs(5));
+        assert_eq!(
+            index.get(NodeId(1)).unwrap().idle_memory,
+            Bytes::from_mb(28)
+        );
+        assert!(index.get(NodeId(9)).is_none());
+        // 100 + 28 + 128 idle.
+        assert_eq!(index.accumulated_idle_memory(), Bytes::from_mb(256));
+        assert_eq!(index.average_user_memory(), Bytes::from_mb(128));
+    }
+
+    #[test]
+    fn best_destination_prefers_light_nodes() {
+        let nodes = [node_with_jobs(0, 128, &[(1, 10), (2, 10)]),
+            node_with_jobs(1, 128, &[(3, 10)]),
+            node_with_jobs(2, 128, &[(4, 10)])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        // Nodes 1 and 2 tie on job count and idle memory; ties break by id.
+        assert_eq!(index.best_destination(None).unwrap().node, NodeId(1));
+        assert_eq!(
+            index.best_destination(Some(NodeId(1))).unwrap().node,
+            NodeId(2)
+        );
+    }
+
+    #[test]
+    fn best_destination_skips_unqualified() {
+        let mut full = node_with_jobs(0, 128, &[(1, 5), (2, 5), (3, 5), (4, 5)]);
+        full.advance_to(SimTime::ZERO);
+        let saturated = node_with_jobs(1, 128, &[(5, 130)]);
+        let mut reserved = node_with_jobs(2, 128, &[]);
+        reserved.set_reserved(true);
+        let nodes = [full, saturated, reserved];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        // No slot / no idle memory / reserved: nothing qualifies.
+        assert!(index.best_destination(None).is_none());
+    }
+
+    #[test]
+    fn reservation_candidate_maximizes_idle_memory() {
+        let nodes = [node_with_jobs(0, 128, &[(1, 100)]),
+            node_with_jobs(1, 128, &[(2, 20)]),
+            node_with_jobs(2, 128, &[(3, 60)])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn reservation_candidate_ignores_already_reserved() {
+        let mut best = node_with_jobs(0, 128, &[]);
+        best.set_reserved(true);
+        let nodes = [best, node_with_jobs(1, 128, &[(1, 64)])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn heterogeneous_reservation_prefers_big_memory_nodes() {
+        // §2.3: "a reserved workstation will be the one with relatively
+        // large physical memory space".
+        let nodes = [node_with_jobs(0, 128, &[]), node_with_jobs(1, 384, &[])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn empty_index_defaults() {
+        let index = LoadIndex::new();
+        assert!(index.is_empty());
+        assert_eq!(index.accumulated_idle_memory(), Bytes::ZERO);
+        assert_eq!(index.average_user_memory(), Bytes::ZERO);
+        assert!(index.best_destination(None).is_none());
+        assert!(index.reservation_candidate().is_none());
+    }
+}

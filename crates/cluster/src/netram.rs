@@ -1,0 +1,96 @@
+//! Network RAM: serving page faults from remote idle memory.
+//!
+//! §2.3 of the paper: a job whose demand does not fit even the reserved
+//! workstation "may not be suitable in this cluster unless the network RAM
+//! technique is applied" (Xiao, Zhang & Kubricht, HPDC-9 — the paper's ref
+//! \[12]). The idea: when the cluster holds enough *accumulated* idle
+//! memory, an oversubscribed workstation pages to a remote workstation's
+//! RAM over the interconnect instead of to its local disk, replacing the
+//! 10 ms disk fault service with a network page transfer.
+//!
+//! The simulator models this as a per-node **stall scale**: while remote
+//! memory is available, every fault's stall is multiplied by
+//! `remote_fault_service / fault_service`. The simulation driver flips the
+//! scale on each load-information exchange based on the cluster's
+//! accumulated idle memory.
+
+use serde::{Deserialize, Serialize};
+use vr_simcore::time::SimSpan;
+
+use crate::network::NetworkParams;
+use crate::units::Bytes;
+
+/// Fixed per-page software overhead of a remote-memory fault (request,
+/// interrupt handling) on top of the wire transfer.
+pub const REMOTE_FAULT_OVERHEAD: SimSpan = SimSpan::from_micros(200);
+
+/// Configuration of the network-RAM extension.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkRamParams {
+    /// Service time of one page fault served from remote memory.
+    pub remote_fault_service: SimSpan,
+}
+
+impl NetworkRamParams {
+    /// Derives the remote fault service time from the interconnect: one
+    /// page's wire time plus [`REMOTE_FAULT_OVERHEAD`].
+    ///
+    /// On the paper's 10 Mbps Ethernet a 4 KB page takes ≈ 3.3 ms — about
+    /// 3× faster than the 10 ms disk fault; on 1 Gbps it is ≈ 0.23 ms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network bandwidth is not strictly positive.
+    pub fn over(network: &NetworkParams, page_size: Bytes) -> Self {
+        assert!(
+            network.bandwidth_bps > 0.0,
+            "network bandwidth must be positive"
+        );
+        let wire = page_size.as_bits() as f64 / network.bandwidth_bps;
+        NetworkRamParams {
+            remote_fault_service: REMOTE_FAULT_OVERHEAD + SimSpan::from_secs_f64(wire),
+        }
+    }
+
+    /// The stall multiplier relative to a local (disk) fault service time:
+    /// `< 1` when remote memory is faster than disk.
+    pub fn stall_scale(&self, local_fault_service: SimSpan) -> f64 {
+        let local = local_fault_service.as_secs_f64();
+        if local <= 0.0 {
+            1.0
+        } else {
+            (self.remote_fault_service.as_secs_f64() / local).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_from_10mbps_is_about_a_third_of_disk() {
+        let params = NetworkRamParams::over(&NetworkParams::ethernet_10mbps(), Bytes::from_kb(4));
+        let ms = params.remote_fault_service.as_secs_f64() * 1000.0;
+        assert!((3.0..4.0).contains(&ms), "remote service {ms} ms");
+        let scale = params.stall_scale(SimSpan::from_millis(10));
+        assert!((0.3..0.4).contains(&scale), "scale {scale}");
+    }
+
+    #[test]
+    fn gigabit_is_dramatically_faster() {
+        let params = NetworkRamParams::over(&NetworkParams::ethernet_1gbps(), Bytes::from_kb(4));
+        assert!(params.remote_fault_service < SimSpan::from_millis(1));
+        assert!(params.stall_scale(SimSpan::from_millis(10)) < 0.05);
+    }
+
+    #[test]
+    fn scale_never_exceeds_one() {
+        // A network slower than disk must not *worsen* faults: the node
+        // would simply keep paging locally.
+        let slow = NetworkRamParams {
+            remote_fault_service: SimSpan::from_millis(50),
+        };
+        assert_eq!(slow.stall_scale(SimSpan::from_millis(10)), 1.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! The interconnect cost model.
+//!
+//! The paper's clusters use 10 Mbps Ethernet. A remote submission costs a
+//! fixed `r = 0.1 s`; a preemptive migration transfers the job's entire
+//! working-set image, costing `r + D/B` where `D` is the image size in bits
+//! and `B` the bandwidth (§3.3.1).
+
+use serde::{Deserialize, Serialize};
+use vr_simcore::time::SimSpan;
+
+use crate::units::Bytes;
+
+/// Interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkParams {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Fixed remote submission / remote execution setup cost (`r`).
+    pub remote_submit_cost: SimSpan,
+}
+
+impl NetworkParams {
+    /// The paper's configuration: 10 Mbps Ethernet, `r = 0.1 s`.
+    pub fn ethernet_10mbps() -> Self {
+        NetworkParams {
+            bandwidth_bps: 10e6,
+            remote_submit_cost: SimSpan::from_millis(100),
+        }
+    }
+
+    /// A modern faster interconnect for the "migration time becomes less
+    /// crucial" sensitivity study (§5, model point 4).
+    pub fn ethernet_1gbps() -> Self {
+        NetworkParams {
+            bandwidth_bps: 1e9,
+            remote_submit_cost: SimSpan::from_millis(10),
+        }
+    }
+
+    /// Cost of preemptively migrating a job whose resident image is
+    /// `image` bytes: `r + D/B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not strictly positive.
+    pub fn migration_cost(&self, image: Bytes) -> SimSpan {
+        assert!(
+            self.bandwidth_bps > 0.0,
+            "network bandwidth must be positive"
+        );
+        let transfer = image.as_bits() as f64 / self.bandwidth_bps;
+        self.remote_submit_cost + SimSpan::from_secs_f64(transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let net = NetworkParams::ethernet_10mbps();
+        assert_eq!(net.bandwidth_bps, 10e6);
+        assert_eq!(net.remote_submit_cost, SimSpan::from_millis(100));
+    }
+
+    #[test]
+    fn migration_cost_is_r_plus_transfer() {
+        let net = NetworkParams::ethernet_10mbps();
+        // 10 MB image = 80e6 bits over 10e6 bps = 8 s, plus r = 0.1 s.
+        let cost = net.migration_cost(Bytes::from_mb_f64(10e6 / 1024.0 / 1024.0 * 1.0));
+        // Use an exact 10^7-byte image for clean math.
+        let cost_exact = net.migration_cost(Bytes::new(10_000_000));
+        assert!((cost_exact.as_secs_f64() - 8.1).abs() < 1e-9);
+        assert!(cost.as_secs_f64() > 8.0);
+    }
+
+    #[test]
+    fn zero_image_costs_only_r() {
+        let net = NetworkParams::ethernet_10mbps();
+        assert_eq!(net.migration_cost(Bytes::ZERO), SimSpan::from_millis(100));
+    }
+
+    #[test]
+    fn faster_network_migrates_cheaper() {
+        let image = Bytes::from_mb(50);
+        let slow = NetworkParams::ethernet_10mbps().migration_cost(image);
+        let fast = NetworkParams::ethernet_1gbps().migration_cost(image);
+        assert!(fast < slow);
+        assert!(slow.as_secs_f64() > 40.0); // 50MB over 10Mbps ≈ 42s
+        assert!(fast.as_secs_f64() < 1.0);
+    }
+}

@@ -1,0 +1,747 @@
+//! The workstation: resident jobs advanced lazily through simulated time.
+//!
+//! A [`Workstation`] integrates its resident jobs' progress *piecewise* from
+//! the last touch point to "now": within a segment the job population,
+//! working sets, and therefore processor-sharing rates are constant, so
+//! progress is linear; segments end at job completions or memory-phase
+//! boundaries. This makes the cluster simulation O(events) instead of
+//! O(clock ticks).
+//!
+//! The driver protocol is: call [`Workstation::advance_to`] (or any mutator,
+//! which advances internally) whenever the node is touched, then ask
+//! [`Workstation::next_event_in`] for the delay until the node next needs a
+//! wake-up, and drain [`Workstation::take_completed`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vr_simcore::time::{SimSpan, SimTime};
+
+use crate::cpu::{CpuParams, ServiceSlice};
+use crate::job::{JobId, JobState, RunningJob};
+use crate::memory::{FaultModel, MemoryParams, MemoryUsage};
+use crate::protection::ThrashingProtection;
+use crate::units::Bytes;
+
+/// Identifies a workstation within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Static configuration of one workstation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// CPU model.
+    pub cpu: CpuParams,
+    /// Memory capacities and fault constants.
+    pub memory: MemoryParams,
+    /// Page-fault model.
+    pub fault_model: FaultModel,
+    /// Intra-node thrashing protection (TPF, the paper's ref \[6]).
+    pub protection: ThrashingProtection,
+}
+
+/// Why a job could not be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// All CPU job slots are taken (the CPU threshold).
+    NoSlot,
+    /// Admitting the job would exceed user memory plus swap.
+    MemoryExhausted,
+    /// The node is reserved for special service.
+    Reserved,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::NoSlot => f.write_str("no CPU job slot available"),
+            AdmitError::MemoryExhausted => f.write_str("user memory and swap exhausted"),
+            AdmitError::Reserved => f.write_str("workstation is reserved"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A job bounced by [`Workstation::try_admit`], handed back to the caller.
+#[derive(Debug)]
+pub struct RejectedJob {
+    /// The job, unchanged.
+    pub job: RunningJob,
+    /// Why it was rejected.
+    pub reason: AdmitError,
+}
+
+/// Cumulative per-node counters for utilization reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeCounters {
+    /// CPU seconds delivered to jobs.
+    pub delivered_cpu: f64,
+    /// Page-fault stall seconds endured by jobs on this node.
+    pub page_stall: f64,
+    /// Jobs admitted (locally or remotely).
+    pub admitted: u64,
+    /// Jobs that ran to completion here.
+    pub completed: u64,
+    /// Jobs migrated away.
+    pub migrated_out: u64,
+    /// I/O operations issued by resident jobs (io_rate × CPU progress) —
+    /// the paper's kernel facility monitors per-job read/write operations
+    /// and the buffer-cache status (§3.1).
+    pub io_ops: f64,
+}
+
+/// Progress integration below this granularity (seconds) is treated as zero.
+const EPS: f64 = 1e-9;
+
+/// A phase boundary closer than this (in progress seconds) counts as already
+/// crossed. [`RunningJob::progress`] rounds to whole microseconds, so a
+/// sub-microsecond gap means [`MemoryProfile::working_set_at`] already reads
+/// the next phase; treating it as pending would produce zero-length
+/// integration segments (and zero-delay wake events) forever.
+///
+/// [`MemoryProfile::working_set_at`]: crate::job::MemoryProfile::working_set_at
+const BOUNDARY_EPS: f64 = 1e-6;
+
+/// A simulated workstation with lazily advanced resident jobs.
+#[derive(Debug, Clone)]
+pub struct Workstation {
+    id: NodeId,
+    params: NodeParams,
+    jobs: Vec<RunningJob>,
+    last_update: SimTime,
+    epoch: u64,
+    reserved: bool,
+    completed: Vec<RunningJob>,
+    counters: NodeCounters,
+    /// Multiplier applied to page-fault stalls (1.0 = local disk; < 1.0
+    /// when network RAM serves faults from remote memory).
+    stall_scale: f64,
+}
+
+impl Workstation {
+    /// Creates an idle workstation.
+    pub fn new(id: NodeId, params: NodeParams) -> Self {
+        Workstation {
+            id,
+            params,
+            jobs: Vec::new(),
+            last_update: SimTime::ZERO,
+            epoch: 0,
+            reserved: false,
+            completed: Vec::new(),
+            counters: NodeCounters::default(),
+            stall_scale: 1.0,
+        }
+    }
+
+    /// The workstation's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The workstation's configuration.
+    pub fn params(&self) -> &NodeParams {
+        &self.params
+    }
+
+    /// Resident jobs (read-only).
+    pub fn jobs(&self) -> &[RunningJob] {
+        &self.jobs
+    }
+
+    /// Number of resident jobs.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if a CPU job slot is free.
+    pub fn has_slot(&self) -> bool {
+        (self.jobs.len() as u32) < self.params.cpu.slots
+    }
+
+    /// Current memory occupancy (as of the last advancement).
+    pub fn memory_usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            demand: self.jobs.iter().map(|j| j.current_working_set()).sum(),
+            user: self.params.memory.user,
+        }
+    }
+
+    /// Idle user memory (as of the last advancement).
+    pub fn idle_memory(&self) -> Bytes {
+        self.memory_usage().idle()
+    }
+
+    /// `true` if resident demand exceeds user memory, i.e. the node is
+    /// experiencing page faults.
+    pub fn is_faulting(&self) -> bool {
+        self.memory_usage().is_oversubscribed()
+    }
+
+    /// Reservation flag (see the paper's `reservation_flag`).
+    pub fn is_reserved(&self) -> bool {
+        self.reserved
+    }
+
+    /// Sets the reservation flag, bumping the epoch.
+    pub fn set_reserved(&mut self, reserved: bool) {
+        if self.reserved != reserved {
+            self.reserved = reserved;
+            self.epoch += 1;
+        }
+    }
+
+    /// The current page-fault stall multiplier (see
+    /// [`Workstation::set_stall_scale`]).
+    pub fn stall_scale(&self) -> f64 {
+        self.stall_scale
+    }
+
+    /// Sets the page-fault stall multiplier, e.g. when network RAM becomes
+    /// available (`< 1.0`) or exhausted (`1.0`). The caller must have
+    /// advanced the node to the current instant first — changing the scale
+    /// rewrites the node's future, so the epoch is bumped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    pub fn set_stall_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "stall scale must be in (0, 1], got {scale}"
+        );
+        if (self.stall_scale - scale).abs() > 1e-12 {
+            self.stall_scale = scale;
+            self.epoch += 1;
+        }
+    }
+
+    /// Monotonic counter bumped whenever the node's future changes
+    /// (admission, removal, completion, reservation). Schedulers tag wake
+    /// events with the epoch and discard stale ones.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative utilization counters.
+    pub fn counters(&self) -> NodeCounters {
+        self.counters
+    }
+
+    /// Timestamp of the last advancement.
+    pub fn last_update(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Drains jobs that completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<RunningJob> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Checks whether `job` could be admitted right now, without admitting.
+    ///
+    /// Only *hard* constraints are checked (slots, memory + swap ceiling,
+    /// reservation); policy-level rules such as "has idle memory" belong to
+    /// the scheduler.
+    pub fn can_admit(&self, job: &RunningJob) -> Result<(), AdmitError> {
+        if self.reserved {
+            return Err(AdmitError::Reserved);
+        }
+        if !self.has_slot() {
+            return Err(AdmitError::NoSlot);
+        }
+        let after = self.memory_usage().demand + job.current_working_set();
+        if after > self.params.memory.capacity_limit() {
+            return Err(AdmitError::MemoryExhausted);
+        }
+        Ok(())
+    }
+
+    /// Admits a job, advancing the node to `now` first.
+    ///
+    /// Reserved nodes reject ordinary admissions; use
+    /// [`Workstation::admit_to_reserved`] for the special service placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back inside [`RejectedJob`] if a hard constraint
+    /// fails.
+    pub fn try_admit(
+        &mut self,
+        mut job: RunningJob,
+        now: SimTime,
+    ) -> Result<(), Box<RejectedJob>> {
+        self.advance_to(now);
+        if let Err(reason) = self.can_admit(&job) {
+            return Err(Box::new(RejectedJob { job, reason }));
+        }
+        job.state = JobState::Running;
+        self.jobs.push(job);
+        self.counters.admitted += 1;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Places a job on a *reserved* node (the virtual-reconfiguration
+    /// special service). Skips the reservation check but still enforces the
+    /// slot and memory ceilings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back if slots or memory + swap are exhausted.
+    pub fn admit_to_reserved(
+        &mut self,
+        mut job: RunningJob,
+        now: SimTime,
+    ) -> Result<(), Box<RejectedJob>> {
+        self.advance_to(now);
+        if !self.has_slot() {
+            return Err(Box::new(RejectedJob {
+                job,
+                reason: AdmitError::NoSlot,
+            }));
+        }
+        let after = self.memory_usage().demand + job.current_working_set();
+        if after > self.params.memory.capacity_limit() {
+            return Err(Box::new(RejectedJob {
+                job,
+                reason: AdmitError::MemoryExhausted,
+            }));
+        }
+        job.state = JobState::Running;
+        self.jobs.push(job);
+        self.counters.admitted += 1;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Removes a resident job (for migration), advancing the node to `now`
+    /// first. Returns `None` if the job is not resident (it may have just
+    /// completed).
+    pub fn remove_job(&mut self, id: JobId, now: SimTime) -> Option<RunningJob> {
+        self.advance_to(now);
+        let idx = self.jobs.iter().position(|j| j.id() == id)?;
+        let job = self.jobs.swap_remove(idx);
+        self.counters.migrated_out += 1;
+        self.epoch += 1;
+        Some(job)
+    }
+
+    /// Advances all resident jobs to `now`, accumulating their wall-clock
+    /// breakdowns and collecting completions into the outbox.
+    ///
+    /// Calling with `now` in the past is a no-op (tolerated because multiple
+    /// events can share a timestamp).
+    pub fn advance_to(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let mut remaining = (now - self.last_update).as_secs_f64();
+        while remaining > EPS && !self.jobs.is_empty() {
+            let (rates, stalls) = self.current_rates();
+            // Time until the earliest completion or phase boundary.
+            let mut dt = remaining;
+            for (i, job) in self.jobs.iter().enumerate() {
+                if rates[i] <= 0.0 {
+                    continue;
+                }
+                let to_completion = job.remaining_secs() / rates[i];
+                dt = dt.min(to_completion);
+                if let Some(boundary) = job.spec.memory.next_boundary_after(job.progress()) {
+                    let gap = boundary.as_secs_f64() - job.progress_secs;
+                    if gap > BOUNDARY_EPS {
+                        dt = dt.min(gap / rates[i]);
+                    }
+                }
+            }
+            let dt = dt.max(0.0);
+            // Integrate the segment.
+            for (i, job) in self.jobs.iter_mut().enumerate() {
+                let slice = ServiceSlice::split(dt, rates[i], stalls[i]);
+                job.progress_secs += slice.cpu;
+                job.breakdown.cpu += slice.cpu;
+                job.breakdown.page += slice.page;
+                job.breakdown.queue += slice.queue;
+                self.counters.delivered_cpu += slice.cpu;
+                self.counters.page_stall += slice.page;
+                self.counters.io_ops += slice.cpu * job.spec.io_rate;
+            }
+            remaining -= dt;
+            // Collect completions at the segment end.
+            let completion_time = now - SimSpan::from_secs_f64(remaining.max(0.0));
+            let mut collected = 0usize;
+            let mut i = 0;
+            while i < self.jobs.len() {
+                if self.jobs[i].remaining_secs() <= EPS {
+                    let mut done = self.jobs.swap_remove(i);
+                    done.state = JobState::Completed;
+                    done.completed_at = Some(completion_time);
+                    done.progress_secs = done.spec.cpu_work.as_secs_f64();
+                    self.counters.completed += 1;
+                    self.completed.push(done);
+                    self.epoch += 1;
+                    collected += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if dt <= EPS && collected == 0 && !self.jobs.is_empty() {
+                // No progress possible (all rates zero): avoid spinning.
+                break;
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// The delay from the last advancement until this node next needs a
+    /// wake-up (a completion or a memory-phase boundary), or `None` if it is
+    /// idle.
+    pub fn next_event_in(&self) -> Option<SimSpan> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let (rates, _) = self.current_rates();
+        let mut earliest = f64::INFINITY;
+        for (i, job) in self.jobs.iter().enumerate() {
+            if rates[i] <= 0.0 {
+                continue;
+            }
+            earliest = earliest.min(job.remaining_secs() / rates[i]);
+            if let Some(boundary) = job.spec.memory.next_boundary_after(job.progress()) {
+                let gap = boundary.as_secs_f64() - job.progress_secs;
+                if gap > BOUNDARY_EPS {
+                    earliest = earliest.min(gap / rates[i]);
+                }
+            }
+        }
+        if earliest.is_finite() {
+            Some(SimSpan::from_secs_f64(earliest.max(0.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Current per-job progress rates and stall factors.
+    fn current_rates(&self) -> (Vec<f64>, Vec<f64>) {
+        let working_sets: Vec<Bytes> = self.jobs.iter().map(|j| j.current_working_set()).collect();
+        let mut stalls = self
+            .params
+            .fault_model
+            .stall_factors(&working_sets, self.params.memory.user);
+        if self.params.protection != ThrashingProtection::Off {
+            let remaining: Vec<f64> = self.jobs.iter().map(|j| j.remaining_secs()).collect();
+            self.params
+                .protection
+                .apply(&mut stalls, &working_sets, &remaining);
+        }
+        if self.stall_scale != 1.0 {
+            for s in &mut stalls {
+                *s *= self.stall_scale;
+            }
+        }
+        let rates = self.params.cpu.progress_rates(&stalls);
+        (rates, stalls)
+    }
+
+    /// The resident job with the largest current memory demand, if any —
+    /// the paper's `find_most_memory_intensive_job()`.
+    pub fn most_memory_intensive_job(&self) -> Option<&RunningJob> {
+        self.jobs
+            .iter()
+            .max_by_key(|j| (j.current_working_set(), std::cmp::Reverse(j.id())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobClass, JobSpec, MemoryProfile};
+
+    fn params() -> NodeParams {
+        NodeParams {
+            cpu: CpuParams {
+                speed: 1.0,
+                quantum: SimSpan::from_millis(100),
+                context_switch: SimSpan::ZERO, // exact arithmetic in tests
+                slots: 4,
+            },
+            memory: MemoryParams::with_capacity(Bytes::from_mb(128), Bytes::from_mb(128)),
+            fault_model: FaultModel::LinearOverflow { kappa: 4.0 },
+            protection: ThrashingProtection::Off,
+        }
+    }
+
+    fn job(id: u64, ws_mb: u64, cpu_secs: f64) -> RunningJob {
+        RunningJob::new(JobSpec {
+            id: JobId(id),
+            name: format!("j{id}"),
+            class: JobClass::CpuIntensive,
+            submit: SimTime::ZERO,
+            cpu_work: SimSpan::from_secs_f64(cpu_secs),
+            memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
+            io_rate: 0.0,
+        })
+    }
+
+    #[test]
+    fn lone_job_completes_on_schedule() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 60.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(59));
+        assert!(node.take_completed().is_empty());
+        node.advance_to(SimTime::from_secs(61));
+        let done = node.take_completed();
+        assert_eq!(done.len(), 1);
+        let d = &done[0];
+        assert_eq!(d.state, JobState::Completed);
+        assert_eq!(d.completed_at, Some(SimTime::from_secs(60)));
+        assert!((d.breakdown.cpu - 60.0).abs() < 1e-6);
+        assert!(d.breakdown.page < 1e-9);
+        assert!((d.slowdown() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn next_event_predicts_completion() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 60.0), SimTime::ZERO).unwrap();
+        let delay = node.next_event_in().unwrap();
+        assert!((delay.as_secs_f64() - 60.0).abs() < 1e-6);
+        assert!(Workstation::new(NodeId(1), params())
+            .next_event_in()
+            .is_none());
+    }
+
+    #[test]
+    fn two_equal_jobs_halve_progress() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 30.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 10, 30.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(30));
+        // Each got half the CPU: 15s of progress, no completion yet.
+        assert!(node.take_completed().is_empty());
+        for j in node.jobs() {
+            assert!((j.progress_secs - 15.0).abs() < 1e-6);
+            assert!((j.breakdown.queue - 15.0).abs() < 1e-6);
+        }
+        node.advance_to(SimTime::from_secs(60));
+        assert_eq!(node.take_completed().len(), 2);
+    }
+
+    #[test]
+    fn completion_frees_capacity_for_survivor() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 10.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 10, 30.0), SimTime::ZERO).unwrap();
+        // Job 1 finishes at t=20 (half speed); job 2 then runs alone:
+        // by t=20 it has 10s progress, 20s left, finishing at t=40.
+        node.advance_to(SimTime::from_secs(40));
+        let done = node.take_completed();
+        assert_eq!(done.len(), 2);
+        let by_id = |id: u64| done.iter().find(|j| j.id() == JobId(id)).unwrap();
+        assert_eq!(by_id(1).completed_at, Some(SimTime::from_secs(20)));
+        assert_eq!(by_id(2).completed_at, Some(SimTime::from_secs(40)));
+    }
+
+    #[test]
+    fn oversubscription_causes_page_stall() {
+        let mut node = Workstation::new(NodeId(0), params());
+        // 80 + 80 = 160MB on 128MB: overflow ratio 0.25, stall factor 1.0 each.
+        node.try_admit(job(1, 80, 10.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 80, 10.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(10));
+        for j in node.jobs() {
+            // rate = 0.5 / (1 + 1) = 0.25 → 2.5s progress in 10s wall.
+            assert!((j.progress_secs - 2.5).abs() < 1e-6, "{}", j.progress_secs);
+            assert!((j.breakdown.page - 2.5).abs() < 1e-6);
+            assert!((j.breakdown.cpu - 2.5).abs() < 1e-6);
+            assert!((j.breakdown.queue - 5.0).abs() < 1e-6);
+        }
+        assert!(node.is_faulting());
+    }
+
+    #[test]
+    fn memory_phase_boundary_changes_fault_behaviour() {
+        let mut node = Workstation::new(NodeId(0), params());
+        // Job ramps from 10MB to 200MB after 5s of progress.
+        let mut j = job(1, 0, 100.0);
+        j.spec.memory = MemoryProfile::from_phases(vec![
+            (SimSpan::from_secs(5), Bytes::from_mb(10)),
+            (SimSpan::MAX, Bytes::from_mb(200)),
+        ])
+        .unwrap();
+        node.try_admit(j, SimTime::ZERO).unwrap();
+        assert!(!node.is_faulting());
+        // First 5s of progress take 5s of wall (no faults).
+        node.advance_to(SimTime::from_secs(6));
+        assert!(node.is_faulting());
+        let job = &node.jobs()[0];
+        assert!(job.progress_secs > 5.0);
+        assert!(job.breakdown.page > 0.0);
+        // Phase 2: 200MB on 128MB alone: overflow ratio 72/128, stall
+        // factor = 4 * 72/128 = 2.25 → rate 1/3.25.
+        let expected = 5.0 + 1.0 / 3.25;
+        assert!(
+            (job.progress_secs - expected).abs() < 1e-6,
+            "progress {} vs {expected}",
+            job.progress_secs
+        );
+    }
+
+    #[test]
+    fn slot_limit_is_enforced() {
+        let mut node = Workstation::new(NodeId(0), params());
+        for i in 0..4 {
+            node.try_admit(job(i, 1, 10.0), SimTime::ZERO).unwrap();
+        }
+        assert!(!node.has_slot());
+        let rejected = node.try_admit(job(99, 1, 10.0), SimTime::ZERO).unwrap_err();
+        assert_eq!(rejected.reason, AdmitError::NoSlot);
+        assert_eq!(rejected.job.id(), JobId(99));
+    }
+
+    #[test]
+    fn memory_ceiling_is_enforced() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 200, 10.0), SimTime::ZERO).unwrap();
+        // 200 + 100 = 300MB > 256MB (user+swap).
+        let rejected = node
+            .try_admit(job(2, 100, 10.0), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(rejected.reason, AdmitError::MemoryExhausted);
+    }
+
+    #[test]
+    fn reserved_node_rejects_ordinary_but_accepts_special() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.set_reserved(true);
+        let rejected = node.try_admit(job(1, 10, 10.0), SimTime::ZERO).unwrap_err();
+        assert_eq!(rejected.reason, AdmitError::Reserved);
+        node.admit_to_reserved(job(1, 10, 10.0), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(node.active_jobs(), 1);
+    }
+
+    #[test]
+    fn remove_job_returns_partial_state() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 60.0), SimTime::ZERO).unwrap();
+        let taken = node.remove_job(JobId(1), SimTime::from_secs(15)).unwrap();
+        assert!((taken.progress_secs - 15.0).abs() < 1e-6);
+        assert_eq!(node.active_jobs(), 0);
+        assert!(node.remove_job(JobId(1), SimTime::from_secs(15)).is_none());
+        assert_eq!(node.counters().migrated_out, 1);
+    }
+
+    #[test]
+    fn epoch_bumps_on_state_changes() {
+        let mut node = Workstation::new(NodeId(0), params());
+        let e0 = node.epoch();
+        node.try_admit(job(1, 10, 1.0), SimTime::ZERO).unwrap();
+        let e1 = node.epoch();
+        assert!(e1 > e0);
+        node.advance_to(SimTime::from_secs(2)); // completion inside
+        assert!(node.epoch() > e1);
+        let e2 = node.epoch();
+        node.set_reserved(true);
+        assert!(node.epoch() > e2);
+    }
+
+    #[test]
+    fn advance_is_idempotent_at_same_time() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 60.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(10));
+        let p = node.jobs()[0].progress_secs;
+        node.advance_to(SimTime::from_secs(10));
+        assert_eq!(node.jobs()[0].progress_secs, p);
+    }
+
+    #[test]
+    fn most_memory_intensive_job_is_found() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 60.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 90, 60.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(3, 40, 60.0), SimTime::ZERO).unwrap();
+        assert_eq!(node.most_memory_intensive_job().unwrap().id(), JobId(2));
+    }
+
+    #[test]
+    fn breakdown_sums_to_wall_time_under_load() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 80, 50.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 70, 40.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(3, 30, 30.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(25));
+        for j in node.jobs() {
+            assert!(
+                (j.breakdown.wall() - 25.0).abs() < 1e-6,
+                "wall {} for {}",
+                j.breakdown.wall(),
+                j.id()
+            );
+        }
+    }
+
+    #[test]
+    fn stall_scale_speeds_up_faulting_jobs() {
+        let mut with_netram = Workstation::new(NodeId(0), params());
+        let mut without = Workstation::new(NodeId(1), params());
+        for node in [&mut with_netram, &mut without] {
+            node.try_admit(job(1, 80, 100.0), SimTime::ZERO).unwrap();
+            node.try_admit(job(2, 80, 100.0), SimTime::ZERO).unwrap();
+        }
+        with_netram.set_stall_scale(0.33);
+        with_netram.advance_to(SimTime::from_secs(100));
+        without.advance_to(SimTime::from_secs(100));
+        let p_fast = with_netram.jobs()[0].progress_secs;
+        let p_slow = without.jobs()[0].progress_secs;
+        assert!(p_fast > p_slow, "netram {p_fast} <= local {p_slow}");
+        // Page stall share shrinks accordingly.
+        assert!(with_netram.jobs()[0].breakdown.page < without.jobs()[0].breakdown.page);
+    }
+
+    #[test]
+    fn stall_scale_changes_bump_epoch_only_on_change() {
+        let mut node = Workstation::new(NodeId(0), params());
+        let e0 = node.epoch();
+        node.set_stall_scale(1.0); // no-op
+        assert_eq!(node.epoch(), e0);
+        node.set_stall_scale(0.5);
+        assert!(node.epoch() > e0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall scale")]
+    fn invalid_stall_scale_panics() {
+        Workstation::new(NodeId(0), params()).set_stall_scale(0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 5.0), SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(10));
+        node.take_completed();
+        let c = node.counters();
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.completed, 1);
+        assert!((c.delivered_cpu - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn io_ops_track_progress_times_rate() {
+        let mut node = Workstation::new(NodeId(0), params());
+        let mut j = job(1, 10, 5.0);
+        j.spec.io_rate = 3.0;
+        node.try_admit(j, SimTime::ZERO).unwrap();
+        node.advance_to(SimTime::from_secs(10));
+        // 5 seconds of progress at 3 ops/s = 15 ops.
+        assert!((node.counters().io_ops - 15.0).abs() < 1e-6);
+    }
+}

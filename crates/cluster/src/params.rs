@@ -1,0 +1,179 @@
+//! Cluster-wide configuration and the paper's two simulated clusters.
+//!
+//! §3.3.1: "We have simulated two homogeneous clusters, each of which has 32
+//! workstations." Cluster 1 (400 MHz, 384 MB, 380 MB swap) runs workload
+//! group 1; cluster 2 (233 MHz, 128 MB, 128 MB swap) runs workload group 2.
+//! Since each trace's CPU work is expressed in seconds on its own cluster's
+//! node type, both presets use relative CPU speed 1.0.
+
+use serde::{Deserialize, Serialize};
+use vr_simcore::time::SimSpan;
+
+use crate::cpu::CpuParams;
+use crate::memory::{FaultModel, MemoryParams};
+use crate::network::NetworkParams;
+use crate::node::{NodeId, NodeParams, Workstation};
+use crate::units::Bytes;
+
+/// The default CPU threshold (job slots per workstation).
+pub const DEFAULT_CPU_SLOTS: u32 = 8;
+
+/// Full configuration of a simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterParams {
+    /// Per-node configuration; the vector length is the cluster size.
+    pub nodes: Vec<NodeParams>,
+    /// Interconnect model.
+    pub network: NetworkParams,
+    /// Period of the global load-information exchange.
+    pub load_exchange_period: SimSpan,
+}
+
+impl ClusterParams {
+    /// A homogeneous cluster of `n` identical workstations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn homogeneous(n: usize, node: NodeParams, network: NetworkParams) -> Self {
+        assert!(n > 0, "a cluster needs at least one workstation");
+        ClusterParams {
+            nodes: vec![node; n],
+            network,
+            load_exchange_period: SimSpan::from_secs(1),
+        }
+    }
+
+    /// The paper's cluster 1: 32 × (400 MHz, 384 MB RAM, 380 MB swap) on
+    /// 10 Mbps Ethernet. Runs workload group 1 (SPEC 2000).
+    pub fn cluster1() -> Self {
+        Self::homogeneous(
+            32,
+            NodeParams {
+                cpu: CpuParams::with_slots(DEFAULT_CPU_SLOTS),
+                memory: MemoryParams::with_capacity(Bytes::from_mb(384), Bytes::from_mb(380)),
+                fault_model: FaultModel::default(),
+                protection: Default::default(),
+            },
+            NetworkParams::ethernet_10mbps(),
+        )
+    }
+
+    /// The paper's cluster 2: 32 × (233 MHz, 128 MB RAM, 128 MB swap) on
+    /// 10 Mbps Ethernet. Runs workload group 2 (scientific applications).
+    pub fn cluster2() -> Self {
+        Self::homogeneous(
+            32,
+            NodeParams {
+                cpu: CpuParams::with_slots(DEFAULT_CPU_SLOTS),
+                memory: MemoryParams::with_capacity(Bytes::from_mb(128), Bytes::from_mb(128)),
+                fault_model: FaultModel::default(),
+                protection: Default::default(),
+            },
+            NetworkParams::ethernet_10mbps(),
+        )
+    }
+
+    /// A heterogeneous cluster mixing large-memory and small-memory nodes
+    /// (§2.3 and §6 discuss heterogeneity). `big` nodes get 384 MB, the rest
+    /// 128 MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `big > n` or `n == 0`.
+    pub fn heterogeneous(n: usize, big: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one workstation");
+        assert!(big <= n, "cannot have more big nodes than nodes");
+        let make = |user_mb: u64| NodeParams {
+            cpu: CpuParams::with_slots(DEFAULT_CPU_SLOTS),
+            memory: MemoryParams::with_capacity(Bytes::from_mb(user_mb), Bytes::from_mb(user_mb)),
+            fault_model: FaultModel::default(),
+            protection: Default::default(),
+        };
+        let mut nodes = vec![make(384); big];
+        nodes.extend(vec![make(128); n - big]);
+        ClusterParams {
+            nodes,
+            network: NetworkParams::ethernet_10mbps(),
+            load_exchange_period: SimSpan::from_secs(1),
+        }
+    }
+
+    /// Number of workstations.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Instantiates the workstations.
+    pub fn build_nodes(&self) -> Vec<Workstation> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Workstation::new(NodeId(i as u32), *p))
+            .collect()
+    }
+
+    /// Average user memory per workstation — the virtual-reconfiguration
+    /// activation threshold (§2.1).
+    pub fn average_user_memory(&self) -> Bytes {
+        let total: Bytes = self.nodes.iter().map(|n| n.memory.user).sum();
+        Bytes::new(total.as_u64() / self.nodes.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster1_matches_paper() {
+        let c = ClusterParams::cluster1();
+        assert_eq!(c.size(), 32);
+        let node = &c.nodes[0];
+        assert_eq!(node.memory.user, Bytes::from_mb(384));
+        assert_eq!(node.memory.swap, Bytes::from_mb(380));
+        assert_eq!(node.memory.page_size, Bytes::from_kb(4));
+        assert_eq!(node.memory.fault_service, SimSpan::from_millis(10));
+        assert_eq!(node.cpu.context_switch, SimSpan::from_micros(100));
+        assert_eq!(c.network.bandwidth_bps, 10e6);
+    }
+
+    #[test]
+    fn cluster2_matches_paper() {
+        let c = ClusterParams::cluster2();
+        assert_eq!(c.size(), 32);
+        assert_eq!(c.nodes[0].memory.user, Bytes::from_mb(128));
+        assert_eq!(c.nodes[0].memory.swap, Bytes::from_mb(128));
+    }
+
+    #[test]
+    fn build_nodes_assigns_sequential_ids() {
+        let nodes = ClusterParams::cluster1().build_nodes();
+        assert_eq!(nodes.len(), 32);
+        for (i, n) in nodes.iter().enumerate() {
+            assert_eq!(n.id(), NodeId(i as u32));
+            assert_eq!(n.active_jobs(), 0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_mixes_memory_sizes() {
+        let c = ClusterParams::heterogeneous(8, 2);
+        assert_eq!(c.size(), 8);
+        assert_eq!(c.nodes[0].memory.user, Bytes::from_mb(384));
+        assert_eq!(c.nodes[1].memory.user, Bytes::from_mb(384));
+        assert_eq!(c.nodes[2].memory.user, Bytes::from_mb(128));
+        // avg = (2*384 + 6*128) / 8 = 192.
+        assert_eq!(c.average_user_memory(), Bytes::from_mb(192));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_cluster_panics() {
+        let _ = ClusterParams::homogeneous(
+            0,
+            ClusterParams::cluster1().nodes[0],
+            NetworkParams::ethernet_10mbps(),
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Intra-node thrashing protection (TPF).
+//!
+//! Ref \[6] of the paper — Jiang & Zhang, *"TPF: a system thrashing
+//! protection facility in Linux"* — is cited as evidence that jobs with
+//! large memory demands are less competitive under global page
+//! replacement. TPF's remedy is *intra-node*: when a workstation starts
+//! thrashing, temporarily protect one resident job (privilege its resident
+//! set) so it can finish and release its memory, instead of letting every
+//! job grind.
+//!
+//! [`ThrashingProtection`] reproduces that mechanism as a per-node policy:
+//! under overflow, the chosen job's stall factor drops to zero and its
+//! deficit is redistributed over the unprotected jobs. It composes with —
+//! and is ablated against — the paper's *inter-node* virtual
+//! reconfiguration, which removes the memory pressure instead of
+//! reshuffling who pays for it.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Bytes;
+
+/// Which resident job a thrashing workstation protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ThrashingProtection {
+    /// No protection: every job pays for the overflow in proportion to its
+    /// demand (the paper's baseline behaviour).
+    #[default]
+    Off,
+    /// Protect the job with the largest working set — TPF's heuristic: the
+    /// big job is the one being starved by global replacement, and it
+    /// holds the most memory hostage while it crawls.
+    ProtectLargest,
+    /// Protect the job with the least CPU work remaining — the SRPT-flavored
+    /// variant: finish someone fast to release memory soonest.
+    ProtectShortestRemaining,
+}
+
+impl ThrashingProtection {
+    /// Picks the index of the protected job, given each resident job's
+    /// working set and remaining CPU work (seconds). Returns `None` when
+    /// protection is off or fewer than two jobs are resident (protecting a
+    /// lone job is meaningless).
+    pub fn protected_index(&self, working_sets: &[Bytes], remaining_secs: &[f64]) -> Option<usize> {
+        debug_assert_eq!(working_sets.len(), remaining_secs.len());
+        if working_sets.len() < 2 {
+            return None;
+        }
+        match self {
+            ThrashingProtection::Off => None,
+            ThrashingProtection::ProtectLargest => working_sets
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, w)| (**w, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i),
+            ThrashingProtection::ProtectShortestRemaining => remaining_secs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("remaining work is never NaN"))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Applies protection to a vector of per-job stall factors: the
+    /// protected job's stall is redistributed over the others in proportion
+    /// to their existing stalls, conserving the node's total stall burden
+    /// (the deficit pages still have to live somewhere).
+    pub fn apply(&self, stalls: &mut [f64], working_sets: &[Bytes], remaining_secs: &[f64]) {
+        let Some(protected) = self.protected_index(working_sets, remaining_secs) else {
+            return;
+        };
+        let moved = std::mem::take(&mut stalls[protected]);
+        if moved == 0.0 {
+            return;
+        }
+        let rest: f64 = stalls.iter().sum();
+        if rest > 0.0 {
+            for (i, s) in stalls.iter_mut().enumerate() {
+                if i != protected {
+                    *s += moved * (*s / rest);
+                }
+            }
+        } else {
+            // Everyone else was clean: spread evenly.
+            let n = (stalls.len() - 1) as f64;
+            for (i, s) in stalls.iter_mut().enumerate() {
+                if i != protected {
+                    *s += moved / n;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(v: &[u64]) -> Vec<Bytes> {
+        v.iter().map(|m| Bytes::from_mb(*m)).collect()
+    }
+
+    #[test]
+    fn off_protects_nothing() {
+        assert_eq!(
+            ThrashingProtection::Off.protected_index(&mb(&[10, 90]), &[5.0, 9.0]),
+            None
+        );
+    }
+
+    #[test]
+    fn largest_picks_biggest_working_set() {
+        assert_eq!(
+            ThrashingProtection::ProtectLargest
+                .protected_index(&mb(&[10, 90, 40]), &[1.0, 2.0, 3.0]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shortest_picks_least_remaining() {
+        assert_eq!(
+            ThrashingProtection::ProtectShortestRemaining
+                .protected_index(&mb(&[10, 90, 40]), &[5.0, 9.0, 2.0]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn lone_job_is_never_protected() {
+        assert_eq!(
+            ThrashingProtection::ProtectLargest.protected_index(&mb(&[90]), &[5.0]),
+            None
+        );
+    }
+
+    #[test]
+    fn apply_conserves_total_stall() {
+        let ws = mb(&[30, 90, 60]);
+        let remaining = [10.0, 50.0, 20.0];
+        let mut stalls = vec![0.5, 1.5, 1.0];
+        let before: f64 = stalls.iter().sum();
+        ThrashingProtection::ProtectLargest.apply(&mut stalls, &ws, &remaining);
+        assert_eq!(stalls[1], 0.0, "protected job stalls");
+        let after: f64 = stalls.iter().sum();
+        assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+        // Redistribution is proportional: 0.5:1.0 ratio preserved.
+        assert!((stalls[2] / stalls[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_spreads_evenly_when_others_are_clean() {
+        let ws = mb(&[90, 10, 10]);
+        let remaining = [9.0, 1.0, 1.0];
+        let mut stalls = vec![3.0, 0.0, 0.0];
+        ThrashingProtection::ProtectLargest.apply(&mut stalls, &ws, &remaining);
+        assert_eq!(stalls, vec![0.0, 1.5, 1.5]);
+    }
+
+    #[test]
+    fn apply_with_protection_off_is_a_no_op() {
+        let ws = mb(&[30, 90]);
+        let mut stalls = vec![0.5, 1.5];
+        ThrashingProtection::Off.apply(&mut stalls, &ws, &[1.0, 2.0]);
+        assert_eq!(stalls, vec![0.5, 1.5]);
+    }
+}

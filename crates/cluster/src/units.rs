@@ -1,0 +1,198 @@
+//! Memory quantities.
+//!
+//! [`Bytes`] is a newtype over `u64` so that memory sizes never mix with
+//! other integers (page counts, job counts, …). Constructors exist for the
+//! units the paper uses: kilobytes (page size), megabytes (working sets).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A quantity of memory in bytes.
+///
+/// ```
+/// use vr_cluster::units::Bytes;
+///
+/// let ws = Bytes::from_mb(190);
+/// assert_eq!(ws.as_u64(), 190 * 1024 * 1024);
+/// assert_eq!(ws / Bytes::from_kb(4), 48_640.0); // pages
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a quantity of raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// `kb` binary kilobytes (KiB).
+    pub const fn from_kb(kb: u64) -> Self {
+        Bytes(kb * 1024)
+    }
+
+    /// `mb` binary megabytes (MiB).
+    pub const fn from_mb(mb: u64) -> Self {
+        Bytes(mb * 1024 * 1024)
+    }
+
+    /// Fractional megabytes, rounded to the nearest byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is negative or NaN.
+    pub fn from_mb_f64(mb: f64) -> Self {
+        assert!(
+            mb.is_finite() && mb >= 0.0,
+            "Bytes::from_mb_f64 requires a finite non-negative value, got {mb}"
+        );
+        Bytes((mb * 1024.0 * 1024.0).round() as u64)
+    }
+
+    /// The raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This quantity in fractional megabytes.
+    pub fn as_mb_f64(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// This quantity in bits (for network-transfer math).
+    pub const fn as_bits(self) -> u64 {
+        self.0 * 8
+    }
+
+    /// `true` if zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two quantities.
+    pub fn min(self, other: Bytes) -> Bytes {
+        Bytes(self.0.min(other.0))
+    }
+
+    /// The larger of two quantities.
+    pub fn max(self, other: Bytes) -> Bytes {
+        Bytes(self.0.max(other.0))
+    }
+
+    /// Scales by a non-negative factor, rounding to the nearest byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> Bytes {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "Bytes::mul_f64 requires a finite non-negative factor, got {factor}"
+        );
+        Bytes((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.checked_add(rhs.0).expect("Bytes overflow"))
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Bytes {
+    type Output = Bytes;
+    /// # Panics
+    ///
+    /// Panics if the result would be negative; use
+    /// [`Bytes::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: Bytes) -> Bytes {
+        assert!(self.0 >= rhs.0, "Bytes subtraction would be negative");
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Div for Bytes {
+    type Output = f64;
+    /// The ratio of two quantities (e.g. working set / page size = pages).
+    fn div(self, rhs: Bytes) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        iter.fold(Bytes::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1}MB", self.as_mb_f64())
+        } else if self.0 >= 1024 {
+            write!(f, "{:.1}KB", self.0 as f64 / 1024.0)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_conversions() {
+        assert_eq!(Bytes::from_kb(4).as_u64(), 4096);
+        assert_eq!(Bytes::from_mb(1).as_u64(), 1_048_576);
+        assert_eq!(Bytes::from_mb_f64(1.5).as_u64(), 1_572_864);
+        assert!((Bytes::from_mb(190).as_mb_f64() - 190.0).abs() < 1e-12);
+        assert_eq!(Bytes::new(2).as_bits(), 16);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bytes::from_mb(10);
+        let b = Bytes::from_mb(4);
+        assert_eq!(a + b, Bytes::from_mb(14));
+        assert_eq!(a - b, Bytes::from_mb(6));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(a.mul_f64(0.5), Bytes::from_mb(5));
+        assert_eq!(a / b, 2.5);
+        assert_eq!([a, b].into_iter().sum::<Bytes>(), Bytes::from_mb(14));
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn underflow_panics() {
+        let _ = Bytes::from_mb(1) - Bytes::from_mb(2);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(Bytes::new(512).to_string(), "512B");
+        assert_eq!(Bytes::from_kb(4).to_string(), "4.0KB");
+        assert_eq!(Bytes::from_mb(190).to_string(), "190.0MB");
+    }
+}

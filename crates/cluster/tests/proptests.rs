@@ -1,0 +1,190 @@
+//! Property-based invariants of the workstation model.
+
+use proptest::prelude::*;
+use vr_cluster::cpu::CpuParams;
+use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile, RunningJob};
+use vr_cluster::memory::{FaultModel, MemoryParams};
+use vr_cluster::node::{NodeId, NodeParams, Workstation};
+use vr_cluster::units::Bytes;
+use vr_simcore::time::{SimSpan, SimTime};
+
+#[derive(Debug, Clone)]
+struct JobDesc {
+    ws_mb: u64,
+    work_secs: f64,
+    ramp: bool,
+}
+
+fn job_strategy() -> impl Strategy<Value = JobDesc> {
+    (4u64..120, 5.0f64..300.0, any::<bool>()).prop_map(|(ws_mb, work_secs, ramp)| JobDesc {
+        ws_mb,
+        work_secs,
+        ramp,
+    })
+}
+
+fn build_job(id: u64, desc: &JobDesc) -> RunningJob {
+    let peak = Bytes::from_mb(desc.ws_mb);
+    let memory = if desc.ramp {
+        MemoryProfile::from_phases(vec![
+            (
+                SimSpan::from_secs_f64(desc.work_secs * 0.25),
+                peak.mul_f64(0.3),
+            ),
+            (SimSpan::MAX, peak),
+        ])
+        .expect("increasing boundaries")
+    } else {
+        MemoryProfile::constant(peak)
+    };
+    RunningJob::new(JobSpec {
+        id: JobId(id),
+        name: format!("p{id}"),
+        class: JobClass::CpuIntensive,
+        submit: SimTime::ZERO,
+        cpu_work: SimSpan::from_secs_f64(desc.work_secs),
+        memory,
+        io_rate: 0.0,
+    })
+}
+
+fn node(kappa: f64) -> Workstation {
+    Workstation::new(
+        NodeId(0),
+        NodeParams {
+            cpu: CpuParams::with_slots(16),
+            memory: MemoryParams::with_capacity(Bytes::from_mb(128), Bytes::from_mb(4096)),
+            fault_model: FaultModel::LinearOverflow { kappa },
+            protection: Default::default(),
+        },
+    )
+}
+
+proptest! {
+    /// Each resident job's breakdown always sums to its wall-clock
+    /// residency, regardless of load, phases, or fault pressure.
+    #[test]
+    fn breakdown_equals_residency(
+        descs in prop::collection::vec(job_strategy(), 1..10),
+        horizon in 1u64..2_000,
+        kappa in 0.5f64..8.0,
+    ) {
+        let mut node = node(kappa);
+        for (i, d) in descs.iter().enumerate() {
+            node.try_admit(build_job(i as u64, d), SimTime::ZERO).unwrap();
+        }
+        node.advance_to(SimTime::from_secs(horizon));
+        for job in node.jobs() {
+            let wall = job.breakdown.wall();
+            prop_assert!(
+                (wall - horizon as f64).abs() < 1e-6,
+                "resident job wall {wall} vs horizon {horizon}"
+            );
+        }
+        for job in node.take_completed() {
+            let done = job.completed_at.unwrap().as_secs_f64();
+            prop_assert!((job.breakdown.wall() - done).abs() < 1e-6);
+            // A completed job consumed exactly its CPU work.
+            prop_assert!((job.breakdown.cpu - job.spec.cpu_work.as_secs_f64()).abs() < 1e-6);
+        }
+    }
+
+    /// Advancing in one step or in many arbitrary steps gives identical
+    /// progress (the lazy integrator is self-consistent).
+    #[test]
+    fn advancement_is_step_invariant(
+        descs in prop::collection::vec(job_strategy(), 1..6),
+        cuts in prop::collection::vec(1u64..500, 1..8),
+    ) {
+        let total: u64 = cuts.iter().sum();
+        let mut one_shot = node(4.0);
+        let mut stepped = node(4.0);
+        for (i, d) in descs.iter().enumerate() {
+            one_shot.try_admit(build_job(i as u64, d), SimTime::ZERO).unwrap();
+            stepped.try_admit(build_job(i as u64, d), SimTime::ZERO).unwrap();
+        }
+        one_shot.advance_to(SimTime::from_secs(total));
+        let mut t = 0;
+        for c in &cuts {
+            t += c;
+            stepped.advance_to(SimTime::from_secs(t));
+        }
+        let a = one_shot.take_completed();
+        let b = stepped.take_completed();
+        prop_assert_eq!(a.len(), b.len());
+        for job in one_shot.jobs() {
+            let twin = stepped
+                .jobs()
+                .iter()
+                .find(|j| j.id() == job.id())
+                .expect("same resident set");
+            prop_assert!(
+                (job.progress_secs - twin.progress_secs).abs() < 1e-6,
+                "progress diverged: {} vs {}",
+                job.progress_secs,
+                twin.progress_secs
+            );
+        }
+    }
+
+    /// Progress is monotone and never exceeds the job's total work.
+    #[test]
+    fn progress_is_monotone_and_bounded(
+        descs in prop::collection::vec(job_strategy(), 1..6),
+        steps in prop::collection::vec(1u64..200, 1..10),
+    ) {
+        let mut node = node(4.0);
+        for (i, d) in descs.iter().enumerate() {
+            node.try_admit(build_job(i as u64, d), SimTime::ZERO).unwrap();
+        }
+        let mut last: std::collections::HashMap<JobId, f64> = Default::default();
+        let mut t = 0;
+        for s in &steps {
+            t += s;
+            node.advance_to(SimTime::from_secs(t));
+            for job in node.jobs() {
+                let prev = last.insert(job.id(), job.progress_secs).unwrap_or(0.0);
+                prop_assert!(job.progress_secs + 1e-9 >= prev);
+                prop_assert!(job.progress_secs <= job.spec.cpu_work.as_secs_f64() + 1e-6);
+            }
+        }
+    }
+
+    /// The fault model's stall factors are non-negative, finite, and scale
+    /// monotonically with each job's working-set share.
+    #[test]
+    fn stall_factors_are_sane(
+        ws in prop::collection::vec(1u64..512, 1..12),
+        user_mb in 32u64..512,
+        kappa in 0.1f64..16.0,
+    ) {
+        let sets: Vec<Bytes> = ws.iter().map(|m| Bytes::from_mb(*m)).collect();
+        let model = FaultModel::LinearOverflow { kappa };
+        let factors = model.stall_factors(&sets, Bytes::from_mb(user_mb));
+        prop_assert_eq!(factors.len(), sets.len());
+        for f in &factors {
+            prop_assert!(f.is_finite() && *f >= 0.0);
+        }
+        // Bigger working set never stalls less.
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                if sets[i] > sets[j] {
+                    prop_assert!(factors[i] >= factors[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Migration cost is monotone in image size and bounded below by the
+    /// fixed remote-submission cost.
+    #[test]
+    fn migration_cost_is_monotone(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let net = vr_cluster::network::NetworkParams::ethernet_10mbps();
+        let ca = net.migration_cost(Bytes::new(a));
+        let cb = net.migration_cost(Bytes::new(b));
+        prop_assert!(ca >= net.remote_submit_cost);
+        if a <= b {
+            prop_assert!(ca <= cb);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::netram::NetworkRamParams;
+use vr_cluster::params::ClusterParams;
+use vr_simcore::time::SimSpan;
+
+use crate::policy::PolicyKind;
+
+/// How the cluster-level queue of blocked submissions is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PendingDiscipline {
+    /// Strict FIFO: a blocked job at the head blocks everything behind it.
+    /// This is what "job submissions ... will be blocked" means in the
+    /// paper — and it is what makes the blocking problem expensive: one
+    /// large job at the head strands idle memory across the whole cluster
+    /// ("there are still large accumulated idle memory space volumes
+    /// available among the workstations"). It is also the fair choice the
+    /// paper cares about (large jobs must not starve).
+    Fifo,
+    /// Out-of-order backfill: any queued job that fits somewhere is placed.
+    /// A stronger (unfair) baseline used for ablation; it keeps memory
+    /// saturated and starves large jobs behind a stream of small ones.
+    Backfill,
+}
+
+/// When a reserving period ends (§2.1 describes both variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReservingEnd {
+    /// The period lasts until every job already running on the reserved
+    /// workstation completes (the paper's primary definition).
+    AllJobsComplete,
+    /// "One alternative is to end the reserving period as soon as the
+    /// available memory space in the reserved workstation is sufficiently
+    /// large for a job migration with large memory demand."
+    EnoughMemory,
+}
+
+/// Tunables of the virtual-reconfiguration routine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReservationOptions {
+    /// When the reserving period ends.
+    pub end_condition: ReservingEnd,
+    /// Ceiling on the fraction of workstations that may be reserved at
+    /// once, protecting normal jobs when big jobs are dominant (§2.2,
+    /// point 4).
+    pub max_reserved_fraction: f64,
+    /// "If a workstation can not be reserved within a pre-determined time
+    /// interval, it implies that the cluster is truly heavily loaded"
+    /// (§2.3) — the reservation is abandoned after this long in the
+    /// reserving phase.
+    pub reserve_timeout: SimSpan,
+}
+
+impl Default for ReservationOptions {
+    fn default() -> Self {
+        ReservationOptions {
+            end_condition: ReservingEnd::AllJobsComplete,
+            max_reserved_fraction: 0.25,
+            reserve_timeout: SimSpan::from_secs(300),
+        }
+    }
+}
+
+impl ReservationOptions {
+    /// Maximum simultaneously reserved workstations for a cluster of
+    /// `cluster_size` (always at least 1).
+    pub fn max_reserved(&self, cluster_size: usize) -> usize {
+        ((cluster_size as f64 * self.max_reserved_fraction).floor() as usize).max(1)
+    }
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The cluster to simulate.
+    pub cluster: ClusterParams,
+    /// The inter-workstation scheduling policy.
+    pub policy: PolicyKind,
+    /// Virtual-reconfiguration tunables (only used by
+    /// [`PolicyKind::VReconfiguration`]).
+    pub reservation: ReservationOptions,
+    /// Gauge sampling period (1 s in the paper; §4.1 shows the averages are
+    /// insensitive to it).
+    pub sample_period: SimSpan,
+    /// How often blocked (pending) jobs are re-attempted, in addition to
+    /// retries on every completion.
+    pub pending_retry_period: SimSpan,
+    /// Service order of the blocked-submission queue.
+    pub pending_discipline: PendingDiscipline,
+    /// Optional network-RAM extension (§2.3 / ref \[12]): when set, nodes
+    /// whose overflow fits the cluster's accumulated idle memory page to
+    /// remote RAM at this service time instead of local disk.
+    pub network_ram: Option<NetworkRamParams>,
+    /// Overflow fraction of user memory above which a node is treated as
+    /// seriously faulting and the scheduler intervenes (the "certain amount
+    /// of page faults" trigger).
+    pub overload_threshold: f64,
+    /// RNG seed; identical configs and seeds produce identical reports.
+    pub seed: u64,
+    /// Safety horizon: the run aborts (reporting unfinished jobs) if the
+    /// simulated clock passes this span.
+    pub max_sim_time: SimSpan,
+}
+
+impl SimConfig {
+    /// A configuration with paper-standard knobs for the given cluster and
+    /// policy.
+    pub fn new(cluster: ClusterParams, policy: PolicyKind) -> Self {
+        SimConfig {
+            cluster,
+            policy,
+            reservation: ReservationOptions::default(),
+            sample_period: SimSpan::from_secs(1),
+            pending_retry_period: SimSpan::from_secs(1),
+            pending_discipline: PendingDiscipline::Fifo,
+            network_ram: None,
+            overload_threshold: 0.02,
+            seed: 0x5eed,
+            max_sim_time: SimSpan::from_secs(200_000),
+        }
+    }
+
+    /// Returns the config with the network-RAM extension enabled, deriving
+    /// the remote fault service from the cluster's interconnect
+    /// (builder-style).
+    pub fn with_network_ram(mut self) -> Self {
+        let page = self
+            .cluster
+            .nodes
+            .first()
+            .map(|n| n.memory.page_size)
+            .unwrap_or(vr_cluster::units::Bytes::from_kb(4));
+        self.network_ram = Some(NetworkRamParams::over(&self.cluster.network, page));
+        self
+    }
+
+    /// Returns the config with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with different reservation options
+    /// (builder-style).
+    pub fn with_reservation(mut self, reservation: ReservationOptions) -> Self {
+        self.reservation = reservation;
+        self
+    }
+
+    /// Checks the configuration for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cluster.nodes.is_empty() {
+            return Err("cluster has no workstations".into());
+        }
+        if self.sample_period.is_zero() {
+            return Err("sample period must be non-zero".into());
+        }
+        if self.pending_retry_period.is_zero() {
+            return Err("pending retry period must be non-zero".into());
+        }
+        if self.cluster.load_exchange_period.is_zero() {
+            return Err("load exchange period must be non-zero".into());
+        }
+        if !(0.0..1.0).contains(&self.overload_threshold) {
+            return Err(format!(
+                "overload threshold must be in [0, 1), got {}",
+                self.overload_threshold
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.reservation.max_reserved_fraction) {
+            return Err(format!(
+                "max reserved fraction must be in [0, 1], got {}",
+                self.reservation.max_reserved_fraction
+            ));
+        }
+        if self.reservation.reserve_timeout.is_zero() {
+            return Err("reserve timeout must be non-zero".into());
+        }
+        if self.max_sim_time.is_zero() {
+            return Err("max simulation time must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// Overflow bytes above which a node counts as overloaded.
+    pub fn overload_bytes(&self, user: vr_cluster::units::Bytes) -> vr_cluster::units::Bytes {
+        user.mul_f64(self.overload_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::units::Bytes;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let cfg = SimConfig::new(ClusterParams::cluster1(), PolicyKind::VReconfiguration);
+        assert_eq!(cfg.sample_period, SimSpan::from_secs(1));
+        assert_eq!(cfg.reservation.end_condition, ReservingEnd::AllJobsComplete);
+        assert!(cfg.reservation.max_reserved_fraction <= 0.5);
+    }
+
+    #[test]
+    fn max_reserved_scales_with_cluster() {
+        let opts = ReservationOptions {
+            max_reserved_fraction: 0.25,
+            ..ReservationOptions::default()
+        };
+        assert_eq!(opts.max_reserved(32), 8);
+        assert_eq!(opts.max_reserved(4), 1);
+        assert_eq!(opts.max_reserved(1), 1); // floor clamps to 1
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = SimConfig::new(ClusterParams::cluster2(), PolicyKind::GLoadSharing)
+            .with_seed(99)
+            .with_reservation(ReservationOptions {
+                end_condition: ReservingEnd::EnoughMemory,
+                ..ReservationOptions::default()
+            });
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.reservation.end_condition, ReservingEnd::EnoughMemory);
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_nonsense() {
+        let good = SimConfig::new(ClusterParams::cluster1(), PolicyKind::VReconfiguration);
+        good.validate().unwrap();
+        let mut bad = good.clone();
+        bad.sample_period = SimSpan::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.overload_threshold = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.reservation.max_reserved_fraction = -0.1;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.cluster.nodes.clear();
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn overload_bytes_scales_user_memory() {
+        let cfg = SimConfig::new(ClusterParams::cluster2(), PolicyKind::GLoadSharing);
+        let b = cfg.overload_bytes(Bytes::from_mb(100));
+        assert_eq!(b, Bytes::from_mb(2));
+    }
+}

@@ -1,0 +1,305 @@
+//! Reservation bookkeeping for the virtual-reconfiguration routine.
+//!
+//! A reservation moves through two phases (§2.1):
+//!
+//! 1. **Reserving** — the chosen workstation stops accepting submissions and
+//!    migrations while its resident jobs drain ("the reserving period").
+//! 2. **Serving** — one or more large jobs have been migrated in; the
+//!    workstation provides dedicated service until they complete, at which
+//!    point "the scheduler will view it as a regular workstation and resume
+//!    normal job submissions" — the reservation is released.
+//!
+//! [`ReservationManager`] owns only the bookkeeping; the simulation driver
+//! flips the nodes' reservation flags and performs the migrations.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::job::JobId;
+use vr_cluster::node::NodeId;
+use vr_simcore::time::SimTime;
+
+use crate::config::ReservationOptions;
+
+/// Phase of one reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReservationPhase {
+    /// Waiting for the reserved workstation's resident jobs to drain.
+    Reserving,
+    /// Dedicated service: migrated large jobs are running.
+    Serving,
+}
+
+/// One active reservation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reservation {
+    /// The reserved workstation.
+    pub node: NodeId,
+    /// Current phase.
+    pub phase: ReservationPhase,
+    /// When the reservation began.
+    pub started: SimTime,
+    /// Large jobs migrated in for special service (non-empty in
+    /// [`ReservationPhase::Serving`]).
+    pub served: HashSet<JobId>,
+}
+
+/// Counters over a run's reservation activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReservationStats {
+    /// Reservations begun.
+    pub started: u64,
+    /// Reservations released after serving at least one job.
+    pub released_after_service: u64,
+    /// Reservations released because blocking disappeared during the
+    /// reserving period (the adaptive early exit).
+    pub released_unused: u64,
+    /// Reservations abandoned on timeout ("cluster truly heavily loaded").
+    pub timed_out: u64,
+    /// Large jobs given dedicated service.
+    pub jobs_served: u64,
+}
+
+/// Tracks which workstations are reserved and why.
+#[derive(Debug, Clone)]
+pub struct ReservationManager {
+    options: ReservationOptions,
+    reservations: Vec<Reservation>,
+    stats: ReservationStats,
+}
+
+impl ReservationManager {
+    /// Creates a manager with the given tunables.
+    pub fn new(options: ReservationOptions) -> Self {
+        ReservationManager {
+            options,
+            reservations: Vec::new(),
+            stats: ReservationStats::default(),
+        }
+    }
+
+    /// The configured tunables.
+    pub fn options(&self) -> &ReservationOptions {
+        &self.options
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ReservationStats {
+        self.stats
+    }
+
+    /// Active reservations.
+    pub fn reservations(&self) -> &[Reservation] {
+        &self.reservations
+    }
+
+    /// Number of currently reserved workstations.
+    pub fn reserved_count(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// `true` if another workstation may be reserved given the cap.
+    pub fn can_reserve(&self, cluster_size: usize) -> bool {
+        self.reserved_count() < self.options.max_reserved(cluster_size)
+    }
+
+    /// The reservation on `node`, if any.
+    pub fn get(&self, node: NodeId) -> Option<&Reservation> {
+        self.reservations.iter().find(|r| r.node == node)
+    }
+
+    /// `true` if `node` is reserved.
+    pub fn is_reserved(&self, node: NodeId) -> bool {
+        self.get(node).is_some()
+    }
+
+    /// Begins a reservation on `node` (the paper's
+    /// `reserve_a_workstation()` setting `reservation_flag = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already reserved — the routine must check
+    /// first.
+    pub fn begin(&mut self, node: NodeId, now: SimTime) {
+        assert!(
+            !self.is_reserved(node),
+            "{node} is already reserved; check before begin()"
+        );
+        self.reservations.push(Reservation {
+            node,
+            phase: ReservationPhase::Reserving,
+            started: now,
+            served: HashSet::new(),
+        });
+        self.stats.started += 1;
+    }
+
+    /// Records a large job migrated to `node` for dedicated service, moving
+    /// the reservation into [`ReservationPhase::Serving`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not reserved.
+    pub fn record_service(&mut self, node: NodeId, job: JobId) {
+        let r = self
+            .reservations
+            .iter_mut()
+            .find(|r| r.node == node)
+            .expect("record_service on an unreserved node");
+        r.phase = ReservationPhase::Serving;
+        r.served.insert(job);
+        self.stats.jobs_served += 1;
+    }
+
+    /// Notes the completion of `job` on `node`. Returns `true` if that
+    /// completion ended the special service (the served set drained), in
+    /// which case the caller must release the node.
+    pub fn note_completion(&mut self, node: NodeId, job: JobId) -> bool {
+        let Some(r) = self.reservations.iter_mut().find(|r| r.node == node) else {
+            return false;
+        };
+        if r.phase == ReservationPhase::Serving && r.served.remove(&job) && r.served.is_empty() {
+            self.remove(node);
+            self.stats.released_after_service += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Releases a reservation whose reserving period ended with no blocking
+    /// left to resolve (the adaptive "switch back" of §2.1).
+    ///
+    /// Returns `true` if the node was reserved.
+    pub fn release_unused(&mut self, node: NodeId) -> bool {
+        if self.remove(node) {
+            self.stats.released_unused += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Abandons reservations stuck in the reserving phase longer than the
+    /// configured timeout, returning the abandoned node ids.
+    pub fn sweep_timeouts(&mut self, now: SimTime) -> Vec<NodeId> {
+        let timeout = self.options.reserve_timeout;
+        let expired: Vec<NodeId> = self
+            .reservations
+            .iter()
+            .filter(|r| {
+                r.phase == ReservationPhase::Reserving && now.saturating_since(r.started) > timeout
+            })
+            .map(|r| r.node)
+            .collect();
+        for node in &expired {
+            self.remove(*node);
+            self.stats.timed_out += 1;
+        }
+        expired
+    }
+
+    fn remove(&mut self, node: NodeId) -> bool {
+        let before = self.reservations.len();
+        self.reservations.retain(|r| r.node != node);
+        self.reservations.len() < before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_simcore::time::SimSpan;
+
+    fn manager() -> ReservationManager {
+        ReservationManager::new(ReservationOptions {
+            reserve_timeout: SimSpan::from_secs(100),
+            ..ReservationOptions::default()
+        })
+    }
+
+    #[test]
+    fn begin_and_query() {
+        let mut m = manager();
+        assert!(!m.is_reserved(NodeId(3)));
+        m.begin(NodeId(3), SimTime::from_secs(10));
+        assert!(m.is_reserved(NodeId(3)));
+        let r = m.get(NodeId(3)).unwrap();
+        assert_eq!(r.phase, ReservationPhase::Reserving);
+        assert_eq!(r.started, SimTime::from_secs(10));
+        assert_eq!(m.stats().started, 1);
+        assert_eq!(m.reserved_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already reserved")]
+    fn double_begin_panics() {
+        let mut m = manager();
+        m.begin(NodeId(1), SimTime::ZERO);
+        m.begin(NodeId(1), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cap_limits_reservations() {
+        let mut m = ReservationManager::new(ReservationOptions {
+            max_reserved_fraction: 0.25,
+            ..ReservationOptions::default()
+        });
+        assert!(m.can_reserve(8)); // cap = 2
+        m.begin(NodeId(0), SimTime::ZERO);
+        assert!(m.can_reserve(8));
+        m.begin(NodeId(1), SimTime::ZERO);
+        assert!(!m.can_reserve(8));
+    }
+
+    #[test]
+    fn service_lifecycle_releases_when_drained() {
+        let mut m = manager();
+        m.begin(NodeId(2), SimTime::ZERO);
+        m.record_service(NodeId(2), JobId(10));
+        m.record_service(NodeId(2), JobId(11));
+        assert_eq!(m.get(NodeId(2)).unwrap().phase, ReservationPhase::Serving);
+        assert!(!m.note_completion(NodeId(2), JobId(10)));
+        assert!(m.is_reserved(NodeId(2)));
+        assert!(m.note_completion(NodeId(2), JobId(11)));
+        assert!(!m.is_reserved(NodeId(2)));
+        assert_eq!(m.stats().jobs_served, 2);
+        assert_eq!(m.stats().released_after_service, 1);
+    }
+
+    #[test]
+    fn unrelated_completions_are_ignored() {
+        let mut m = manager();
+        m.begin(NodeId(2), SimTime::ZERO);
+        m.record_service(NodeId(2), JobId(10));
+        // A non-served job finishing on the reserved node must not release.
+        assert!(!m.note_completion(NodeId(2), JobId(99)));
+        assert!(m.is_reserved(NodeId(2)));
+        // A completion on an unreserved node is a no-op.
+        assert!(!m.note_completion(NodeId(5), JobId(10)));
+    }
+
+    #[test]
+    fn release_unused_counts_adaptive_exits() {
+        let mut m = manager();
+        m.begin(NodeId(4), SimTime::ZERO);
+        assert!(m.release_unused(NodeId(4)));
+        assert!(!m.release_unused(NodeId(4)));
+        assert_eq!(m.stats().released_unused, 1);
+        assert_eq!(m.reserved_count(), 0);
+    }
+
+    #[test]
+    fn timeouts_abandon_stuck_reserving_periods() {
+        let mut m = manager();
+        m.begin(NodeId(1), SimTime::ZERO);
+        m.begin(NodeId(2), SimTime::from_secs(90));
+        // Node 3 is serving: never timed out.
+        m.begin(NodeId(3), SimTime::ZERO);
+        m.record_service(NodeId(3), JobId(1));
+        let expired = m.sweep_timeouts(SimTime::from_secs(150));
+        assert_eq!(expired, vec![NodeId(1)]);
+        assert!(m.is_reserved(NodeId(2)));
+        assert!(m.is_reserved(NodeId(3)));
+        assert_eq!(m.stats().timed_out, 1);
+    }
+}

@@ -1,0 +1,1374 @@
+//! The trace-driven cluster simulation driver.
+//!
+//! [`Simulation`] wires everything together: it replays a
+//! [`Trace`] against a cluster of
+//! [`Workstation`]s under a
+//! [`PolicyKind`], implementing the framework of
+//! §2.1:
+//!
+//! ```text
+//! While the load sharing system is on
+//!     if job submissions or/and migrations are allowed
+//!         general_dynamic_load_sharing();
+//!     else
+//!         start reconfiguration:
+//!             if a reserved workstation has enough available resources
+//!                 node_ID = reserved_ID;
+//!             else
+//!                 node_ID = reserve_a_workstation();
+//!             job_ID = find_most_memory_intensive_job();
+//!             migrate_job(job_ID, node_ID);
+//! ```
+//!
+//! Mechanics:
+//!
+//! * **Arrivals** fire as events at each job's submission instant; the job is
+//!   assigned a uniformly random home workstation ("the jobs in each trace
+//!   were randomly submitted to 32 workstations") and the policy places it.
+//! * **Blocked submissions** wait in a cluster-level pending queue; their
+//!   wait is queuing time. They are retried on every completion and on a
+//!   periodic tick.
+//! * **Remote submissions and migrations** put the job "in transit" for the
+//!   network cost (`r`, respectively `r + D/B`); transit time is migration
+//!   time.
+//! * **The load index** refreshes on the exchange period (and after
+//!   completions, modelling the freed node's announcement); placement
+//!   decisions read the index, not live node state, and stale decisions can
+//!   bounce.
+//! * **Overload scan**: each exchange tick, nodes faulting beyond the
+//!   overload threshold trigger preemptive migration of their most
+//!   memory-intensive job to a qualified destination; when no destination
+//!   qualifies, the blocking problem is detected and (under
+//!   V-Reconfiguration) the reconfiguration routine runs.
+
+use std::collections::{HashMap, VecDeque};
+
+use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
+use vr_cluster::loadinfo::LoadIndex;
+use vr_cluster::node::{NodeId, Workstation};
+use vr_cluster::units::Bytes;
+use vr_metrics::sampler::ClusterGauges;
+use vr_metrics::summary::WorkloadSummary;
+use vr_simcore::engine::{Engine, Scheduler, World};
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::{SimSpan, SimTime};
+use vr_workload::trace::Trace;
+
+use crate::config::{ReservingEnd, SimConfig};
+use crate::events::{EventLog, SchedulerEventKind};
+use crate::policy::{Placement, PolicyKind};
+use crate::report::{RunReport, SchedulerCounters};
+use crate::reservation::{ReservationManager, ReservationPhase};
+
+/// Events driving the cluster world.
+#[derive(Debug)]
+enum Event {
+    /// A job reaches the cluster.
+    Arrival(Box<JobSpec>),
+    /// A workstation predicted a completion or phase boundary.
+    NodeWake { node: NodeId, epoch: u64 },
+    /// Periodic global load-information exchange + overload scan.
+    Exchange,
+    /// Periodic gauge sampling.
+    Sample,
+    /// Periodic retry of the pending queue.
+    PendingRetry,
+    /// A remote submission or migration arrives at its destination.
+    TransitArrive { job: JobId },
+}
+
+/// How many times one job may be suspended before it is pinned resident.
+const MAX_SUSPENSIONS_PER_JOB: u32 = 5;
+
+/// A job waiting in the cluster pending queue.
+#[derive(Debug)]
+struct PendingJob {
+    job: RunningJob,
+    since: SimTime,
+    home: NodeId,
+}
+
+/// A job on the wire.
+#[derive(Debug)]
+struct Transit {
+    job: RunningJob,
+    dst: NodeId,
+    /// `true` if this is a special-service migration into a reserved node.
+    to_reserved: bool,
+}
+
+/// A job swapped out by the Suspend-Largest strawman.
+#[derive(Debug)]
+struct SuspendedJob {
+    job: RunningJob,
+    since: SimTime,
+}
+
+/// A configured, reusable simulation. Each [`Simulation::run`] call replays
+/// one trace from scratch and returns a [`RunReport`].
+///
+/// ```no_run
+/// use vrecon::config::SimConfig;
+/// use vrecon::policy::PolicyKind;
+/// use vrecon::sim::Simulation;
+/// use vr_cluster::params::ClusterParams;
+/// use vr_simcore::rng::SimRng;
+/// use vr_workload::trace::{spec_trace, TraceLevel};
+///
+/// let trace = spec_trace(TraceLevel::Normal, &mut SimRng::seed_from(42));
+/// let config = SimConfig::new(ClusterParams::cluster1(), PolicyKind::VReconfiguration);
+/// let report = Simulation::new(config).run(&trace);
+/// println!("avg slowdown {:.2}", report.avg_slowdown());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation from a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Replays `trace` and reports the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace fails [`Trace::validate`] or the configuration
+    /// fails [`SimConfig::validate`].
+    pub fn run(&self, trace: &Trace) -> RunReport {
+        self.config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid trace {}: {e}", trace.name));
+        let mut world = ClusterWorld::new(&self.config, trace.len());
+        let mut engine = Engine::new();
+        {
+            let mut sched = engine.scheduler();
+            for job in &trace.jobs {
+                sched.schedule_at(job.submit, Event::Arrival(Box::new(job.clone())));
+            }
+            sched.schedule_at(SimTime::ZERO, Event::Exchange);
+            sched.schedule_at(SimTime::ZERO, Event::Sample);
+            sched.schedule_in(self.config.pending_retry_period, Event::PendingRetry);
+        }
+        let horizon = SimTime::ZERO + self.config.max_sim_time;
+        engine.run_until(&mut world, horizon);
+        world.into_report(trace, &self.config, engine.now())
+    }
+}
+
+/// The mutable simulation state (the [`World`] the engine drives).
+struct ClusterWorld {
+    policy: PolicyKind,
+    config: SimConfig,
+    nodes: Vec<Workstation>,
+    index: LoadIndex,
+    rng: SimRng,
+    pending: VecDeque<PendingJob>,
+    in_transit: HashMap<JobId, Transit>,
+    suspended: Vec<SuspendedJob>,
+    completed: Vec<RunningJob>,
+    gauges: ClusterGauges,
+    counters: SchedulerCounters,
+    reservations: ReservationManager,
+    total_jobs: usize,
+    arrived: usize,
+    /// Jobs that have entered the pending queue at least once.
+    ever_blocked: std::collections::HashSet<JobId>,
+    /// Times each job has been suspended (Suspend-Largest only). A job
+    /// suspended [`MAX_SUSPENSIONS_PER_JOB`] times is pinned: repeatedly
+    /// swapping the same peak-sized job in and out is a livelock, not a
+    /// remedy.
+    suspend_counts: HashMap<JobId, u32>,
+    log: EventLog,
+    /// Set once all jobs have completed; periodic events stop rescheduling.
+    done: bool,
+    finished_at: SimTime,
+}
+
+impl ClusterWorld {
+    fn new(config: &SimConfig, total_jobs: usize) -> Self {
+        let nodes = config.cluster.build_nodes();
+        let mut world = ClusterWorld {
+            policy: config.policy,
+            config: config.clone(),
+            nodes,
+            index: LoadIndex::new(),
+            rng: SimRng::seed_from(config.seed),
+            pending: VecDeque::new(),
+            in_transit: HashMap::new(),
+            suspended: Vec::new(),
+            completed: Vec::new(),
+            gauges: ClusterGauges::new(),
+            counters: SchedulerCounters::default(),
+            reservations: ReservationManager::new(config.reservation),
+            total_jobs,
+            arrived: 0,
+            ever_blocked: std::collections::HashSet::new(),
+            suspend_counts: HashMap::new(),
+            log: EventLog::new(),
+            done: total_jobs == 0,
+            finished_at: SimTime::ZERO,
+        };
+        world.index.refresh(world.nodes.iter(), SimTime::ZERO);
+        world
+    }
+
+    fn node(&mut self, id: NodeId) -> &mut Workstation {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Advances every node to `now` and refreshes the load index.
+    fn refresh_index(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        for i in 0..self.nodes.len() {
+            self.nodes[i].advance_to(now);
+        }
+        self.collect_completions(now, sched);
+        self.index.refresh(self.nodes.iter(), now);
+        self.update_network_ram();
+    }
+
+    /// Flips each node's fault-stall scale depending on whether the
+    /// cluster's accumulated idle memory can back its overflow remotely
+    /// (the network-RAM extension; no-op when disabled).
+    fn update_network_ram(&mut self) {
+        let Some(netram) = self.config.network_ram else {
+            return;
+        };
+        let accumulated: Bytes = self.nodes.iter().map(|n| n.idle_memory()).sum();
+        for node in &mut self.nodes {
+            let overflow = node.memory_usage().overflow();
+            let remote_backed = !overflow.is_zero() && accumulated >= overflow;
+            let scale = if remote_backed {
+                netram.stall_scale(node.params().memory.fault_service)
+            } else {
+                1.0
+            };
+            node.set_stall_scale(scale);
+        }
+    }
+
+    /// Drains completion outboxes of all nodes, updating reservations and
+    /// retrying pending jobs if capacity freed.
+    fn collect_completions(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            let node_id = self.nodes[i].id();
+            let finished = self.nodes[i].take_completed();
+            if finished.is_empty() {
+                continue;
+            }
+            any = true;
+            for job in finished {
+                self.log.record(
+                    now,
+                    SchedulerEventKind::Completed,
+                    Some(job.id()),
+                    Some(node_id),
+                );
+                if self.reservations.note_completion(node_id, job.id()) {
+                    // Special service complete: back to normal load sharing.
+                    self.nodes[i].set_reserved(false);
+                    self.log.record(
+                        now,
+                        SchedulerEventKind::ReservationReleased,
+                        None,
+                        Some(node_id),
+                    );
+                }
+                self.completed.push(job);
+            }
+            self.schedule_wake(node_id, now, sched);
+        }
+        if any {
+            // A completing node effectively announces its freed capacity.
+            self.index.refresh(self.nodes.iter(), now);
+            self.try_place_pending(now, sched);
+            self.check_reservations(now, sched);
+            self.check_done(now);
+        }
+    }
+
+    /// Schedules (or re-schedules) a node's next wake-up, tagged with its
+    /// current epoch so stale wakes are discarded.
+    fn schedule_wake(&mut self, node_id: NodeId, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let node = self.node(node_id);
+        debug_assert!(node.last_update() == now, "wake scheduled on stale node");
+        if let Some(delay) = node.next_event_in() {
+            let epoch = node.epoch();
+            // A sub-microsecond prediction would round to a zero-delay event
+            // that re-fires at the same instant forever; clamp to one tick.
+            sched.schedule_in(
+                delay.max(SimSpan::from_micros(1)),
+                Event::NodeWake {
+                    node: node_id,
+                    epoch,
+                },
+            );
+        }
+    }
+
+    /// Executes a placement decision for `job`.
+    fn place_job(
+        &mut self,
+        mut job: RunningJob,
+        home: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+        first_attempt: bool,
+    ) {
+        match self.policy.place(&job, home, &self.index, &mut self.rng) {
+            Placement::Local(node_id) => {
+                let node = self.node(node_id);
+                let job_id = job.id();
+                match node.try_admit(job, now) {
+                    Ok(()) => {
+                        if first_attempt {
+                            self.counters.local_submissions += 1;
+                        }
+                        self.log.record(
+                            now,
+                            SchedulerEventKind::Placed,
+                            Some(job_id),
+                            Some(node_id),
+                        );
+                        self.schedule_wake(node_id, now, sched);
+                    }
+                    Err(rejected) => {
+                        self.counters.stale_rejections += 1;
+                        self.enqueue_pending(rejected.job, home, now);
+                    }
+                }
+            }
+            Placement::Remote(node_id) => {
+                let cost = self.config.cluster.network.remote_submit_cost;
+                job.breakdown.migration += cost.as_secs_f64();
+                job.remote_submitted = true;
+                job.state = JobState::Migrating;
+                self.counters.remote_submissions += 1;
+                let id = job.id();
+                self.log.record(
+                    now,
+                    SchedulerEventKind::TransitStarted,
+                    Some(id),
+                    Some(node_id),
+                );
+                self.in_transit.insert(
+                    id,
+                    Transit {
+                        job,
+                        dst: node_id,
+                        to_reserved: false,
+                    },
+                );
+                sched.schedule_in(cost, Event::TransitArrive { job: id });
+            }
+            Placement::Blocked => {
+                self.enqueue_pending(job, home, now);
+            }
+        }
+    }
+
+    fn enqueue_pending(&mut self, mut job: RunningJob, home: NodeId, now: SimTime) {
+        job.state = JobState::Pending;
+        self.log
+            .record(now, SchedulerEventKind::Blocked, Some(job.id()), Some(home));
+        if self.ever_blocked.insert(job.id()) {
+            self.counters.blocked_submissions += 1;
+        }
+        self.pending.push_back(PendingJob {
+            job,
+            since: now,
+            home,
+        });
+    }
+
+    /// One pass over the pending queue, placing whatever the configured
+    /// discipline allows. Under FIFO the first still-blocked job stops the
+    /// pass (head-of-line blocking — the paper's "job submissions ... will
+    /// be blocked"); under backfill every queued job is attempted.
+    fn try_place_pending(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let fifo = self.config.pending_discipline == crate::config::PendingDiscipline::Fifo;
+        let mut waiting = std::mem::take(&mut self.pending);
+        while let Some(mut entry) = waiting.pop_front() {
+            let decision = self
+                .policy
+                .place(&entry.job, entry.home, &self.index, &mut self.rng);
+            if matches!(decision, Placement::Blocked) {
+                self.pending.push_back(entry);
+                if fifo {
+                    self.pending.extend(waiting);
+                    return;
+                }
+            } else {
+                // A held job accrues queuing time while blocked.
+                entry.job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
+                self.place_job(entry.job, entry.home, now, sched, false);
+            }
+        }
+    }
+
+    /// The overload scan of the exchange tick: fault-driven migrations and
+    /// blocking detection (§2.1).
+    fn overload_scan(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        if !self.policy.migrates_on_overload() {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let src = self.nodes[i].id();
+            if self.nodes[i].is_reserved() {
+                continue;
+            }
+            let usage = self.nodes[i].memory_usage();
+            let threshold = self.config.overload_bytes(usage.user);
+            if usage.overflow() <= threshold {
+                continue;
+            }
+            // The node is seriously faulting; try to migrate its most
+            // memory-intensive job away.
+            let Some(victim) = self.nodes[i].most_memory_intensive_job() else {
+                continue;
+            };
+            let victim_id = victim.id();
+            let victim_ws = victim.current_working_set();
+            let dest = self
+                .index
+                .iter()
+                .filter(|e| {
+                    e.node != src
+                        && e.accepts_submissions()
+                        && e.idle_memory.saturating_sub(self.in_transit_demand(e.node)) >= victim_ws
+                        && self.has_uncommitted_slot(e.node)
+                })
+                .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
+                .map(|e| e.node);
+            match dest {
+                Some(dst) => {
+                    self.start_migration(src, victim_id, dst, false, now, sched);
+                    self.counters.overload_migrations += 1;
+                }
+                None => {
+                    // "The scheduler could not find a qualified destination
+                    // to migrate jobs from this workstation": the job
+                    // blocking problem.
+                    self.counters.blocking_detections += 1;
+                    self.log.record(
+                        now,
+                        SchedulerEventKind::BlockingDetected,
+                        Some(victim_id),
+                        Some(src),
+                    );
+                    if self.policy.reconfigures() {
+                        self.reconfigure(src, now, sched);
+                    } else if self.policy.suspends_on_blocking()
+                        && self.suspend_counts.get(&victim_id).copied().unwrap_or(0)
+                            < MAX_SUSPENSIONS_PER_JOB
+                    {
+                        self.suspend_job(src, victim_id, now, sched);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reconfiguration routine (§2.1 framework).
+    fn reconfigure(&mut self, src: NodeId, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        let Some(victim) = self.nodes[src.0 as usize].most_memory_intensive_job() else {
+            return;
+        };
+        let victim_id = victim.id();
+        let victim_ws = victim.current_working_set();
+        // Step 1: an existing reserved workstation with enough resources.
+        if let Some(dst) = self.serving_room_for(victim_ws) {
+            self.reservations.record_service(dst, victim_id);
+            self.start_migration(src, victim_id, dst, true, now, sched);
+            self.counters.reserved_migrations += 1;
+            return;
+        }
+        // Step 2: begin a new reservation if the accumulated idle memory
+        // justifies one and the cap allows it.
+        if self.index.accumulated_idle_memory() <= self.index.average_user_memory() {
+            return; // §2.3: memory resources are genuinely exhausted.
+        }
+        if !self.reservations.can_reserve(self.nodes.len()) {
+            return; // §2.2 point 4: protect normal jobs.
+        }
+        let candidate = self
+            .index
+            .iter()
+            // The index can lag a reservation made earlier in this same
+            // scan; the manager is authoritative.
+            .filter(|e| !e.reserved && !self.reservations.is_reserved(e.node) && e.node != src)
+            .max_by_key(|e| {
+                (
+                    e.idle_memory,
+                    std::cmp::Reverse(e.active_jobs),
+                    std::cmp::Reverse(e.node),
+                )
+            })
+            .map(|e| e.node);
+        if let Some(node_id) = candidate {
+            self.reservations.begin(node_id, now);
+            self.node(node_id).set_reserved(true);
+            self.log.record(
+                now,
+                SchedulerEventKind::ReservationBegan,
+                None,
+                Some(node_id),
+            );
+            // The reserving period has begun; check_reservations() completes
+            // it when the node drains (or has enough memory, per config).
+        }
+    }
+
+    /// Memory demand already on the wire toward `node` (remote submissions
+    /// and migrations whose image has not landed yet). Without this, two
+    /// migrations launched within one exchange period would both see the
+    /// destination as empty and overcommit it.
+    fn in_transit_demand(&self, node: NodeId) -> Bytes {
+        self.in_transit
+            .values()
+            .filter(|t| t.dst == node)
+            .map(|t| t.job.current_working_set())
+            .sum()
+    }
+
+    /// Jobs on the wire toward `node` (counted against its slots).
+    fn in_transit_count(&self, node: NodeId) -> usize {
+        self.in_transit.values().filter(|t| t.dst == node).count()
+    }
+
+    /// The memory `node` can actually still commit to: live idle memory
+    /// minus what is already inbound.
+    fn committed_idle(&self, node: NodeId) -> Bytes {
+        self.nodes[node.0 as usize]
+            .idle_memory()
+            .saturating_sub(self.in_transit_demand(node))
+    }
+
+    /// `true` if `node` still has an uncommitted job slot.
+    fn has_uncommitted_slot(&self, node: NodeId) -> bool {
+        let n = &self.nodes[node.0 as usize];
+        n.active_jobs() + self.in_transit_count(node) < n.params().cpu.slots as usize
+    }
+
+    /// A reserved workstation that can host a `ws`-sized job right now.
+    fn serving_room_for(&self, ws: Bytes) -> Option<NodeId> {
+        self.reservations
+            .reservations()
+            .iter()
+            .filter(|r| {
+                // During the reserving period the node must first drain
+                // (or, under EnoughMemory, free sufficient space) — which is
+                // exactly the committed-idle check below.
+                self.committed_idle(r.node) >= ws && self.has_uncommitted_slot(r.node)
+            })
+            .map(|r| r.node)
+            .next()
+    }
+
+    /// Progresses reserving periods: drained (or roomy-enough) reserved
+    /// nodes either receive the blocking victim or are released if blocking
+    /// disappeared. Also abandons timed-out reservations.
+    fn check_reservations(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        for node_id in self.reservations.sweep_timeouts(now) {
+            self.node(node_id).set_reserved(false);
+            self.log.record(
+                now,
+                SchedulerEventKind::ReservationReleased,
+                None,
+                Some(node_id),
+            );
+        }
+        let reserving: Vec<NodeId> = self
+            .reservations
+            .reservations()
+            .iter()
+            .filter(|r| r.phase == ReservationPhase::Reserving)
+            .map(|r| r.node)
+            .collect();
+        for node_id in reserving {
+            let ready = {
+                let node = &self.nodes[node_id.0 as usize];
+                match self.config.reservation.end_condition {
+                    ReservingEnd::AllJobsComplete => node.active_jobs() == 0,
+                    ReservingEnd::EnoughMemory => match self.blocking_victim(node_id) {
+                        Some((_, _, ws)) => {
+                            self.committed_idle(node_id) >= ws && self.has_uncommitted_slot(node_id)
+                        }
+                        None => true,
+                    },
+                }
+            };
+            if !ready {
+                continue;
+            }
+            if self.in_transit_count(node_id) > 0 {
+                // A special-service migration is already inbound; wait for
+                // it to land before deciding anything else.
+                continue;
+            }
+            // The reserving period ended: if blocking still exists, migrate
+            // the most memory-intensive faulting job here; otherwise switch
+            // back to normal load sharing. Should the victim not fit even in
+            // the drained reserved node (§2.3), it still receives dedicated
+            // service so its faults stop hurting other jobs.
+            match self.blocking_victim(node_id) {
+                Some((src, victim, _ws)) => {
+                    self.reservations.record_service(node_id, victim);
+                    self.start_migration(src, victim, node_id, true, now, sched);
+                    self.counters.reserved_migrations += 1;
+                }
+                None => {
+                    // "During the reserving period, if the blocking problem
+                    // disappears, the system will be back to the normal load
+                    // sharing state."
+                    self.reservations.release_unused(node_id);
+                    self.node(node_id).set_reserved(false);
+                    self.log.record(
+                        now,
+                        SchedulerEventKind::ReservationReleased,
+                        None,
+                        Some(node_id),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Finds the worst currently blocked node and its most memory-intensive
+    /// job: a faulting node (beyond threshold) whose victim job has no
+    /// qualified ordinary destination. Returns `(src, job, working_set)`.
+    ///
+    /// `exclude_dst` is the reserved node being considered, which must not
+    /// count as an ordinary destination.
+    fn blocking_victim(&self, exclude_dst: NodeId) -> Option<(NodeId, JobId, Bytes)> {
+        let mut worst: Option<(Bytes, NodeId, JobId, Bytes)> = None;
+        for node in &self.nodes {
+            if node.is_reserved() {
+                continue;
+            }
+            let usage = node.memory_usage();
+            let threshold = self.config.overload_bytes(usage.user);
+            if usage.overflow() <= threshold {
+                continue;
+            }
+            let Some(victim) = node.most_memory_intensive_job() else {
+                continue;
+            };
+            let ws = victim.current_working_set();
+            let has_ordinary_dest = self.index.iter().any(|e| {
+                e.node != node.id()
+                    && e.node != exclude_dst
+                    && e.accepts_submissions()
+                    && e.idle_memory.saturating_sub(self.in_transit_demand(e.node)) >= ws
+            });
+            if has_ordinary_dest {
+                continue;
+            }
+            let key = usage.overflow();
+            if worst.is_none_or(|(k, ..)| key > k) {
+                worst = Some((key, node.id(), victim.id(), ws));
+            }
+        }
+        worst.map(|(_, src, job, ws)| (src, job, ws))
+    }
+
+    /// Removes `job` from `src` and puts it on the wire to `dst`.
+    fn start_migration(
+        &mut self,
+        src: NodeId,
+        job_id: JobId,
+        dst: NodeId,
+        to_reserved: bool,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(mut job) = self.node(src).remove_job(job_id, now) else {
+            // The job completed in the meantime; undo service bookkeeping.
+            if to_reserved && self.reservations.note_completion(dst, job_id) {
+                self.node(dst).set_reserved(false);
+            }
+            return;
+        };
+        self.schedule_wake(src, now, sched);
+        self.log
+            .record(now, SchedulerEventKind::MigratedOut, Some(job_id), Some(src));
+        self.log.record(
+            now,
+            if to_reserved {
+                SchedulerEventKind::SpecialServiceStarted
+            } else {
+                SchedulerEventKind::MigrationStarted
+            },
+            Some(job_id),
+            Some(dst),
+        );
+        let image = job.current_working_set();
+        let cost = self.config.cluster.network.migration_cost(image);
+        job.breakdown.migration += cost.as_secs_f64();
+        job.migrations += 1;
+        job.state = JobState::Migrating;
+        self.in_transit.insert(
+            job_id,
+            Transit {
+                job,
+                dst,
+                to_reserved,
+            },
+        );
+        sched.schedule_in(cost, Event::TransitArrive { job: job_id });
+    }
+
+    fn handle_transit_arrive(
+        &mut self,
+        job_id: JobId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(transit) = self.in_transit.remove(&job_id) else {
+            return; // already handled (should not happen)
+        };
+        let Transit {
+            job,
+            dst,
+            to_reserved,
+        } = transit;
+        let home = dst;
+        let result = if to_reserved {
+            self.node(dst).admit_to_reserved(job, now)
+        } else {
+            self.node(dst).try_admit(job, now)
+        };
+        match result {
+            Ok(()) => {
+                self.log
+                    .record(now, SchedulerEventKind::Placed, Some(job_id), Some(dst));
+                self.schedule_wake(dst, now, sched);
+            }
+            Err(rejected) => {
+                // Stale decision: the destination filled up while the job
+                // was on the wire. Untrack any service bookkeeping and hold
+                // the job pending.
+                self.counters.stale_rejections += 1;
+                if to_reserved && self.reservations.note_completion(dst, job_id) {
+                    self.node(dst).set_reserved(false);
+                }
+                self.enqueue_pending(rejected.job, home, now);
+            }
+        }
+    }
+
+    /// The §1 strawman: swap the victim out entirely, freeing its memory so
+    /// submissions are no longer blocked.
+    fn suspend_job(
+        &mut self,
+        src: NodeId,
+        job_id: JobId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let Some(mut job) = self.node(src).remove_job(job_id, now) else {
+            return;
+        };
+        self.schedule_wake(src, now, sched);
+        // Swapping the image out to disk costs real time, charged as
+        // migration time; the queue clock starts once the swap-out ends.
+        let image = job.current_working_set();
+        let out_cost = self.nodes[src.0 as usize]
+            .params()
+            .memory
+            .swap_transfer_time(image);
+        job.breakdown.migration += out_cost.as_secs_f64();
+        job.state = JobState::Suspended;
+        *self.suspend_counts.entry(job.id()).or_insert(0) += 1;
+        self.log.record(
+            now,
+            SchedulerEventKind::Suspended,
+            Some(job.id()),
+            Some(src),
+        );
+        self.counters.suspensions += 1;
+        self.suspended.push(SuspendedJob {
+            job,
+            since: now + out_cost,
+        });
+    }
+
+    /// Resumes suspended jobs, but only while no *new* submission is
+    /// waiting: under a continuous job flow, fresh jobs keep claiming the
+    /// capacity and suspended large jobs starve — the unfairness the paper
+    /// rejects this approach for.
+    fn try_resume_suspended(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        if self.suspended.is_empty() || !self.pending.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.suspended);
+        for mut entry in parked {
+            if now < entry.since {
+                // Still swapping out.
+                self.suspended.push(entry);
+                continue;
+            }
+            let home = NodeId(self.rng.index(self.nodes.len()) as u32);
+            let decision = self
+                .policy
+                .place(&entry.job, home, &self.index, &mut self.rng);
+            let dst = match decision {
+                Placement::Blocked => {
+                    // A job whose demand exceeds every workstation's user
+                    // memory can never re-qualify through normal placement.
+                    // §1: such jobs "can be executed only when the cluster
+                    // becomes lightly loaded" — force-resume onto a fully
+                    // idle workstation if one exists.
+                    let idle_node = self
+                        .nodes
+                        .iter()
+                        .filter(|n| {
+                            n.active_jobs() == 0
+                                && !n.is_reserved()
+                                && self.in_transit.values().all(|t| t.dst != n.id())
+                                && n.can_admit(&entry.job).is_ok()
+                        })
+                        .max_by_key(|n| (n.idle_memory(), std::cmp::Reverse(n.id())))
+                        .map(|n| n.id());
+                    match idle_node {
+                        Some(n) => n,
+                        None => {
+                            self.suspended.push(entry);
+                            continue;
+                        }
+                    }
+                }
+                Placement::Local(n) | Placement::Remote(n) => n,
+            };
+            // Queue time accrued while parked, then a swap-in transfer
+            // (modelled through the transit machinery so time accounting
+            // stays exact).
+            entry.job.breakdown.queue += (now - entry.since).as_secs_f64();
+            let image = entry.job.current_working_set();
+            let mut in_cost = self.nodes[dst.0 as usize]
+                .params()
+                .memory
+                .swap_transfer_time(image);
+            if matches!(decision, Placement::Remote(_)) {
+                in_cost += self.config.cluster.network.remote_submit_cost;
+            }
+            entry.job.breakdown.migration += in_cost.as_secs_f64();
+            entry.job.state = JobState::Migrating;
+            self.log.record(
+                now,
+                SchedulerEventKind::Resumed,
+                Some(entry.job.id()),
+                Some(dst),
+            );
+            self.counters.resumes += 1;
+            let id = entry.job.id();
+            self.in_transit.insert(
+                id,
+                Transit {
+                    job: entry.job,
+                    dst,
+                    to_reserved: false,
+                },
+            );
+            sched.schedule_in(in_cost, Event::TransitArrive { job: id });
+        }
+    }
+
+    fn check_done(&mut self, now: SimTime) {
+        if self.done {
+            return;
+        }
+        if self.arrived == self.total_jobs
+            && self.pending.is_empty()
+            && self.in_transit.is_empty()
+            && self.suspended.is_empty()
+            && self.nodes.iter().all(|n| n.active_jobs() == 0)
+        {
+            self.done = true;
+            self.finished_at = now;
+        }
+    }
+
+    fn into_report(mut self, trace: &Trace, config: &SimConfig, now: SimTime) -> RunReport {
+        // Account still-unfinished jobs (horizon hit): keep partial state.
+        let mut jobs = std::mem::take(&mut self.completed);
+        let mut unfinished = 0usize;
+        for entry in std::mem::take(&mut self.pending) {
+            unfinished += 1;
+            let mut job = entry.job;
+            job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
+            jobs.push(job);
+        }
+        for (_, transit) in std::mem::take(&mut self.in_transit) {
+            unfinished += 1;
+            jobs.push(transit.job);
+        }
+        for entry in std::mem::take(&mut self.suspended) {
+            unfinished += 1;
+            let mut job = entry.job;
+            job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
+            jobs.push(job);
+        }
+        for node in &mut self.nodes {
+            node.advance_to(now);
+            for job in node.take_completed() {
+                jobs.push(job);
+            }
+        }
+        for node in &self.nodes {
+            for job in node.jobs() {
+                unfinished += 1;
+                jobs.push(job.clone());
+            }
+        }
+        unfinished += trace.len().saturating_sub(jobs.len()); // never-arrived
+        jobs.sort_by_key(|j| j.id());
+        let summary = WorkloadSummary::of_jobs(jobs.iter());
+        RunReport {
+            trace_name: trace.name.clone(),
+            policy: config.policy,
+            seed: config.seed,
+            summary,
+            gauges: self.gauges,
+            counters: self.counters,
+            reservations: self.reservations.stats(),
+            node_counters: self.nodes.iter().map(|n| n.counters()).collect(),
+            events: self.log,
+            finished_at: if self.done { self.finished_at } else { now },
+            unfinished_jobs: unfinished,
+            jobs,
+        }
+    }
+}
+
+impl World for ClusterWorld {
+    type Event = Event;
+
+    fn handle(&mut self, sched: &mut Scheduler<'_, Event>, event: Event) {
+        let now = sched.now();
+        match event {
+            Event::Arrival(spec) => {
+                self.arrived += 1;
+                let job = RunningJob::new(*spec);
+                let home = NodeId(self.rng.index(self.nodes.len()) as u32);
+                self.log.record(
+                    now,
+                    SchedulerEventKind::Submitted,
+                    Some(job.id()),
+                    Some(home),
+                );
+                if self.config.pending_discipline == crate::config::PendingDiscipline::Fifo
+                    && !self.pending.is_empty()
+                {
+                    // Submissions are blocked: new arrivals join the back of
+                    // the queue rather than jumping past older blocked jobs.
+                    self.enqueue_pending(job, home, now);
+                } else {
+                    self.place_job(job, home, now, sched, true);
+                }
+            }
+            Event::NodeWake { node, epoch } => {
+                if self.nodes[node.0 as usize].epoch() != epoch {
+                    return; // stale wake: the node changed since scheduling
+                }
+                self.nodes[node.0 as usize].advance_to(now);
+                self.collect_completions(now, sched);
+                // collect_completions only re-schedules nodes that completed
+                // something; a pure phase-boundary wake still needs a new
+                // wake-up.
+                if self.nodes[node.0 as usize].epoch() == epoch {
+                    self.schedule_wake(node, now, sched);
+                }
+            }
+            Event::Exchange => {
+                self.refresh_index(now, sched);
+                self.overload_scan(now, sched);
+                self.check_reservations(now, sched);
+                self.try_resume_suspended(now, sched);
+                self.check_done(now);
+                if !self.done {
+                    sched.schedule_in(self.config.cluster.load_exchange_period, Event::Exchange);
+                }
+            }
+            Event::Sample => {
+                for i in 0..self.nodes.len() {
+                    self.nodes[i].advance_to(now);
+                }
+                self.collect_completions(now, sched);
+                let pending = self.pending.len();
+                self.gauges.sample(self.nodes.iter(), pending, now);
+                if !self.done {
+                    sched.schedule_in(self.config.sample_period, Event::Sample);
+                }
+            }
+            Event::PendingRetry => {
+                if !self.pending.is_empty() {
+                    self.refresh_index(now, sched);
+                    self.try_place_pending(now, sched);
+                }
+                self.check_done(now);
+                if !self.done {
+                    sched.schedule_in(self.config.pending_retry_period, Event::PendingRetry);
+                }
+            }
+            Event::TransitArrive { job } => {
+                self.handle_transit_arrive(job, now, sched);
+                self.check_done(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::params::ClusterParams;
+    use vr_workload::synth;
+
+    fn small_cluster() -> ClusterParams {
+        let mut params = ClusterParams::cluster2();
+        params.nodes.truncate(8);
+        params
+    }
+
+    fn run(policy: PolicyKind, trace: &Trace) -> RunReport {
+        let config = SimConfig::new(small_cluster(), policy).with_seed(7);
+        Simulation::new(config).run(trace)
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let trace = Trace {
+            name: "empty".into(),
+            jobs: vec![],
+        };
+        let report = run(PolicyKind::GLoadSharing, &trace);
+        assert_eq!(report.summary.jobs, 0);
+        assert!(report.all_completed());
+    }
+
+    #[test]
+    fn light_load_completes_all_jobs_with_low_slowdown() {
+        let trace = synth::light_load(20, &mut SimRng::seed_from(3));
+        for policy in PolicyKind::ALL {
+            let report = run(policy, &trace);
+            assert!(report.all_completed(), "{policy}: unfinished jobs");
+            assert_eq!(report.summary.jobs, 20, "{policy}");
+            assert!(
+                report.avg_slowdown() < 1.5,
+                "{policy}: slowdown {} too high for light load",
+                report.avg_slowdown()
+            );
+            report.check_breakdown_identity(0.01).unwrap();
+        }
+    }
+
+    #[test]
+    fn light_load_never_reconfigures() {
+        // §5 condition 1: a lightly loaded cluster gives V-R nothing to do.
+        let trace = synth::light_load(20, &mut SimRng::seed_from(3));
+        let report = run(PolicyKind::VReconfiguration, &trace);
+        assert_eq!(report.reservations.started, 0);
+        assert_eq!(report.counters.blocking_detections, 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let a = run(PolicyKind::VReconfiguration, &trace);
+        let b = run(PolicyKind::VReconfiguration, &trace);
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.reservations, b.reservations);
+        assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn blocking_scenario_triggers_reconfiguration() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let gls = run(PolicyKind::GLoadSharing, &trace);
+        let vr = run(PolicyKind::VReconfiguration, &trace);
+        assert!(
+            gls.counters.blocking_detections > 0,
+            "scenario failed to block"
+        );
+        assert!(vr.reservations.started > 0, "V-R never reserved");
+        assert!(vr.reservations.jobs_served > 0, "V-R never served a job");
+        assert!(vr.all_completed());
+        assert!(gls.all_completed());
+    }
+
+    #[test]
+    fn vreconfiguration_beats_gls_on_the_blocking_scenario() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let gls = run(PolicyKind::GLoadSharing, &trace);
+        let vr = run(PolicyKind::VReconfiguration, &trace);
+        assert!(
+            vr.avg_slowdown() < gls.avg_slowdown(),
+            "V-R {:.3} should beat G-LS {:.3}",
+            vr.avg_slowdown(),
+            gls.avg_slowdown()
+        );
+        assert!(
+            vr.total_queue_secs() < gls.total_queue_secs(),
+            "V-R queue {:.0}s should be below G-LS {:.0}s",
+            vr.total_queue_secs(),
+            gls.total_queue_secs()
+        );
+    }
+
+    #[test]
+    fn breakdown_identity_holds_under_stress() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+            let report = run(policy, &trace);
+            report.check_breakdown_identity(0.05).unwrap();
+        }
+    }
+
+    #[test]
+    fn all_reservations_are_eventually_released() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let report = run(PolicyKind::VReconfiguration, &trace);
+        let r = report.reservations;
+        assert_eq!(
+            r.started,
+            r.released_after_service + r.released_unused + r.timed_out,
+            "reservation leak: {r:?}"
+        );
+    }
+
+    #[test]
+    fn gls_uses_remote_submission_under_load() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let report = run(PolicyKind::GLoadSharing, &trace);
+        assert!(report.counters.remote_submissions > 0);
+    }
+
+    #[test]
+    fn no_load_sharing_never_migrates() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let report = run(PolicyKind::NoLoadSharing, &trace);
+        assert_eq!(report.counters.overload_migrations, 0);
+        assert_eq!(report.counters.remote_submissions, 0);
+        assert_eq!(report.reservations.started, 0);
+    }
+
+    #[test]
+    fn tiny_reserve_timeout_abandons_reservations_but_recovers() {
+        // "If a workstation can not be reserved within a pre-determined
+        // time interval, it implies that the cluster is truly heavily
+        // loaded" — with an absurdly small timeout every reserving period
+        // is abandoned, and the system must still finish all jobs.
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let config = SimConfig::new(small_cluster(), PolicyKind::VReconfiguration)
+            .with_seed(7)
+            .with_reservation(crate::config::ReservationOptions {
+                reserve_timeout: vr_simcore::time::SimSpan::from_secs(2),
+                ..crate::config::ReservationOptions::default()
+            });
+        let report = Simulation::new(config).run(&trace);
+        assert!(report.all_completed());
+        assert!(report.reservations.timed_out > 0, "timeout never fired");
+        let r = report.reservations;
+        assert_eq!(
+            r.started,
+            r.released_after_service + r.released_unused + r.timed_out
+        );
+    }
+
+    #[test]
+    fn enough_memory_end_condition_serves_without_full_drain() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let config = SimConfig::new(small_cluster(), PolicyKind::VReconfiguration)
+            .with_seed(7)
+            .with_reservation(crate::config::ReservationOptions {
+                end_condition: crate::config::ReservingEnd::EnoughMemory,
+                ..crate::config::ReservationOptions::default()
+            });
+        let report = Simulation::new(config).run(&trace);
+        assert!(report.all_completed());
+        assert!(report.reservations.jobs_served > 0);
+        report.check_breakdown_identity(0.05).unwrap();
+    }
+
+    #[test]
+    fn heterogeneous_cluster_reserves_big_memory_nodes() {
+        // §2.3: "a reserved workstation will be the one with relatively
+        // large physical memory space". Big nodes are ids 0..2 here.
+        let cluster = vr_cluster::params::ClusterParams::heterogeneous(8, 2);
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let config = SimConfig::new(cluster, PolicyKind::VReconfiguration).with_seed(7);
+        let report = Simulation::new(config).run(&trace);
+        assert!(report.all_completed());
+        if report.reservations.started > 0 {
+            // Big-memory nodes did the serving: they admitted more than
+            // their per-node share.
+            let big: u64 = report.node_counters[..2].iter().map(|c| c.admitted).sum();
+            let small: u64 = report.node_counters[2..].iter().map(|c| c.admitted).sum();
+            assert!(
+                big as f64 / 2.0 >= small as f64 / 6.0,
+                "big nodes admitted {big}, small {small}"
+            );
+        }
+    }
+
+    #[test]
+    fn suspension_strawman_suspends_and_eventually_resumes() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let report = run(PolicyKind::SuspendLargest, &trace);
+        assert!(report.counters.suspensions > 0, "never suspended");
+        assert_eq!(
+            report.counters.suspensions, report.counters.resumes,
+            "all suspended jobs must eventually resume once the flow stops"
+        );
+        assert!(report.all_completed());
+        report.check_breakdown_identity(0.05).unwrap();
+    }
+
+    /// A blocking scenario whose filler stream keeps flowing for several
+    /// multiples of the giants' runtime — the "job submissions continue to
+    /// flow" condition under which §1 says suspension starves large jobs.
+    fn sustained_blocking_trace() -> Trace {
+        let base = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let mut jobs = base.jobs.clone();
+        // Repeat the steady filler stream three more times, shifted.
+        let fillers: Vec<JobSpec> = base
+            .jobs
+            .iter()
+            .filter(|j| j.name == "filler")
+            .cloned()
+            .collect();
+        for round in 1..=3u64 {
+            for f in &fillers {
+                let mut j = f.clone();
+                j.submit += SimSpan::from_secs(1040 * round);
+                jobs.push(j);
+            }
+        }
+        jobs.sort_by_key(|j| j.submit);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = JobId(i as u64);
+        }
+        Trace {
+            name: "Synth-Blocking-Sustained".into(),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn suspension_is_unfair_to_large_jobs() {
+        // §1: suspension "will not be fair to the large jobs that may
+        // starve if job submissions continue to flow". Compare the giants'
+        // slowdowns under suspension vs reconfiguration on a sustained
+        // filler stream.
+        let trace = sustained_blocking_trace();
+        let giant_mean = |r: &RunReport| {
+            let s: Vec<f64> = r
+                .jobs
+                .iter()
+                .filter(|j| j.spec.name == "giant")
+                .map(|j| j.slowdown())
+                .collect();
+            s.iter().sum::<f64>() / s.len() as f64
+        };
+        let suspend = run(PolicyKind::SuspendLargest, &trace);
+        let vrecon = run(PolicyKind::VReconfiguration, &trace);
+        assert!(suspend.counters.suspensions > 0);
+        assert!(
+            giant_mean(&suspend) > giant_mean(&vrecon),
+            "suspension should starve giants: {:.2} vs V-R {:.2}",
+            giant_mean(&suspend),
+            giant_mean(&vrecon)
+        );
+    }
+
+    #[test]
+    fn network_ram_reduces_paging_under_blocking() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let base = SimConfig::new(small_cluster(), PolicyKind::GLoadSharing).with_seed(7);
+        let local = Simulation::new(base.clone()).run(&trace);
+        let netram = Simulation::new(base.with_network_ram()).run(&trace);
+        assert!(netram.all_completed());
+        assert!(
+            netram.summary.totals.page < local.summary.totals.page,
+            "netram page {:.0}s should be below local {:.0}s",
+            netram.summary.totals.page,
+            local.summary.totals.page
+        );
+        assert!(netram.avg_slowdown() < local.avg_slowdown());
+        netram.check_breakdown_identity(0.05).unwrap();
+    }
+
+    #[test]
+    fn network_ram_composes_with_reconfiguration() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let vr = Simulation::new(
+            SimConfig::new(small_cluster(), PolicyKind::VReconfiguration).with_seed(7),
+        )
+        .run(&trace);
+        let vr_netram = Simulation::new(
+            SimConfig::new(small_cluster(), PolicyKind::VReconfiguration)
+                .with_seed(7)
+                .with_network_ram(),
+        )
+        .run(&trace);
+        assert!(vr_netram.all_completed());
+        assert!(vr_netram.avg_slowdown() <= vr.avg_slowdown() * 1.02);
+    }
+
+    #[test]
+    fn event_log_tells_a_consistent_story() {
+        use crate::events::SchedulerEventKind as K;
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let report = run(PolicyKind::VReconfiguration, &trace);
+        let log = &report.events;
+        assert!(!log.is_empty());
+        // Every job is submitted exactly once and completed exactly once.
+        assert_eq!(log.of_kind(K::Submitted).count(), trace.len());
+        assert_eq!(log.of_kind(K::Completed).count(), trace.len());
+        // Per job: submission precedes first placement precedes completion.
+        for job in &report.jobs {
+            let events: Vec<_> = log.for_job(job.id()).collect();
+            let submitted = events.iter().find(|e| e.kind == K::Submitted).unwrap();
+            let placed = events.iter().find(|e| e.kind == K::Placed).unwrap();
+            let completed = events.iter().find(|e| e.kind == K::Completed).unwrap();
+            assert!(submitted.time <= placed.time);
+            assert!(placed.time <= completed.time);
+        }
+        // Reservation begins and releases pair up.
+        assert_eq!(
+            log.of_kind(K::ReservationBegan).count() as u64,
+            report.reservations.started
+        );
+        assert_eq!(
+            log.of_kind(K::ReservationBegan).count(),
+            log.of_kind(K::ReservationReleased).count()
+        );
+        // Special-service migrations match the reservation stats.
+        assert_eq!(
+            log.of_kind(K::SpecialServiceStarted).count() as u64,
+            report.reservations.jobs_served
+        );
+    }
+
+    #[test]
+    fn only_suspend_policy_suspends() {
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+            let report = run(policy, &trace);
+            assert_eq!(report.counters.suspensions, 0, "{policy}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Fairness metrics over per-job slowdowns.
+//!
+//! Fairness is the paper's second design constraint: "the policy should be
+//! beneficial to both large and other jobs" (§2.2), and the suspension
+//! alternative is rejected precisely because it "will not be fair to the
+//! large jobs" (§1). [`jain_index`] quantifies that: 1.0 means every job
+//! suffered equally; `1/n` means one job absorbed all the slowdown.
+
+/// Jain's fairness index over non-negative values:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`.
+///
+/// Returns 1.0 for an empty slice (vacuously fair).
+///
+/// # Panics
+///
+/// Panics if any value is negative or NaN.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for v in values {
+        assert!(v.is_finite() && *v >= 0.0, "fairness over invalid value {v}");
+        sum += v;
+        sum_sq += v * v;
+    }
+    if sum_sq == 0.0 {
+        return 1.0; // all zeros: equally (non-)served
+    }
+    (sum * sum) / (values.len() as f64 * sum_sq)
+}
+
+/// The worst-to-mean slowdown ratio: how much worse the most-punished job
+/// fared than the average one. 1.0 is perfectly fair; the suspension
+/// strawman drives this up for large jobs.
+///
+/// Returns 1.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is negative or NaN.
+pub fn worst_to_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    for v in values {
+        assert!(v.is_finite() && *v >= 0.0, "fairness over invalid value {v}");
+        sum += v;
+        max = max.max(*v);
+    }
+    let mean = sum / values.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_are_perfectly_fair() {
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((worst_to_mean(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_job_absorbing_everything_is_maximally_unfair() {
+        let values = [0.0, 0.0, 0.0, 12.0];
+        assert!((jain_index(&values) - 0.25).abs() < 1e-12); // 1/n
+        assert!((worst_to_mean(&values) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 20.0, 30.0];
+        assert!((jain_index(&a) - jain_index(&b)).abs() < 1e-12);
+        assert!((worst_to_mean(&a) - worst_to_mean(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_edge_cases() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(worst_to_mean(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(worst_to_mean(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn negative_values_panic() {
+        jain_index(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Aggregating completed jobs into the paper's reported quantities.
+//!
+//! For a finished run, [`WorkloadSummary::of_jobs`] computes the totals of
+//! §5's decomposition (`T_cpu`, `T_page`, `T_que`, `T_mig`, and their sum
+//! `T_exe`), the average slowdown (§4's primary metric), and slowdown
+//! distribution statistics.
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::job::{RunningJob, TimeBreakdown};
+use vr_simcore::stats::{percentile, Summary};
+
+/// Totals and averages over all jobs of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of jobs aggregated.
+    pub jobs: usize,
+    /// Component-wise total execution time (the paper's `T_exe` and its
+    /// breakdown), in seconds.
+    pub totals: TimeBreakdown,
+    /// Mean of per-job slowdowns (the paper's "average slowdown").
+    pub avg_slowdown: f64,
+    /// Distribution of per-job slowdowns.
+    pub slowdown: Summary,
+    /// Median per-job slowdown.
+    pub median_slowdown: f64,
+    /// 95th-percentile slowdown (tail behaviour of the blocked jobs).
+    pub p95_slowdown: f64,
+    /// Total preemptive migrations endured across all jobs.
+    pub migrations: u64,
+    /// Jobs whose first placement was remote.
+    pub remote_submissions: u64,
+}
+
+impl WorkloadSummary {
+    /// Aggregates a set of completed jobs.
+    ///
+    /// Jobs that never completed are still aggregated with their partial
+    /// breakdowns; callers that care should check completion separately.
+    pub fn of_jobs<'a, I>(jobs: I) -> WorkloadSummary
+    where
+        I: IntoIterator<Item = &'a RunningJob>,
+    {
+        let mut totals = TimeBreakdown::default();
+        let mut slowdowns = Vec::new();
+        let mut migrations = 0u64;
+        let mut remote = 0u64;
+        for job in jobs {
+            totals = totals.add(&job.breakdown);
+            slowdowns.push(job.slowdown());
+            migrations += u64::from(job.migrations);
+            remote += u64::from(job.remote_submitted);
+        }
+        let summary = Summary::of(slowdowns.iter().copied());
+        slowdowns.sort_by(|a, b| a.partial_cmp(b).expect("slowdowns are never NaN"));
+        let (median, p95) = if slowdowns.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (percentile(&slowdowns, 0.5), percentile(&slowdowns, 0.95))
+        };
+        WorkloadSummary {
+            jobs: slowdowns.len(),
+            totals,
+            avg_slowdown: summary.mean,
+            slowdown: summary,
+            median_slowdown: median,
+            p95_slowdown: p95,
+            migrations,
+            remote_submissions: remote,
+        }
+    }
+
+    /// Total execution time `T_exe` in seconds.
+    pub fn total_execution_secs(&self) -> f64 {
+        self.totals.wall()
+    }
+
+    /// Total queuing time `T_que` in seconds.
+    pub fn total_queue_secs(&self) -> f64 {
+        self.totals.queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::job::{JobClass, JobId, JobSpec, JobState, MemoryProfile};
+    use vr_cluster::units::Bytes;
+    use vr_simcore::time::{SimSpan, SimTime};
+
+    fn job(id: u64, cpu: f64, page: f64, queue: f64, mig: f64, migrations: u32) -> RunningJob {
+        let mut j = RunningJob::new(JobSpec {
+            id: JobId(id),
+            name: "t".into(),
+            class: JobClass::CpuIntensive,
+            submit: SimTime::ZERO,
+            cpu_work: SimSpan::from_secs_f64(cpu),
+            memory: MemoryProfile::constant(Bytes::from_mb(10)),
+            io_rate: 0.0,
+        });
+        j.breakdown = TimeBreakdown {
+            cpu,
+            page,
+            queue,
+            migration: mig,
+        };
+        j.migrations = migrations;
+        j.state = JobState::Completed;
+        j
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let jobs = vec![
+            job(0, 100.0, 10.0, 30.0, 0.0, 0),
+            job(1, 50.0, 0.0, 25.0, 5.0, 1),
+        ];
+        let s = WorkloadSummary::of_jobs(&jobs);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.totals.cpu, 150.0);
+        assert_eq!(s.totals.page, 10.0);
+        assert_eq!(s.totals.queue, 55.0);
+        assert_eq!(s.totals.migration, 5.0);
+        assert_eq!(s.total_execution_secs(), 220.0);
+        assert_eq!(s.total_queue_secs(), 55.0);
+        assert_eq!(s.migrations, 1);
+    }
+
+    #[test]
+    fn avg_slowdown_is_mean_of_per_job_slowdowns() {
+        let jobs = vec![
+            job(0, 100.0, 0.0, 100.0, 0.0, 0),   // slowdown 2.0
+            job(1, 100.0, 100.0, 200.0, 0.0, 0), // slowdown 4.0
+        ];
+        let s = WorkloadSummary::of_jobs(&jobs);
+        assert!((s.avg_slowdown - 3.0).abs() < 1e-12);
+        assert!((s.median_slowdown - 3.0).abs() < 1e-12);
+        assert!(s.p95_slowdown > 3.0);
+    }
+
+    #[test]
+    fn empty_run_is_zeroed() {
+        let s = WorkloadSummary::of_jobs(std::iter::empty());
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.avg_slowdown, 0.0);
+        assert_eq!(s.median_slowdown, 0.0);
+        assert_eq!(s.total_execution_secs(), 0.0);
+    }
+
+    #[test]
+    fn remote_submissions_counted() {
+        let mut j = job(0, 10.0, 0.0, 0.0, 0.1, 0);
+        j.remote_submitted = true;
+        let s = WorkloadSummary::of_jobs(std::iter::once(&j));
+        assert_eq!(s.remote_submissions, 1);
+    }
+}

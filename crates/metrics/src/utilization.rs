@@ -1,0 +1,132 @@
+//! Per-workstation utilization and load-imbalance summaries.
+//!
+//! "Load sharing provides a system mechanism ... aiming at fully utilizing
+//! system resources" (§1). These helpers turn per-node counters into the
+//! utilization picture: how much CPU each workstation actually delivered,
+//! how much it stalled on paging, and how unevenly the work spread.
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::node::NodeCounters;
+use vr_simcore::stats::Summary;
+use vr_simcore::time::SimTime;
+
+/// One workstation's utilization over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeUtilization {
+    /// Node index (position in the cluster).
+    pub node: usize,
+    /// Fraction of the run's wall-clock time spent delivering CPU service.
+    pub cpu_utilization: f64,
+    /// Fraction of the run's wall-clock time its jobs stalled on faults.
+    pub page_stall_fraction: f64,
+    /// Jobs admitted.
+    pub admitted: u64,
+    /// Jobs completed here.
+    pub completed: u64,
+}
+
+/// Cluster-wide utilization summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// Per-node figures, in node order.
+    pub nodes: Vec<NodeUtilization>,
+    /// Distribution of per-node CPU utilizations.
+    pub cpu: Summary,
+    /// Max/min ratio of per-node delivered CPU (∞ when a node idled
+    /// completely) — a coarse imbalance indicator.
+    pub imbalance_ratio: f64,
+}
+
+impl UtilizationSummary {
+    /// Builds the summary from per-node counters and the run's makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` is empty or the makespan is zero.
+    pub fn from_counters(counters: &[NodeCounters], makespan: SimTime) -> Self {
+        assert!(!counters.is_empty(), "utilization of an empty cluster");
+        let wall = makespan.as_secs_f64();
+        assert!(wall > 0.0, "utilization over a zero makespan");
+        let nodes: Vec<NodeUtilization> = counters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| NodeUtilization {
+                node: i,
+                cpu_utilization: c.delivered_cpu / wall,
+                page_stall_fraction: c.page_stall / wall,
+                admitted: c.admitted,
+                completed: c.completed,
+            })
+            .collect();
+        let cpu = Summary::of(nodes.iter().map(|n| n.cpu_utilization));
+        let max = nodes
+            .iter()
+            .map(|n| n.cpu_utilization)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min = nodes
+            .iter()
+            .map(|n| n.cpu_utilization)
+            .fold(f64::INFINITY, f64::min);
+        let imbalance_ratio = if min > 0.0 { max / min } else { f64::INFINITY };
+        UtilizationSummary {
+            nodes,
+            cpu,
+            imbalance_ratio,
+        }
+    }
+
+    /// Mean CPU utilization across workstations.
+    pub fn mean_cpu_utilization(&self) -> f64 {
+        self.cpu.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters(cpu: f64, page: f64, admitted: u64, completed: u64) -> NodeCounters {
+        NodeCounters {
+            delivered_cpu: cpu,
+            page_stall: page,
+            admitted,
+            completed,
+            migrated_out: 0,
+            io_ops: 0.0,
+        }
+    }
+
+    #[test]
+    fn summarizes_per_node_and_cluster() {
+        let c = vec![
+            counters(50.0, 10.0, 3, 3),
+            counters(100.0, 0.0, 5, 5),
+        ];
+        let s = UtilizationSummary::from_counters(&c, SimTime::from_secs(100));
+        assert_eq!(s.nodes.len(), 2);
+        assert!((s.nodes[0].cpu_utilization - 0.5).abs() < 1e-12);
+        assert!((s.nodes[0].page_stall_fraction - 0.1).abs() < 1e-12);
+        assert!((s.nodes[1].cpu_utilization - 1.0).abs() < 1e-12);
+        assert!((s.mean_cpu_utilization() - 0.75).abs() < 1e-12);
+        assert!((s.imbalance_ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_node_gives_infinite_imbalance() {
+        let c = vec![counters(10.0, 0.0, 1, 1), counters(0.0, 0.0, 0, 0)];
+        let s = UtilizationSummary::from_counters(&c, SimTime::from_secs(10));
+        assert!(s.imbalance_ratio.is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn empty_cluster_panics() {
+        UtilizationSummary::from_counters(&[], SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero makespan")]
+    fn zero_makespan_panics() {
+        UtilizationSummary::from_counters(&[counters(1.0, 0.0, 1, 1)], SimTime::ZERO);
+    }
+}

@@ -1,0 +1,267 @@
+//! Deterministic pending-event set.
+//!
+//! [`EventQueue`] is a priority queue ordered by `(time, insertion sequence)`.
+//! The sequence tie-break makes event ordering — and therefore every
+//! simulation built on it — fully deterministic: two events scheduled for the
+//! same instant fire in the order they were scheduled.
+//!
+//! Cancellation is lazy: [`EventQueue::cancel`] marks the entry dead and the
+//! queue skips it on pop, so cancelling is O(1) and popping stays O(log n)
+//! amortized.
+//!
+//! ```
+//! use vr_simcore::event::EventQueue;
+//! use vr_simcore::time::SimTime;
+//!
+//! let mut q = EventQueue::new();
+//! let a = q.schedule(SimTime::from_secs(2), "second");
+//! q.schedule(SimTime::from_secs(1), "first");
+//! q.schedule(SimTime::from_secs(2), "third (same time, later seq)");
+//! assert!(q.cancel(a));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("first"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("third (same time, later seq)"));
+//! assert!(q.pop().is_none());
+//! ```
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Identifies a scheduled event so it can be cancelled later.
+///
+/// Handles are unique for the lifetime of the queue and become inert once the
+/// event has fired or been cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic time-ordered queue of pending simulation events.
+///
+/// See the [module documentation](self) for ordering and cancellation
+/// semantics.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs scheduled but neither fired nor cancelled.
+    pending: HashSet<u64>,
+    /// Seqs cancelled but still physically present in the heap.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time` and returns a handle that can
+    /// cancel it.
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.time, entry.event));
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// The number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3), 'c');
+        q.schedule(t(1), 'a');
+        q.schedule(t(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "dead");
+        q.schedule(t(2), "alive");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "alive")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_rejected() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_rejected() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_rejected() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "dead");
+        q.schedule(t(9), "alive");
+        assert!(q.cancel(h));
+        assert_eq!(q.peek_time(), Some(t(9)));
+        assert_eq!(q.pop(), Some((t(9), "alive")));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(t(1), 1);
+        q.schedule(t(2), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_fired_handle_with_others_pending_is_rejected() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), "fires");
+        q.schedule(t(2), "still pending");
+        assert_eq!(q.pop(), Some((t(1), "fires")));
+        assert!(!q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((t(2), "still pending")));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(10), 1);
+        q.schedule(t(5), 2);
+        assert_eq!(q.pop(), Some((t(5), 2)));
+        q.schedule(t(8), 3);
+        assert!(q.cancel(h1));
+        q.schedule(t(12), 4);
+        assert_eq!(q.pop(), Some((t(8), 3)));
+        assert_eq!(q.pop(), Some((t(12), 4)));
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Deterministic random numbers and distribution samplers.
+//!
+//! Every source of randomness in a simulation flows through one seeded
+//! [`SimRng`], so an identical configuration and seed reproduce an identical
+//! run. Independent deterministic streams can be split off with
+//! [`SimRng::fork`] (e.g. one stream per workload trace) so that adding draws
+//! to one component does not perturb another.
+//!
+//! `rand` 0.8 ships only uniform sampling; the normal, lognormal, and
+//! exponential samplers needed by the workload generator are implemented here
+//! (Box–Muller and inverse-CDF transforms).
+//!
+//! ```
+//! use vr_simcore::rng::SimRng;
+//!
+//! let mut a = SimRng::seed_from(42);
+//! let mut b = SimRng::seed_from(42);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//!
+//! let x = a.lognormal(3.0, 1.0);
+//! assert!(x > 0.0);
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random-number generator with the distribution samplers the
+/// simulator needs.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+    /// Spare deviate from the last Box–Muller pair.
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Splits off an independent deterministic stream.
+    ///
+    /// The child stream is a pure function of this generator's seed history
+    /// and `stream`; forking with different `stream` values yields unrelated
+    /// sequences without consuming draws from `self`'s future.
+    pub fn fork(&self, stream: u64) -> SimRng {
+        // Mix the parent's current state fingerprint with the stream id via
+        // splitmix64 so child streams are decorrelated.
+        let mut cloned = self.inner.clone();
+        let fingerprint = cloned.next_u64();
+        SimRng::seed_from(splitmix64(fingerprint ^ splitmix64(stream)))
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "uniform_range requires lo < hi, got [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Picks an index according to non-negative `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative value, or sums to
+    /// zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires weights");
+        let total: f64 = weights
+            .iter()
+            .inspect(|w| assert!(**w >= 0.0, "negative weight {w}"))
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.uniform() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Standard normal deviate via Box–Muller (with spare caching).
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u1 in (0, 1] to keep ln() finite.
+        let u1 = 1.0 - self.uniform();
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(
+            std_dev >= 0.0,
+            "normal requires std_dev >= 0, got {std_dev}"
+        );
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Lognormal deviate: `exp(N(mu, sigma))`.
+    ///
+    /// `mu` and `sigma` are the mean and standard deviation of the
+    /// *underlying normal*, matching the parameterization of the paper's
+    /// arrival-rate function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Exponential deviate with the given rate (mean `1/rate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential requires rate > 0, got {rate}");
+        let u = 1.0 - self.uniform(); // (0, 1]
+        -u.ln() / rate
+    }
+
+    /// Multiplies `value` by a uniform jitter factor in
+    /// `[1 - spread, 1 + spread]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spread` is not in `[0, 1)`.
+    pub fn jitter(&mut self, value: f64, spread: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&spread),
+            "jitter spread must be in [0, 1), got {spread}"
+        );
+        if spread == 0.0 {
+            return value;
+        }
+        value * self.uniform_range(1.0 - spread, 1.0 + spread)
+    }
+
+    /// Fisher–Yates shuffles `items` in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// splitmix64 finalizer, used to decorrelate fork streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from(7);
+        let mut b = SimRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from(1);
+        let mut b = SimRng::seed_from(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let parent = SimRng::seed_from(99);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(0);
+        let mut c3 = parent.fork(1);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval() {
+        let mut rng = SimRng::seed_from(3);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = SimRng::seed_from(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_correct_median() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| rng.lognormal(2.0, 0.5)).collect();
+        assert!(samples.iter().all(|x| *x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        // Median of lognormal(mu, sigma) is exp(mu).
+        assert!(
+            (median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.05,
+            "median {median}"
+        );
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let mut rng = SimRng::seed_from(17);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed_from(19);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn jitter_bounds_hold() {
+        let mut rng = SimRng::seed_from(23);
+        for _ in 0..1000 {
+            let v = rng.jitter(100.0, 0.2);
+            assert!((80.0..=120.0).contains(&v), "{v}");
+        }
+        assert_eq!(rng.jitter(100.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from(29);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn uniform_range_validates() {
+        SimRng::seed_from(0).uniform_range(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate > 0")]
+    fn exponential_validates() {
+        SimRng::seed_from(0).exponential(0.0);
+    }
+}

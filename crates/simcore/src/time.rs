@@ -1,0 +1,415 @@
+//! Fixed-point simulation time.
+//!
+//! Simulation time is kept in integer microseconds so that event ordering is
+//! exact and runs are bit-for-bit reproducible. Two newtypes keep instants and
+//! durations apart ([`SimTime`] vs [`SimSpan`]); mixing them up is a compile
+//! error rather than a latent bug.
+//!
+//! ```
+//! use vr_simcore::time::{SimTime, SimSpan};
+//!
+//! let start = SimTime::ZERO;
+//! let t = start + SimSpan::from_millis(10) + SimSpan::from_secs(2);
+//! assert_eq!(t.as_micros(), 2_010_000);
+//! assert_eq!(t - start, SimSpan::from_micros(2_010_000));
+//! ```
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, measured in microseconds since the
+/// start of the run.
+///
+/// `SimTime` is totally ordered and cheap to copy. Subtracting two instants
+/// yields a [`SimSpan`]; adding a [`SimSpan`] yields a later instant.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A non-negative span of simulation time, measured in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimSpan(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after the start of the run.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after the start of the run.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after the start of the run.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimTime((secs * 1e6).round() as u64)
+    }
+
+    /// This instant as integer microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// The span from `earlier` to `self`, or [`SimSpan::ZERO`] if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimSpan {
+        SimSpan(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, span: SimSpan) -> Option<SimTime> {
+        self.0.checked_add(span.0).map(SimTime)
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimSpan {
+    /// The empty span.
+    pub const ZERO: SimSpan = SimSpan(0);
+    /// The largest representable span.
+    pub const MAX: SimSpan = SimSpan(u64::MAX);
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimSpan(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimSpan(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimSpan(secs * 1_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimSpan::from_secs_f64 requires a finite non-negative value, got {secs}"
+        );
+        SimSpan((secs * 1e6).round() as u64)
+    }
+
+    /// This span as integer microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// `true` if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by a non-negative factor, rounding to the nearest
+    /// microsecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN.
+    pub fn mul_f64(self, factor: f64) -> SimSpan {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "SimSpan::mul_f64 requires a finite non-negative factor, got {factor}"
+        );
+        SimSpan((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, other: SimSpan) -> Option<SimSpan> {
+        self.0.checked_add(other.0).map(SimSpan)
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.min(other.0))
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimSpan) -> SimSpan {
+        SimSpan(self.0.max(other.0))
+    }
+}
+
+impl Add<SimSpan> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimSpan) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime overflow: instant + span exceeds u64 microseconds"),
+        )
+    }
+}
+
+impl AddAssign<SimSpan> for SimTime {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimSpan;
+    /// The span between two instants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimSpan {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction would be negative ({} - {})",
+            self,
+            rhs
+        );
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimSpan> for SimTime {
+    type Output = SimTime;
+    /// The instant `rhs` earlier than `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would precede the start of the run.
+    fn sub(self, rhs: SimSpan) -> SimTime {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime - SimSpan would precede the start of the run"
+        );
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimSpan {
+    type Output = SimSpan;
+    fn add(self, rhs: SimSpan) -> SimSpan {
+        SimSpan(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimSpan overflow: span + span exceeds u64 microseconds"),
+        )
+    }
+}
+
+impl AddAssign for SimSpan {
+    fn add_assign(&mut self, rhs: SimSpan) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimSpan {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`SimSpan::saturating_sub`] otherwise.
+    fn sub(self, rhs: SimSpan) -> SimSpan {
+        assert!(self.0 >= rhs.0, "SimSpan subtraction would be negative");
+        SimSpan(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimSpan {
+    fn sub_assign(&mut self, rhs: SimSpan) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimSpan {
+    type Output = SimSpan;
+    fn mul(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0.checked_mul(rhs).expect("SimSpan overflow in Mul"))
+    }
+}
+
+impl Div<u64> for SimSpan {
+    type Output = SimSpan;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: u64) -> SimSpan {
+        SimSpan(self.0 / rhs)
+    }
+}
+
+impl Div for SimSpan {
+    type Output = f64;
+    /// The ratio between two spans.
+    fn div(self, rhs: SimSpan) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl Sum for SimSpan {
+    fn sum<I: Iterator<Item = SimSpan>>(iter: I) -> SimSpan {
+        iter.fold(SimSpan::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl From<SimSpan> for SimTime {
+    /// Interprets a span as an offset from the start of the run.
+    fn from(span: SimSpan) -> SimTime {
+        SimTime(span.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_micros(3).as_micros(), 3);
+        assert_eq!(SimSpan::from_secs(7).as_secs_f64(), 7.0);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimSpan::from_secs_f64(0.0000015).as_micros(), 2); // rounds
+    }
+
+    #[test]
+    fn instant_span_arithmetic() {
+        let t = SimTime::from_secs(10);
+        let s = SimSpan::from_millis(250);
+        assert_eq!((t + s).as_micros(), 10_250_000);
+        assert_eq!((t + s) - t, s);
+        assert_eq!((t + s) - s, t);
+        let mut u = t;
+        u += s;
+        assert_eq!(u, t + s);
+    }
+
+    #[test]
+    fn span_arithmetic() {
+        let a = SimSpan::from_secs(2);
+        let b = SimSpan::from_secs(3);
+        assert_eq!(a + b, SimSpan::from_secs(5));
+        assert_eq!(b - a, SimSpan::from_secs(1));
+        assert_eq!(a * 4, SimSpan::from_secs(8));
+        assert_eq!(b / 3, SimSpan::from_secs(1));
+        assert!((b / a - 1.5).abs() < 1e-12);
+        assert_eq!(a.mul_f64(2.5), SimSpan::from_secs(5));
+        assert_eq!(a.saturating_sub(b), SimSpan::ZERO);
+        assert_eq!([a, b].into_iter().sum::<SimSpan>(), SimSpan::from_secs(5));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(4);
+        assert_eq!(late.saturating_since(early), SimSpan::from_secs(3));
+        assert_eq!(early.saturating_since(late), SimSpan::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_instant_subtraction_panics() {
+        let _ = SimTime::from_secs(1) - SimTime::from_secs(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+        assert_eq!(
+            SimSpan::from_secs(1).max(SimSpan::from_secs(2)),
+            SimSpan::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn display_formats_as_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(SimSpan::from_micros(1).to_string(), "0.000001s");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(SimTime::MAX.checked_add(SimSpan::from_micros(1)).is_none());
+        assert!(SimSpan::MAX.checked_add(SimSpan::from_micros(1)).is_none());
+        assert_eq!(
+            SimTime::ZERO.checked_add(SimSpan::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! The program catalog: static descriptions instantiable into jobs.
+//!
+//! A [`ProgramSpec`] captures what the paper's Tables 1–2 report about each
+//! benchmark program — peak working set, dedicated lifetime, workload class
+//! — plus a [`PhaseShape`] describing how the working set evolves with
+//! progress. [`ProgramSpec::instantiate`] turns a spec into a concrete
+//! [`JobSpec`] with per-job jitter, which is how traces model run-to-run
+//! variation of the same program on different inputs.
+
+use serde::{Deserialize, Serialize};
+use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile};
+use vr_cluster::units::Bytes;
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::{SimSpan, SimTime};
+
+/// How a program's working set evolves over its execution progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseShape {
+    /// Constant at the peak for the whole run.
+    Flat,
+    /// Starts small, steps up to the peak: allocation happens as the program
+    /// reads its input. The blocking problem's trigger — a job that looked
+    /// harmless at admission then balloons.
+    Ramp,
+    /// Ramps up to the peak, then releases most memory for a result-writing
+    /// tail.
+    RampDecay,
+}
+
+/// A catalog entry: one benchmark program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramSpec {
+    /// Program name as in the paper's tables.
+    pub name: &'static str,
+    /// The "description" column of the tables.
+    pub description: &'static str,
+    /// The "input file" / "data size" column.
+    pub input: &'static str,
+    /// Workload class.
+    pub class: JobClass,
+    /// Peak working set in MB (the tables' "working set" column).
+    pub working_set_mb: f64,
+    /// Dedicated-environment lifetime in seconds (the tables' "lifetime").
+    pub lifetime_secs: f64,
+    /// Average I/O operations per second (metadata; see
+    /// [`JobSpec::io_rate`](vr_cluster::job::JobSpec)).
+    pub io_rate: f64,
+    /// Working-set evolution shape.
+    pub shape: PhaseShape,
+}
+
+impl ProgramSpec {
+    /// Builds the memory profile for a given peak working set and CPU work.
+    fn memory_profile(&self, peak: Bytes, cpu_work: SimSpan) -> MemoryProfile {
+        let work = cpu_work.as_secs_f64();
+        let at = |frac: f64| SimSpan::from_secs_f64(work * frac);
+        match self.shape {
+            PhaseShape::Flat => MemoryProfile::constant(peak),
+            PhaseShape::Ramp => MemoryProfile::from_phases(vec![
+                (at(0.05), peak.mul_f64(0.25)),
+                (at(0.15), peak.mul_f64(0.60)),
+                (SimSpan::MAX, peak),
+            ])
+            .expect("ramp boundaries are strictly increasing"),
+            PhaseShape::RampDecay => MemoryProfile::from_phases(vec![
+                (at(0.05), peak.mul_f64(0.25)),
+                (at(0.15), peak.mul_f64(0.60)),
+                (at(0.85), peak),
+                (SimSpan::MAX, peak.mul_f64(0.40)),
+            ])
+            .expect("ramp-decay boundaries are strictly increasing"),
+        }
+    }
+
+    /// Instantiates a concrete job from this program.
+    ///
+    /// `jitter` (in `[0, 1)`) scales both the lifetime and the peak working
+    /// set by independent uniform factors in `[1 − jitter, 1 + jitter]`,
+    /// modelling input variation between submissions of the same program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1)` (propagated from
+    /// [`SimRng::jitter`]).
+    pub fn instantiate(
+        &self,
+        id: JobId,
+        submit: SimTime,
+        rng: &mut SimRng,
+        jitter: f64,
+    ) -> JobSpec {
+        let lifetime = rng.jitter(self.lifetime_secs, jitter);
+        let peak_mb = rng.jitter(self.working_set_mb, jitter);
+        let cpu_work = SimSpan::from_secs_f64(lifetime);
+        let peak = Bytes::from_mb_f64(peak_mb);
+        JobSpec {
+            id,
+            name: self.name.to_owned(),
+            class: self.class,
+            submit,
+            cpu_work,
+            memory: self.memory_profile(peak, cpu_work),
+            io_rate: self.io_rate,
+        }
+    }
+
+    /// A copy of this program with its dedicated lifetime scaled by
+    /// `factor` (working set unchanged).
+    ///
+    /// Used by the trace builders to place the paper's five arrival
+    /// intensities across the under- to over-saturation range of a 32-node
+    /// cluster (see `trace::SPEC_LIFETIME_SCALE`): replaying the full
+    /// Table 1/2 lifetimes against the paper's submission windows would
+    /// oversubscribe the cluster roughly sevenfold at every intensity,
+    /// leaving no contrast between "light" and "highly intensive" traces.
+    /// Relative lifetimes — and the correlation between memory demand and
+    /// lifetime the reconfiguration argument relies on — are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scale_lifetime(&self, factor: f64) -> ProgramSpec {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "lifetime scale must be positive, got {factor}"
+        );
+        ProgramSpec {
+            lifetime_secs: self.lifetime_secs * factor,
+            ..self.clone()
+        }
+    }
+
+    /// Peak working set as [`Bytes`].
+    pub fn working_set(&self) -> Bytes {
+        Bytes::from_mb_f64(self.working_set_mb)
+    }
+
+    /// Dedicated lifetime as a span.
+    pub fn lifetime(&self) -> SimSpan {
+        SimSpan::from_secs_f64(self.lifetime_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program(shape: PhaseShape) -> ProgramSpec {
+        ProgramSpec {
+            name: "prog",
+            description: "test program",
+            input: "in.dat",
+            class: JobClass::MemoryIntensive,
+            working_set_mb: 100.0,
+            lifetime_secs: 200.0,
+            io_rate: 1.0,
+            shape,
+        }
+    }
+
+    #[test]
+    fn flat_instantiation_without_jitter_matches_spec() {
+        let mut rng = SimRng::seed_from(1);
+        let job =
+            program(PhaseShape::Flat).instantiate(JobId(7), SimTime::from_secs(3), &mut rng, 0.0);
+        assert_eq!(job.id, JobId(7));
+        assert_eq!(job.submit, SimTime::from_secs(3));
+        assert_eq!(job.cpu_work, SimSpan::from_secs(200));
+        assert_eq!(job.max_working_set(), Bytes::from_mb(100));
+        assert_eq!(job.memory.phases().len(), 1);
+    }
+
+    #[test]
+    fn ramp_grows_to_peak() {
+        let mut rng = SimRng::seed_from(1);
+        let job = program(PhaseShape::Ramp).instantiate(JobId(1), SimTime::ZERO, &mut rng, 0.0);
+        let ws_early = job.memory.working_set_at(SimSpan::ZERO);
+        let ws_late = job.memory.working_set_at(SimSpan::from_secs(100));
+        assert!(ws_early < ws_late);
+        assert_eq!(ws_late, Bytes::from_mb(100));
+        assert_eq!(ws_early, Bytes::from_mb(25));
+    }
+
+    #[test]
+    fn ramp_decay_releases_memory_at_the_tail() {
+        let mut rng = SimRng::seed_from(1);
+        let job =
+            program(PhaseShape::RampDecay).instantiate(JobId(1), SimTime::ZERO, &mut rng, 0.0);
+        let ws_mid = job.memory.working_set_at(SimSpan::from_secs(100));
+        let ws_tail = job.memory.working_set_at(SimSpan::from_secs(190));
+        assert_eq!(ws_mid, Bytes::from_mb(100));
+        assert_eq!(ws_tail, Bytes::from_mb(40));
+        assert_eq!(job.max_working_set(), Bytes::from_mb(100));
+    }
+
+    #[test]
+    fn jitter_varies_but_stays_bounded() {
+        let mut rng = SimRng::seed_from(42);
+        let spec = program(PhaseShape::Flat);
+        let mut lifetimes = Vec::new();
+        for i in 0..50 {
+            let job = spec.instantiate(JobId(i), SimTime::ZERO, &mut rng, 0.2);
+            let life = job.cpu_work.as_secs_f64();
+            assert!((160.0..=240.0).contains(&life), "lifetime {life}");
+            let ws = job.max_working_set().as_mb_f64();
+            assert!((80.0..=120.0).contains(&ws), "ws {ws}");
+            lifetimes.push(life);
+        }
+        let all_same = lifetimes.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same, "jitter produced identical lifetimes");
+    }
+
+    #[test]
+    fn instantiation_is_deterministic_per_seed() {
+        let spec = program(PhaseShape::Ramp);
+        let a = spec.instantiate(JobId(1), SimTime::ZERO, &mut SimRng::seed_from(5), 0.2);
+        let b = spec.instantiate(JobId(1), SimTime::ZERO, &mut SimRng::seed_from(5), 0.2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors() {
+        let spec = program(PhaseShape::Flat);
+        assert_eq!(spec.working_set(), Bytes::from_mb(100));
+        assert_eq!(spec.lifetime(), SimSpan::from_secs(200));
+    }
+}

@@ -1,0 +1,140 @@
+//! Workload group 1: the six SPEC CPU2000 programs of Table 1.
+//!
+//! The source text of the paper garbles most of Table 1's numeric cells (only
+//! apsi's 2,619.0 s lifetime and 191.84 MB working set survive legibly), so
+//! the remaining values are **reconstructed** from published SPEC CPU2000
+//! memory-footprint measurements of the same era and from relative runtimes
+//! on ~400 MHz Pentium II hardware. What the reproduction depends on is
+//! preserved exactly:
+//!
+//! * several programs (apsi, mcf, gzip, bzip2) have peak working sets close
+//!   to **half of a 384 MB node** — two of them co-resident oversubscribe the
+//!   node, which is the seed of the job blocking problem;
+//! * vortex and gcc are moderate, so the workload is *not* equally sized
+//!   (the paper's §5 condition 2 for V-R to be useful);
+//! * lifetimes are long (hundreds to thousands of seconds) and positively
+//!   correlated with memory demand, so a faulting large job is also a
+//!   long-remaining job (§2.2, point 2).
+
+use vr_cluster::job::JobClass;
+
+use crate::catalog::{PhaseShape, ProgramSpec};
+
+/// The six SPEC CPU2000 programs of workload group 1 (Table 1).
+pub fn programs() -> Vec<ProgramSpec> {
+    vec![
+        ProgramSpec {
+            name: "apsi",
+            description: "climate modeling",
+            input: "apsi.in",
+            class: JobClass::CpuMemoryIntensive,
+            working_set_mb: 191.84, // legible in the paper's Table 1
+            lifetime_secs: 2619.0,  // legible in the paper's Table 1
+            io_rate: 0.5,
+            shape: PhaseShape::Ramp,
+        },
+        ProgramSpec {
+            name: "gcc",
+            description: "optimized C compiler",
+            input: "166.i",
+            class: JobClass::CpuMemoryIntensive,
+            working_set_mb: 154.7, // reconstructed (published footprint ~155 MB)
+            lifetime_secs: 620.0,
+            io_rate: 2.0,
+            shape: PhaseShape::RampDecay,
+        },
+        ProgramSpec {
+            name: "gzip",
+            description: "data compression",
+            input: "input.graphic",
+            class: JobClass::CpuMemoryIntensive,
+            working_set_mb: 180.6, // reconstructed (published footprint ~181 MB)
+            lifetime_secs: 910.0,
+            io_rate: 4.0,
+            shape: PhaseShape::Flat,
+        },
+        ProgramSpec {
+            name: "mcf",
+            description: "combinatorial optimization",
+            input: "inp.in",
+            class: JobClass::MemoryIntensive,
+            working_set_mb: 190.0, // reconstructed (published footprint ~190 MB)
+            lifetime_secs: 1820.0,
+            io_rate: 0.2,
+            shape: PhaseShape::Ramp,
+        },
+        ProgramSpec {
+            name: "vortex",
+            description: "database",
+            input: "lendian1.raw",
+            class: JobClass::CpuIntensive,
+            working_set_mb: 72.2, // reconstructed (published footprint ~72 MB)
+            lifetime_secs: 1300.0,
+            io_rate: 3.0,
+            shape: PhaseShape::Flat,
+        },
+        ProgramSpec {
+            name: "bzip",
+            description: "data compression",
+            input: "input.graphic",
+            class: JobClass::CpuMemoryIntensive,
+            working_set_mb: 184.9, // reconstructed (published footprint ~185 MB)
+            lifetime_secs: 1520.0,
+            io_rate: 4.0,
+            shape: PhaseShape::Flat,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::units::Bytes;
+
+    #[test]
+    fn six_programs_as_in_table_1() {
+        let p = programs();
+        assert_eq!(p.len(), 6);
+        let names: Vec<&str> = p.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["apsi", "gcc", "gzip", "mcf", "vortex", "bzip"]);
+    }
+
+    #[test]
+    fn apsi_matches_the_legible_paper_values() {
+        let p = programs();
+        let apsi = &p[0];
+        assert!((apsi.working_set_mb - 191.84).abs() < 1e-9);
+        assert!((apsi.lifetime_secs - 2619.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn several_programs_approach_half_of_a_384mb_node() {
+        // The structural property driving the blocking problem in cluster 1.
+        let big = programs()
+            .iter()
+            .filter(|p| p.working_set() > Bytes::from_mb(170))
+            .count();
+        assert!(big >= 4, "expected >=4 near-half-node programs, got {big}");
+    }
+
+    #[test]
+    fn workload_is_not_equally_sized() {
+        // §5 condition 2: V-R only helps when memory demands differ.
+        let p = programs();
+        let min = p.iter().map(|s| s.working_set_mb).fold(f64::MAX, f64::min);
+        let max = p.iter().map(|s| s.working_set_mb).fold(0.0, f64::max);
+        assert!(max / min > 2.0, "spread {min}..{max} too narrow");
+    }
+
+    #[test]
+    fn lifetimes_are_long_running() {
+        for p in programs() {
+            assert!(
+                p.lifetime_secs >= 600.0,
+                "{} lifetime {} too short for group 1",
+                p.name,
+                p.lifetime_secs
+            );
+        }
+    }
+}

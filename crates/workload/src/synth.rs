@@ -1,0 +1,328 @@
+//! Synthetic adversarial workloads for the paper's "when V-R does not help"
+//! conditions (§2.3, §5) and for stress ablations.
+//!
+//! * [`equal_memory`] — every job demands the same memory: §5 condition 2
+//!   predicts virtual reconfiguration is ineffective because "the chance of
+//!   unsuitable resource allocations is very small".
+//! * [`big_job_dominant`] — most jobs are large: §2.3 warns V-R "may not
+//!   work well for specific workloads where big jobs are dominant" and the
+//!   reservation cap must protect normal jobs.
+//! * [`light_load`] — sparse arrivals: §5 condition 1, blocking never
+//!   happens, so V-R should adaptively never activate.
+//! * [`blocking_scenario`] — a crafted minimal workload that provokes the
+//!   job blocking problem quickly, used by examples and integration tests.
+
+use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile};
+use vr_cluster::units::Bytes;
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::{SimSpan, SimTime};
+
+use crate::arrival::{BurstyArrivals, PoissonArrivals};
+use crate::catalog::{PhaseShape, ProgramSpec};
+use crate::trace::Trace;
+
+/// A workload where every job has an identical memory demand (§5
+/// condition 2).
+pub fn equal_memory(jobs: usize, working_set: Bytes, rng: &mut SimRng) -> Trace {
+    let program = ProgramSpec {
+        name: "equal",
+        description: "equal-memory synthetic job",
+        input: "-",
+        class: JobClass::MemoryIntensive,
+        working_set_mb: working_set.as_mb_f64(),
+        lifetime_secs: 180.0,
+        io_rate: 0.0,
+        shape: PhaseShape::Flat,
+    };
+    let arrivals = PoissonArrivals {
+        rate_per_sec: 0.25,
+        count: jobs,
+    }
+    .generate(rng);
+    // No working-set jitter: the point is equal sizing. Mild lifetime-only
+    // jitter is applied manually.
+    let specs = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &submit)| {
+            let mut spec = program.instantiate(JobId(i as u64), submit, rng, 0.0);
+            spec.cpu_work = SimSpan::from_secs_f64(rng.jitter(180.0, 0.15));
+            spec
+        })
+        .collect();
+    Trace {
+        name: format!("Synth-EqualMem-{}MB", working_set.as_mb_f64().round()),
+        jobs: specs,
+    }
+}
+
+/// A workload dominated by large-memory jobs (§2.3's caveat).
+///
+/// `big_fraction` of jobs demand ~90 % of `node_memory`; the rest are small.
+///
+/// # Panics
+///
+/// Panics if `big_fraction` is outside `[0, 1]`.
+pub fn big_job_dominant(
+    jobs: usize,
+    node_memory: Bytes,
+    big_fraction: f64,
+    rng: &mut SimRng,
+) -> Trace {
+    assert!(
+        (0.0..=1.0).contains(&big_fraction),
+        "big_fraction must be in [0, 1], got {big_fraction}"
+    );
+    let big = ProgramSpec {
+        name: "big",
+        description: "large-memory synthetic job",
+        input: "-",
+        class: JobClass::MemoryIntensive,
+        working_set_mb: node_memory.as_mb_f64() * 0.9,
+        lifetime_secs: 600.0,
+        io_rate: 0.0,
+        shape: PhaseShape::Ramp,
+    };
+    let small = ProgramSpec {
+        name: "small",
+        description: "small synthetic job",
+        input: "-",
+        class: JobClass::CpuIntensive,
+        working_set_mb: node_memory.as_mb_f64() * 0.08,
+        lifetime_secs: 120.0,
+        io_rate: 0.0,
+        shape: PhaseShape::Flat,
+    };
+    let arrivals = PoissonArrivals {
+        rate_per_sec: 0.3,
+        count: jobs,
+    }
+    .generate(rng);
+    let specs = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &submit)| {
+            let program = if rng.uniform() < big_fraction {
+                &big
+            } else {
+                &small
+            };
+            program.instantiate(JobId(i as u64), submit, rng, 0.1)
+        })
+        .collect();
+    Trace {
+        name: format!("Synth-BigDominant-{:.0}pct", big_fraction * 100.0),
+        jobs: specs,
+    }
+}
+
+/// A lightly loaded workload: arrivals far apart, modest memory (§5
+/// condition 1 — V-R should never activate).
+pub fn light_load(jobs: usize, rng: &mut SimRng) -> Trace {
+    let program = ProgramSpec {
+        name: "light",
+        description: "short small synthetic job",
+        input: "-",
+        class: JobClass::CpuIntensive,
+        working_set_mb: 20.0,
+        lifetime_secs: 60.0,
+        io_rate: 0.0,
+        shape: PhaseShape::Flat,
+    };
+    let arrivals = PoissonArrivals {
+        rate_per_sec: 0.02,
+        count: jobs,
+    }
+    .generate(rng);
+    let specs = arrivals
+        .iter()
+        .enumerate()
+        .map(|(i, &submit)| program.instantiate(JobId(i as u64), submit, rng, 0.1))
+        .collect();
+    Trace {
+        name: "Synth-LightLoad".to_owned(),
+        jobs: specs,
+    }
+}
+
+/// A bursty fluctuating workload: ON/OFF arrival phases over the group-2
+/// catalog. The conclusion's motivation — "accommodating expected and
+/// unexpected workload fluctuation of service demands is highly desirable"
+/// — made measurable: bursts overwhelm the cluster transiently, quiet
+/// phases let reservations drain.
+pub fn bursty(jobs: usize, rng: &mut SimRng) -> Trace {
+    let catalog = crate::apps::programs()
+        .iter()
+        .map(|p| p.scale_lifetime(crate::trace::APP_LIFETIME_SCALE))
+        .collect::<Vec<_>>();
+    let arrivals = BurstyArrivals {
+        on_rate_per_sec: 1.0,
+        mean_on_secs: 60.0,
+        mean_off_secs: 240.0,
+        count: jobs,
+    }
+    .generate(rng);
+    Trace::build("Synth-Bursty", &catalog, &arrivals, rng, 0.2)
+}
+
+/// A minimal deterministic workload that provokes the job blocking problem,
+/// sized against `node_memory` (call it `U`):
+///
+/// 1. **Wave A** (first seconds): two "filler" jobs per node at `0.38·U`
+///    each — every node ends up ~76 % full, leaving ~`0.24·U` idle. No node
+///    can host a large job, yet the *accumulated* idle memory is ~`1.9·U`:
+///    exactly the paper's observation that resources sit idle while
+///    placements are blocked.
+/// 2. **Giants** (t ≈ 60 s): one per four nodes, admitted while demanding
+///    only `0.1·U`, then ballooning to `0.72·U` after 20 s of progress. The
+///    hosting node oversubscribes by ~50 % and thrashes; no other node has
+///    `0.72·U` idle, so migration is blocked — the blocking problem.
+/// 3. **Wave B** (t ≈ 340 s on): another round of fillers that suffer under
+///    G-Loadsharing (they land next to thrashing giants) but flow freely
+///    once V-Reconfiguration has corralled the giants onto reserved nodes.
+pub fn blocking_scenario(nodes: usize, node_memory: Bytes) -> Trace {
+    let u = node_memory.as_mb_f64();
+    let filler_ws = u * 0.38;
+    let giant_peak = u * 0.72;
+    let giant_start = u * 0.10;
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    let mut push =
+        |submit_s: f64, name: &str, class: JobClass, life_s: f64, memory: MemoryProfile| {
+            jobs.push(JobSpec {
+                id: JobId(id),
+                name: name.to_owned(),
+                class,
+                submit: SimTime::from_secs_f64(submit_s),
+                cpu_work: SimSpan::from_secs_f64(life_s),
+                memory,
+                io_rate: 0.0,
+            });
+            id += 1;
+        };
+    // Wave A: two fillers per node, one second apart, establishing the
+    // steady ~76 % occupancy.
+    for s in 0..(2 * nodes) {
+        push(
+            1.0 + s as f64,
+            "filler",
+            JobClass::CpuIntensive,
+            150.0,
+            MemoryProfile::constant(Bytes::from_mb_f64(filler_ws)),
+        );
+    }
+    // Giants: admitted small, ballooning after 20s of progress.
+    let giants = (nodes / 4).max(2);
+    for g in 0..giants {
+        let ramp = MemoryProfile::from_phases(vec![
+            (SimSpan::from_secs(20), Bytes::from_mb_f64(giant_start)),
+            (SimSpan::MAX, Bytes::from_mb_f64(giant_peak)),
+        ])
+        .expect("static boundaries are increasing");
+        push(
+            60.0 + g as f64 * 7.0,
+            "giant",
+            JobClass::MemoryIntensive,
+            900.0,
+            ramp,
+        );
+    }
+    // A steady filler stream keeps every node occupied for the whole run,
+    // so (without reconfiguration) no migration destination ever opens up.
+    let steady = 6 * nodes;
+    for s in 0..steady {
+        push(
+            20.0 + s as f64 * (1020.0 / steady as f64),
+            "filler",
+            JobClass::CpuIntensive,
+            150.0,
+            MemoryProfile::constant(Bytes::from_mb_f64(filler_ws)),
+        );
+    }
+    // Interleave by submission time with stable ids.
+    jobs.sort_by_key(|j| j.submit);
+    for (i, j) in jobs.iter_mut().enumerate() {
+        j.id = JobId(i as u64);
+    }
+    Trace {
+        name: "Synth-Blocking".to_owned(),
+        jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_memory_is_truly_equal() {
+        let mut rng = SimRng::seed_from(1);
+        let trace = equal_memory(50, Bytes::from_mb(64), &mut rng);
+        assert_eq!(trace.len(), 50);
+        trace.validate().unwrap();
+        for job in &trace.jobs {
+            assert_eq!(job.max_working_set(), Bytes::from_mb(64));
+        }
+    }
+
+    #[test]
+    fn big_dominant_mixes_to_the_requested_fraction() {
+        let mut rng = SimRng::seed_from(2);
+        let trace = big_job_dominant(400, Bytes::from_mb(128), 0.7, &mut rng);
+        trace.validate().unwrap();
+        let big = trace.jobs.iter().filter(|j| j.name == "big").count();
+        let frac = big as f64 / 400.0;
+        assert!((frac - 0.7).abs() < 0.08, "big fraction {frac}");
+    }
+
+    #[test]
+    fn light_load_spreads_arrivals() {
+        let mut rng = SimRng::seed_from(3);
+        let trace = light_load(20, &mut rng);
+        trace.validate().unwrap();
+        // Mean gap 50s: the 20th arrival should be far out.
+        assert!(trace.last_submission() > SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn blocking_scenario_structure() {
+        let trace = blocking_scenario(32, Bytes::from_mb(128));
+        trace.validate().unwrap();
+        let giants = trace.jobs.iter().filter(|j| j.name == "giant").count();
+        let fillers = trace.jobs.iter().filter(|j| j.name == "filler").count();
+        assert_eq!(giants, 8);
+        assert_eq!(fillers, 8 * 32);
+        // Giants ramp: small at admission, giant later.
+        let giant = trace.jobs.iter().find(|j| j.name == "giant").unwrap();
+        assert!(
+            giant.memory.working_set_at(SimSpan::ZERO)
+                < giant.memory.working_set_at(SimSpan::from_secs(60))
+        );
+        // The ballooned giant cannot fit next to a filler: 0.72 + 0.38 > 1.
+        let giant_peak = giant.max_working_set().as_mb_f64();
+        let filler = trace.jobs.iter().find(|j| j.name == "filler").unwrap();
+        assert!(giant_peak + filler.max_working_set().as_mb_f64() > 128.0);
+    }
+
+    #[test]
+    fn blocking_scenario_is_deterministic() {
+        assert_eq!(
+            blocking_scenario(16, Bytes::from_mb(128)),
+            blocking_scenario(16, Bytes::from_mb(128))
+        );
+    }
+
+    #[test]
+    fn bursty_workload_is_valid_and_clustered() {
+        let mut rng = SimRng::seed_from(9);
+        let trace = bursty(200, &mut rng);
+        trace.validate().unwrap();
+        assert_eq!(trace.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "big_fraction")]
+    fn invalid_fraction_panics() {
+        big_job_dominant(10, Bytes::from_mb(128), 1.5, &mut SimRng::seed_from(0));
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests of workload generation.
+
+use proptest::prelude::*;
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::{SimSpan, SimTime};
+use vr_workload::arrival::{LognormalArrivals, PoissonArrivals};
+use vr_workload::trace::{app_trace_scaled, spec_trace_scaled, TraceLevel};
+
+fn level_strategy() -> impl Strategy<Value = TraceLevel> {
+    prop::sample::select(TraceLevel::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// Lognormal arrivals always produce exactly the requested count,
+    /// sorted, inside the window, for any reasonable (σ, μ).
+    #[test]
+    fn lognormal_arrivals_are_well_formed(
+        sigma in 0.2f64..5.0,
+        mu in 0.2f64..5.0,
+        count in 1usize..400,
+        horizon in 60u64..7_200,
+        seed in any::<u64>(),
+    ) {
+        let gen = LognormalArrivals {
+            sigma,
+            mu,
+            count,
+            horizon: SimSpan::from_secs(horizon),
+        };
+        let times = gen.generate(&mut SimRng::seed_from(seed));
+        prop_assert_eq!(times.len(), count);
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(times.iter().all(|t| *t <= SimTime::from_secs(horizon)));
+    }
+
+    /// Poisson arrivals are sorted and strictly positive.
+    #[test]
+    fn poisson_arrivals_are_well_formed(
+        rate in 0.01f64..10.0,
+        count in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let times = PoissonArrivals { rate_per_sec: rate, count }
+            .generate(&mut SimRng::seed_from(seed));
+        prop_assert_eq!(times.len(), count);
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(times[0] > SimTime::ZERO);
+    }
+
+    /// Every generated paper trace validates, has the paper's job count,
+    /// and scales its CPU work linearly with the lifetime scale.
+    #[test]
+    fn paper_traces_scale_linearly(
+        level in level_strategy(),
+        seed in any::<u64>(),
+        scale in 0.05f64..1.0,
+        spec_group in any::<bool>(),
+    ) {
+        let build = |s: f64| {
+            if spec_group {
+                spec_trace_scaled(level, &mut SimRng::seed_from(seed), s)
+            } else {
+                app_trace_scaled(level, &mut SimRng::seed_from(seed), s)
+            }
+        };
+        let base = build(scale);
+        prop_assert!(base.validate().is_ok());
+        prop_assert_eq!(base.len(), level.jobs());
+        let doubled = build(scale * 2.0);
+        let ratio = doubled.total_cpu_work_secs() / base.total_cpu_work_secs();
+        prop_assert!((ratio - 2.0).abs() < 0.01, "ratio {ratio}");
+        // Working sets are unaffected by lifetime scaling.
+        for (a, b) in base.jobs.iter().zip(doubled.jobs.iter()) {
+            prop_assert_eq!(a.max_working_set(), b.max_working_set());
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! A guided tour of the **job blocking problem** (§1) and how adaptive
+//! virtual reconfiguration resolves it.
+//!
+//! The synthetic scenario fills an 8-node cluster to ~76 % memory occupancy
+//! with "filler" jobs, then injects two "giant" jobs that look harmless at
+//! admission (demanding 10 % of node memory) and balloon to 72 % after 20 s
+//! of progress. Once ballooned, no workstation has room to take a giant in
+//! — migrations are blocked, the giants thrash, and every job sharing a
+//! node with them suffers.
+//!
+//! ```sh
+//! cargo run --release --example blocking_problem
+//! ```
+
+use vrecon_repro::prelude::*;
+
+fn main() {
+    let nodes = 8;
+    let mut cluster = ClusterParams::cluster2();
+    cluster.nodes.truncate(nodes);
+    let trace = synth::blocking_scenario(nodes, Bytes::from_mb(128));
+    println!(
+        "scenario: {} jobs ({} ballooning giants) on {} x 128MB workstations\n",
+        trace.len(),
+        trace.jobs.iter().filter(|j| j.name == "giant").count(),
+        nodes
+    );
+
+    let mut reports = Vec::new();
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let report =
+            Simulation::new(SimConfig::new(cluster.clone(), policy).with_seed(7)).run(&trace);
+        println!("--- {policy} ---");
+        println!(
+            "blocking detected {} times; {} ordinary migrations possible",
+            report.counters.blocking_detections, report.counters.overload_migrations
+        );
+        if policy == PolicyKind::VReconfiguration {
+            println!(
+                "reconfiguration: {} reservations, {} giants served on reserved \
+                 workstations, {} released unused",
+                report.reservations.started,
+                report.reservations.jobs_served,
+                report.reservations.released_unused
+            );
+        }
+        let giants: Vec<f64> = report
+            .jobs
+            .iter()
+            .filter(|j| j.spec.name == "giant")
+            .map(|j| j.slowdown())
+            .collect();
+        let fillers: Vec<f64> = report
+            .jobs
+            .iter()
+            .filter(|j| j.spec.name == "filler")
+            .map(|j| j.slowdown())
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        println!(
+            "giant slowdown {:.2}, filler slowdown {:.2}, overall {:.2}",
+            mean(&giants),
+            mean(&fillers),
+            report.avg_slowdown()
+        );
+        println!(
+            "totals: T_cpu {:.0}s  T_page {:.0}s  T_que {:.0}s  T_mig {:.0}s  (makespan {})\n",
+            report.summary.totals.cpu,
+            report.summary.totals.page,
+            report.summary.totals.queue,
+            report.summary.totals.migration,
+            report.finished_at
+        );
+        reports.push(report);
+    }
+
+    let model = ExecutionTimeModel::from_reports(&reports[0], &reports[1]);
+    println!(
+        "§5 model: T_exe - T̂_exe = {:.0}s; (ΔT_page + ΔT_que) = {:.0}s",
+        model.execution_time_reduction(),
+        model.approximate_reduction()
+    );
+    for check in model.checks(1.0) {
+        println!(
+            "  [{}] {} — {}",
+            if check.holds { "ok" } else { "!!" },
+            check.name,
+            check.detail
+        );
+    }
+    println!(
+        "\nNote how both large and small jobs improve: the giants get dedicated \
+     service (no interference), and the fillers stop paying page-fault and \
+     queuing penalties — the win-win §2.2 argues for."
+    );
+}

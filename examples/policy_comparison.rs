@@ -1,0 +1,52 @@
+//! Compares all five scheduling policies — no load sharing, random,
+//! CPU-only balancing, G-Loadsharing, and V-Reconfiguration — across the
+//! five arrival intensities of workload group 2.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison
+//! ```
+
+use vrecon_repro::metrics::table::{fmt_f, TextTable};
+use vrecon_repro::prelude::*;
+
+fn main() {
+    let cluster = ClusterParams::cluster2();
+    let mut table = TextTable::new(vec![
+        "trace",
+        "No-Loadsharing",
+        "Random",
+        "CPU-Only",
+        "Weighted-CPU-Mem",
+        "G-Loadsharing",
+        "Suspend-Largest",
+        "V-Reconfiguration",
+    ]);
+    println!("average slowdowns on cluster 2 (lower is better); this sweeps");
+    println!("5 traces x 7 policies = 35 simulations, give it a minute...\n");
+    for level in TraceLevel::ALL {
+        let trace = app_trace(level, &mut SimRng::seed_from(42));
+        let mut row = vec![trace.name.clone()];
+        for policy in PolicyKind::ALL {
+            let report =
+                Simulation::new(SimConfig::new(cluster.clone(), policy).with_seed(7)).run(&trace);
+            assert!(
+                report.all_completed(),
+                "{policy} left {} jobs unfinished",
+                report.unfinished_jobs
+            );
+            row.push(fmt_f(report.avg_slowdown(), 2));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "The ordering the paper's introduction predicts: ignoring memory\n\
+         (Random / CPU-Only) loses badly to memory-aware load sharing, and\n\
+         V-Reconfiguration improves on G-Loadsharing wherever large jobs\n\
+         block the cluster.\n\n\
+         Note Suspend-Largest's seductive averages: evicting the big jobs\n\
+         is shortest-remaining-time-first by force, and the mean rewards\n\
+         it. The paper rejects it anyway - run the ablation binary to see\n\
+         the large jobs' slowdowns and the fairness index it trades away."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run one paper trace under both policies and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vrecon_repro::prelude::*;
+
+fn main() {
+    // Regenerate the paper's App-Trace-2 ("moderate job submissions",
+    // 448 jobs over ~3,589 s) for the 32-node cluster 2.
+    let trace = app_trace(TraceLevel::Moderate, &mut SimRng::seed_from(42));
+    println!(
+        "trace {}: {} jobs, last submission at {}",
+        trace.name,
+        trace.len(),
+        trace.last_submission()
+    );
+
+    // Assess whether the paper's §5 model expects virtual reconfiguration
+    // to help on this workload.
+    let cluster = ClusterParams::cluster2();
+    let applicability = Applicability::assess(&trace, &cluster);
+    println!(
+        "offered load {:.2}, memory-demand CV {:.2}, large-job fraction {:.2} -> expects gain: {}",
+        applicability.offered_load,
+        applicability.memory_demand_cv,
+        applicability.large_job_fraction,
+        applicability.expects_gain()
+    );
+
+    // Replay under dynamic load sharing alone, then with adaptive virtual
+    // reconfiguration.
+    let baseline =
+        Simulation::new(SimConfig::new(cluster.clone(), PolicyKind::GLoadSharing)).run(&trace);
+    let vrecon = Simulation::new(SimConfig::new(cluster, PolicyKind::VReconfiguration)).run(&trace);
+
+    println!("\n{}", baseline.brief());
+    println!("{}", vrecon.brief());
+
+    let slowdown = MetricComparison::new(baseline.avg_slowdown(), vrecon.avg_slowdown());
+    let queue = MetricComparison::new(baseline.total_queue_secs(), vrecon.total_queue_secs());
+    println!(
+        "\nV-Reconfiguration reduced the average slowdown by {:.1}% and the \
+         total queuing time by {:.1}%",
+        slowdown.reduction(),
+        queue.reduction()
+    );
+    println!(
+        "reconfigurations: {} reservations started, {} large jobs given \
+         dedicated service, {} released unused (adaptive early exit)",
+        vrecon.reservations.started,
+        vrecon.reservations.jobs_served,
+        vrecon.reservations.released_unused
+    );
+}

@@ -1,0 +1,79 @@
+//! Generates the paper's workload traces, prints their statistics, and
+//! round-trips one through the on-disk trace format.
+//!
+//! ```sh
+//! cargo run --release --example trace_explorer
+//! ```
+
+use vrecon_repro::metrics::table::{fmt_f, TextTable};
+use vrecon_repro::prelude::*;
+use vrecon_repro::workload::{read_trace, write_trace};
+
+fn describe(traces: &[Trace], cluster: &ClusterParams, title: &str) {
+    println!("{title}");
+    let mut table = TextTable::new(vec![
+        "trace",
+        "jobs",
+        "window (s)",
+        "mean ws (MB)",
+        "max ws (MB)",
+        "offered load",
+        "expects V-R gain",
+    ]);
+    for trace in traces {
+        let a = Applicability::assess(trace, cluster);
+        let ws: Vec<f64> = trace
+            .jobs
+            .iter()
+            .map(|j| j.max_working_set().as_mb_f64())
+            .collect();
+        let mean = ws.iter().sum::<f64>() / ws.len() as f64;
+        let max = ws.iter().fold(0.0f64, |a, b| a.max(*b));
+        table.row(vec![
+            trace.name.clone(),
+            trace.len().to_string(),
+            fmt_f(trace.last_submission().as_secs_f64(), 0),
+            fmt_f(mean, 1),
+            fmt_f(max, 1),
+            fmt_f(a.offered_load, 2),
+            a.expects_gain().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let rng = SimRng::seed_from(42);
+    let spec: Vec<Trace> = TraceLevel::ALL
+        .into_iter()
+        .map(|l| spec_trace(l, &mut rng.fork(l.number() as u64)))
+        .collect();
+    let app: Vec<Trace> = TraceLevel::ALL
+        .into_iter()
+        .map(|l| app_trace(l, &mut rng.fork(100 + l.number() as u64)))
+        .collect();
+    describe(
+        &spec,
+        &ClusterParams::cluster1(),
+        "workload group 1 (SPEC 2000, cluster 1):",
+    );
+    describe(
+        &app,
+        &ClusterParams::cluster2(),
+        "workload group 2 (applications, cluster 2):",
+    );
+
+    // Round-trip SPEC-Trace-3 through the interchange format.
+    let original = &spec[2];
+    let mut buf = Vec::new();
+    write_trace(original, &mut buf).expect("serialize trace");
+    let parsed = read_trace(buf.as_slice()).expect("parse trace");
+    assert_eq!(parsed.len(), original.len());
+    assert_eq!(parsed.name, original.name);
+    println!(
+        "round-tripped {} through the v1 trace format: {} jobs, {} bytes",
+        original.name,
+        parsed.len(),
+        buf.len()
+    );
+}

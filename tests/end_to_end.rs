@@ -1,0 +1,162 @@
+//! Cross-crate integration: full pipeline from trace generation through
+//! simulation to analysis, on the paper's actual cluster configurations.
+
+use vrecon_repro::prelude::*;
+
+fn run(cluster: ClusterParams, policy: PolicyKind, trace: &Trace) -> RunReport {
+    Simulation::new(SimConfig::new(cluster, policy).with_seed(7)).run(trace)
+}
+
+#[test]
+fn spec_trace_light_completes_on_cluster1_under_both_policies() {
+    let trace = spec_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let report = run(ClusterParams::cluster1(), policy, &trace);
+        assert!(
+            report.all_completed(),
+            "{policy}: {} unfinished",
+            report.unfinished_jobs
+        );
+        assert_eq!(report.summary.jobs, 359);
+        report.check_breakdown_identity(0.05).unwrap();
+    }
+}
+
+#[test]
+fn app_trace_light_completes_on_cluster2_under_both_policies() {
+    let trace = app_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let report = run(ClusterParams::cluster2(), policy, &trace);
+        assert!(
+            report.all_completed(),
+            "{policy}: {} unfinished",
+            report.unfinished_jobs
+        );
+        assert_eq!(report.summary.jobs, 359);
+        report.check_breakdown_identity(0.05).unwrap();
+    }
+}
+
+#[test]
+fn vreconfiguration_beats_gloadsharing_on_group1() {
+    let trace = spec_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let gls = run(ClusterParams::cluster1(), PolicyKind::GLoadSharing, &trace);
+    let vr = run(
+        ClusterParams::cluster1(),
+        PolicyKind::VReconfiguration,
+        &trace,
+    );
+    assert!(
+        vr.avg_slowdown() < gls.avg_slowdown(),
+        "V-R {:.2} should beat G-LS {:.2}",
+        vr.avg_slowdown(),
+        gls.avg_slowdown()
+    );
+    assert!(vr.total_queue_secs() < gls.total_queue_secs());
+    assert!(vr.total_execution_secs() < gls.total_execution_secs());
+    assert!(vr.reservations.started > 0, "V-R never reconfigured");
+}
+
+#[test]
+fn section5_model_holds_on_group1() {
+    let trace = spec_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let gls = run(ClusterParams::cluster1(), PolicyKind::GLoadSharing, &trace);
+    let vr = run(
+        ClusterParams::cluster1(),
+        PolicyKind::VReconfiguration,
+        &trace,
+    );
+    let model = ExecutionTimeModel::from_reports(&gls, &vr);
+    assert!(model.execution_time_reduction() > 0.0);
+    let checks = model.checks(1.0);
+    for check in &checks {
+        assert!(
+            check.holds,
+            "model point failed: {} — {}",
+            check.name, check.detail
+        );
+    }
+}
+
+#[test]
+fn reservations_balance_on_every_policy_and_group() {
+    // Accounting invariant: every reservation started is eventually
+    // released one way (service complete, unused, or timeout).
+    for (cluster, trace) in [
+        (
+            ClusterParams::cluster1(),
+            spec_trace(TraceLevel::Light, &mut SimRng::seed_from(42)),
+        ),
+        (
+            ClusterParams::cluster2(),
+            app_trace(TraceLevel::Light, &mut SimRng::seed_from(42)),
+        ),
+    ] {
+        let report = run(cluster, PolicyKind::VReconfiguration, &trace);
+        let r = report.reservations;
+        assert_eq!(
+            r.started,
+            r.released_after_service + r.released_unused + r.timed_out,
+            "reservation leak on {}: {r:?}",
+            trace.name
+        );
+    }
+}
+
+#[test]
+fn total_cpu_time_is_policy_invariant() {
+    // §5 point 1: jobs demand identical CPU service under every policy.
+    let trace = app_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let mut cpu_totals = Vec::new();
+    for policy in PolicyKind::ALL {
+        let report = run(ClusterParams::cluster2(), policy, &trace);
+        assert!(report.all_completed(), "{policy}");
+        cpu_totals.push(report.summary.totals.cpu);
+    }
+    for pair in cpu_totals.windows(2) {
+        let rel = (pair[0] - pair[1]).abs() / pair[0];
+        assert!(rel < 1e-3, "CPU totals differ: {cpu_totals:?}");
+    }
+}
+
+#[test]
+fn gauges_are_sampled_every_second() {
+    let trace = app_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let report = run(
+        ClusterParams::cluster2(),
+        PolicyKind::VReconfiguration,
+        &trace,
+    );
+    let samples = report.gauges.idle_memory_mb.len() as u64;
+    let expected = report.finished_at.as_micros() / 1_000_000;
+    assert!(
+        samples >= expected.saturating_sub(2) && samples <= expected + 2,
+        "{samples} samples over {expected} seconds"
+    );
+    assert_eq!(
+        report.gauges.balance_skew.len(),
+        report.gauges.idle_memory_mb.len()
+    );
+}
+
+#[test]
+fn sampling_interval_insensitivity_holds() {
+    // §4.1/§4.2: 1 s, 10 s, 30 s and 60 s sampling give almost identical
+    // averages.
+    let trace = app_trace(TraceLevel::Light, &mut SimRng::seed_from(42));
+    let report = run(ClusterParams::cluster2(), PolicyKind::GLoadSharing, &trace);
+    let base = report.gauges.idle_memory_mb.sample_average();
+    for secs in [10u64, 30, 60] {
+        let coarse = report
+            .gauges
+            .idle_memory_mb
+            .resample(SimSpan::from_secs(secs))
+            .sample_average();
+        let rel = (base - coarse).abs() / base.max(1.0);
+        assert!(
+            rel < 0.08,
+            "interval {secs}s shifted the average by {:.1}%",
+            rel * 100.0
+        );
+    }
+}
