@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`: marker traits plus the no-op derive
+//! re-exports. See `compat/README.md` for why this exists.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Blanket-implemented so any `T: Serialize` bound is satisfiable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented so any `T: Deserialize<'de>` bound is satisfiable.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` declaratively but never
+//! drives serialization through serde (all interchange formats are
+//! hand-rolled), so expanding to nothing preserves behavior. The
+//! `attributes(serde)` registration keeps `#[serde(...)]` field attributes
+//! legal should any appear later.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -442,17 +442,15 @@ fn thrashing_protection() {
     use vr_cluster::protection::ThrashingProtection;
     println!("ablation 13 — thrashing protection (TPF, ref [6]) on the blocking scenario\n");
     let trace = blocking_trace();
-    let mut table = TextTable::new(vec![
-        "policy",
-        "protection",
-        "avg slowdown",
-        "T_page (s)",
-    ]);
+    let mut table = TextTable::new(vec!["policy", "protection", "avg slowdown", "T_page (s)"]);
     for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
         for (name, protection) in [
             ("off", ThrashingProtection::Off),
             ("protect-largest", ThrashingProtection::ProtectLargest),
-            ("protect-shortest", ThrashingProtection::ProtectShortestRemaining),
+            (
+                "protect-shortest",
+                ThrashingProtection::ProtectShortestRemaining,
+            ),
         ] {
             let mut config = base_config(policy);
             for node in &mut config.cluster.nodes {

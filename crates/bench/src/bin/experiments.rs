@@ -11,11 +11,7 @@ use vr_metrics::table::TextTable;
 
 /// Writes one figure panel's data as a plot-ready CSV file under the
 /// directory named by `VR_RESULTS_DIR` (no-op when unset).
-fn export_csv(
-    name: &str,
-    pairs: &[PolicyPair],
-    metric: impl Fn(&PolicyPair) -> MetricComparison,
-) {
+fn export_csv(name: &str, pairs: &[PolicyPair], metric: impl Fn(&PolicyPair) -> MetricComparison) {
     let Ok(dir) = std::env::var("VR_RESULTS_DIR") else {
         return;
     };
@@ -25,7 +21,12 @@ fn export_csv(
         return;
     }
     let path = dir.join(format!("{name}.csv"));
-    let mut table = TextTable::new(vec!["trace", "g_loadsharing", "v_reconfiguration", "reduction_pct"]);
+    let mut table = TextTable::new(vec![
+        "trace",
+        "g_loadsharing",
+        "v_reconfiguration",
+        "reduction_pct",
+    ]);
     for pair in pairs {
         let c = metric(pair);
         table.row(vec![

@@ -1,56 +1,125 @@
-//! Multi-seed robustness check of the headline comparisons.
+//! Robustness under injected faults: the blocking scenario replayed at
+//! increasing fault intensity, G-Loadsharing vs V-Reconfiguration.
 //!
-//! The paper reports single runs; this binary replays every
-//! group × arrival-level pairing under several scheduling seeds and reports
-//! the mean / min / max reduction, showing the V-R advantage is not a
-//! seed artifact. (Trace generation stays fixed — the paper's traces are
-//! fixed inputs; only the scheduler's home-node randomness varies.)
+//! Every cell runs with the invariant auditor enabled, so this doubles as
+//! a stress harness: the `violations` column must stay 0 everywhere.
+//! Slowdowns are averaged over several scheduling seeds; fault and
+//! recovery counters are summed over them, showing how much repair work
+//! (re-queues, migration retries) each policy causes at each intensity.
 
-use vr_bench::Group;
-use vr_metrics::table::TextTable;
-use vr_simcore::stats::reduction_pct;
-use vr_workload::trace::TraceLevel;
+use vr_cluster::params::ClusterParams;
+use vr_cluster::units::Bytes;
+use vr_faults::{FaultCounters, FaultPlan};
+use vr_metrics::table::{fmt_f, TextTable};
+use vr_simcore::time::{SimSpan, SimTime};
+use vr_workload::synth;
 use vrecon::config::SimConfig;
 use vrecon::policy::PolicyKind;
 use vrecon::sim::Simulation;
 
 const SEEDS: [u64; 3] = [7, 1131, 90210];
+const NODES: usize = 8;
+
+/// The fault-intensity ladder.
+fn intensities() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("none", FaultPlan::none()),
+        (
+            "light",
+            FaultPlan::none()
+                .with_migration_failures(0.1)
+                .with_load_info_loss(0.05),
+        ),
+        (
+            "moderate",
+            FaultPlan::none()
+                .with_crash(2, SimTime::from_secs(40), Some(SimSpan::from_secs(30)))
+                .with_migration_failures(0.3)
+                .with_load_info_loss(0.2)
+                .with_reservation_stall(SimSpan::from_secs(3)),
+        ),
+        (
+            "heavy",
+            FaultPlan::none()
+                .with_crash(1, SimTime::from_secs(25), Some(SimSpan::from_secs(60)))
+                .with_crash(5, SimTime::from_secs(70), Some(SimSpan::from_secs(60)))
+                .with_migration_failures(0.6)
+                .with_load_info_loss(0.4)
+                .with_reservation_stall(SimSpan::from_secs(10)),
+        ),
+    ]
+}
+
+fn add(total: &mut FaultCounters, c: &FaultCounters) {
+    total.crashes += c.crashes;
+    total.restarts += c.restarts;
+    total.migration_failures += c.migration_failures;
+    total.migration_retries += c.migration_retries;
+    total.migrations_abandoned += c.migrations_abandoned;
+    total.requeued_jobs += c.requeued_jobs;
+    total.lost_load_reports += c.lost_load_reports;
+    total.stalled_releases += c.stalled_releases;
+}
 
 fn main() {
-    println!("multi-seed robustness: slowdown reduction of V-R over G-LS");
+    let mut cluster = ClusterParams::cluster2();
+    cluster.nodes.truncate(NODES);
+    let trace = synth::blocking_scenario(NODES, Bytes::from_mb(128));
     println!(
-        "({} seeds per cell; trace generation fixed at seed 42)\n",
+        "fault robustness on {} ({} jobs, {} nodes; {} seeds per cell, auditor on)\n",
+        trace.name,
+        trace.len(),
+        NODES,
         SEEDS.len()
     );
-    let mut table = TextTable::new(vec!["trace", "mean reduction", "min", "max", "V-R wins"]);
-    for group in [Group::Spec, Group::App] {
-        for level in TraceLevel::ALL {
-            let trace = group.trace(level);
-            let mut reductions = Vec::new();
+    let mut table = TextTable::new(vec![
+        "intensity",
+        "policy",
+        "avg slowdown",
+        "unfinished",
+        "crashes",
+        "mig failures",
+        "retries",
+        "re-queued",
+        "violations",
+    ]);
+    for (name, plan) in intensities() {
+        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+            let mut slowdowns = Vec::new();
+            let mut unfinished = 0usize;
+            let mut violations = 0usize;
+            let mut faults = FaultCounters::default();
             for seed in SEEDS {
-                let run = |policy: PolicyKind| {
-                    let config = SimConfig::new(group.cluster(), policy).with_seed(seed);
-                    Simulation::new(config).run(&trace)
-                };
-                let (gls, vr) = std::thread::scope(|scope| {
-                    let g = scope.spawn(|| run(PolicyKind::GLoadSharing));
-                    let v = scope.spawn(|| run(PolicyKind::VReconfiguration));
-                    (g.join().expect("gls run"), v.join().expect("vr run"))
-                });
-                reductions.push(reduction_pct(gls.avg_slowdown(), vr.avg_slowdown()));
+                let config = SimConfig::new(cluster.clone(), policy)
+                    .with_seed(seed)
+                    .with_faults(plan.clone())
+                    .with_audit(true);
+                let report = Simulation::new(config).run(&trace);
+                slowdowns.push(report.avg_slowdown());
+                unfinished += report.unfinished_jobs;
+                violations += report.audit_violations.len();
+                add(&mut faults, &report.faults);
+                for v in &report.audit_violations {
+                    eprintln!("VIOLATION [{name}/{policy}/seed {seed}]: {v}");
+                }
             }
-            let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
-            let min = reductions.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = reductions.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let wins = reductions.iter().filter(|r| **r > 0.0).count();
+            let mean = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
             table.row(vec![
-                trace.name.clone(),
-                format!("{mean:+.1}%"),
-                format!("{min:+.1}%"),
-                format!("{max:+.1}%"),
-                format!("{wins}/{}", reductions.len()),
+                name.to_owned(),
+                policy.to_string(),
+                fmt_f(mean, 2),
+                unfinished.to_string(),
+                faults.crashes.to_string(),
+                faults.migration_failures.to_string(),
+                faults.migration_retries.to_string(),
+                faults.requeued_jobs.to_string(),
+                violations.to_string(),
             ]);
         }
     }
     println!("{}", table.render());
+    println!(
+        "slowdowns are means over seeds; fault counters are sums. \
+         A non-zero violations column is a bug."
+    );
 }

@@ -4,6 +4,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 
 use vr_cluster::params::ClusterParams;
+use vr_faults::FaultPlan;
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::{fmt_f, TextTable};
 use vr_simcore::rng::SimRng;
@@ -27,10 +28,18 @@ USAGE:
   vrecon inspect <TRACE_FILE>
   vrecon run     <TRACE_FILE> --cluster <cluster1|cluster2> --policy <POLICY>
                  [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
+                 [--fault-plan FILE] [--audit]
   vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
   vrecon sweep   --group <spec|app> [--seed N] [--trace-seed N]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
+
+FAULT PLANS (--fault-plan): a text file, one directive per line —
+  crash node=N at=SECS [restart_after=SECS]
+  migration-failure p=PROB     max-retries N      retry-backoff SECS
+  load-info-loss p=PROB        reservation-stall SECS      seed-salt N
+`--audit` switches on the invariant auditor; violations are printed (and
+fail the command) after the report.
 ";
 
 fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
@@ -289,9 +298,52 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     if args.flag("netram") {
         config = config.with_network_ram();
     }
+    if let Some(path) = args.opt("fault-plan") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let plan = FaultPlan::parse(&text)
+            .map_err(|e| ArgError(format!("{path} is not a valid fault plan: {e}")))?;
+        config = config.with_faults(plan);
+    }
+    config = config.with_audit(args.flag("audit"));
+    config
+        .validate()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+    let faulted = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
     let nodes = cluster_size;
     let report = Simulation::new(config).run(&trace);
     let mut out = render_report(&report, args.flag("csv"));
+    if faulted {
+        let c = &report.faults;
+        out.push_str(&format!(
+            "\nfaults: {} crashes ({} restarts), {} migration failures \
+             ({} retries, {} abandoned), {} jobs re-queued, \
+             {} lost load reports, {} stalled releases",
+            c.crashes,
+            c.restarts,
+            c.migration_failures,
+            c.migration_retries,
+            c.migrations_abandoned,
+            c.requeued_jobs,
+            c.lost_load_reports,
+            c.stalled_releases,
+        ));
+    }
+    if args.flag("audit") {
+        if report.audit_violations.is_empty() {
+            out.push_str("\naudit: clean (no invariant violations)");
+        } else {
+            let mut listing = String::new();
+            for v in &report.audit_violations {
+                listing.push_str("\n  ");
+                listing.push_str(v);
+            }
+            return Err(ArgError(format!(
+                "audit found {} invariant violation(s):{listing}",
+                report.audit_violations.len()
+            )));
+        }
+    }
     if args.flag("gantt") {
         out.push_str("\n\n");
         out.push_str(&render_gantt(&report, nodes, 100));
@@ -433,7 +485,7 @@ mod tests {
     use vr_cluster::units::Bytes;
 
     fn args(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().copied(), &["netram", "csv", "log"]).unwrap()
+        Args::parse(tokens.iter().copied(), &["netram", "csv", "log", "audit"]).unwrap()
     }
 
     #[test]
@@ -480,6 +532,54 @@ mod tests {
         assert!(msg.contains("avg_slowdown"), "{msg}");
         let msg = compare(&args(&[path_str, "--nodes", "8"])).unwrap();
         assert!(msg.contains("average slowdown"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_with_fault_plan_and_audit() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("t.vrt");
+        let trace_str = trace_path.to_str().unwrap();
+        gen(&args(&[
+            "--group", "app", "--level", "1", "--scale", "0.02", "--out", trace_str,
+        ]))
+        .unwrap();
+        let plan_path = dir.join("plan.txt");
+        std::fs::write(
+            &plan_path,
+            "# one crash plus flaky migrations\ncrash node=1 at=50 restart_after=30\nmigration-failure p=0.3\n",
+        )
+        .unwrap();
+        let plan_str = plan_path.to_str().unwrap();
+        let msg = run(&args(&[
+            trace_str,
+            "--policy",
+            "vrecon",
+            "--nodes",
+            "8",
+            "--fault-plan",
+            plan_str,
+            "--audit",
+        ]))
+        .unwrap();
+        assert!(msg.contains("faults: 1 crashes (1 restarts)"), "{msg}");
+        assert!(msg.contains("audit: clean"), "{msg}");
+        // A bogus plan is rejected with a parse diagnostic.
+        std::fs::write(&plan_path, "crash node=x at=50\n").unwrap();
+        let err = run(&args(&[trace_str, "--fault-plan", plan_str])).unwrap_err();
+        assert!(err.0.contains("not a valid fault plan"), "{}", err.0);
+        // A plan crashing a node outside the cluster fails validation.
+        std::fs::write(&plan_path, "crash node=99 at=50\n").unwrap();
+        let err = run(&args(&[
+            trace_str,
+            "--nodes",
+            "8",
+            "--fault-plan",
+            plan_str,
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("invalid configuration"), "{}", err.0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -33,6 +33,9 @@ pub struct NodeLoad {
     pub has_slot: bool,
     /// `true` if the node is reserved for special service.
     pub reserved: bool,
+    /// `false` if the node is crashed. Down nodes report no capacity at all
+    /// (no idle memory, no slot) so cluster-wide gauges exclude them.
+    pub up: bool,
     /// User memory size (static, but carried for heterogeneity-aware
     /// decisions).
     pub user_memory: Bytes,
@@ -41,7 +44,23 @@ pub struct NodeLoad {
 impl NodeLoad {
     /// Captures a node's current load. The node should have been advanced to
     /// `now` by the caller for exact values.
+    ///
+    /// A crashed node is captured as contributing nothing: zero jobs, zero
+    /// idle memory, no free slot.
     pub fn capture(node: &Workstation) -> NodeLoad {
+        if !node.is_up() {
+            return NodeLoad {
+                node: node.id(),
+                active_jobs: 0,
+                idle_memory: Bytes::ZERO,
+                overflow: Bytes::ZERO,
+                faulting: false,
+                has_slot: false,
+                reserved: node.is_reserved(),
+                up: false,
+                user_memory: node.params().memory.user,
+            };
+        }
         let usage = node.memory_usage();
         NodeLoad {
             node: node.id(),
@@ -51,14 +70,15 @@ impl NodeLoad {
             faulting: usage.is_oversubscribed(),
             has_slot: node.has_slot(),
             reserved: node.is_reserved(),
+            up: true,
             user_memory: usage.user,
         }
     }
 
     /// The paper's qualification for accepting a submission: idle memory
-    /// space, a free job slot, and not reserved.
+    /// space, a free job slot, not reserved — and, with fault injection, up.
     pub fn accepts_submissions(&self) -> bool {
-        !self.reserved && self.has_slot && !self.idle_memory.is_zero()
+        self.up && !self.reserved && self.has_slot && !self.idle_memory.is_zero()
     }
 }
 
@@ -78,6 +98,32 @@ impl LoadIndex {
     /// Replaces the index with fresh captures of every node.
     pub fn refresh<'a>(&mut self, nodes: impl IntoIterator<Item = &'a Workstation>, now: SimTime) {
         self.entries = nodes.into_iter().map(NodeLoad::capture).collect();
+        self.entries.sort_by_key(|e| e.node);
+        self.refreshed_at = now;
+    }
+
+    /// Refreshes the index but keeps the *old* entry for every node in
+    /// `stale` — modelling a load exchange in which those nodes' reports
+    /// were lost in transit. A stale node with no previous entry gets a
+    /// fresh capture (there is nothing older to keep).
+    pub fn refresh_except<'a>(
+        &mut self,
+        nodes: impl IntoIterator<Item = &'a Workstation>,
+        now: SimTime,
+        stale: &[NodeId],
+    ) {
+        let old = std::mem::take(&mut self.entries);
+        self.entries = nodes
+            .into_iter()
+            .map(|node| {
+                if stale.contains(&node.id()) {
+                    if let Ok(i) = old.binary_search_by_key(&node.id(), |e| e.node) {
+                        return old[i];
+                    }
+                }
+                NodeLoad::capture(node)
+            })
+            .collect();
         self.entries.sort_by_key(|e| e.node);
         self.refreshed_at = now;
     }
@@ -141,13 +187,16 @@ impl LoadIndex {
     /// non-reserved workstation with the largest idle memory (in a
     /// heterogeneous cluster this also favours large-memory nodes, §2.3).
     pub fn reservation_candidate(&self) -> Option<&NodeLoad> {
-        self.entries.iter().filter(|e| !e.reserved).max_by_key(|e| {
-            (
-                e.idle_memory,
-                std::cmp::Reverse(e.active_jobs),
-                std::cmp::Reverse(e.node),
-            )
-        })
+        self.entries
+            .iter()
+            .filter(|e| e.up && !e.reserved)
+            .max_by_key(|e| {
+                (
+                    e.idle_memory,
+                    std::cmp::Reverse(e.active_jobs),
+                    std::cmp::Reverse(e.node),
+                )
+            })
     }
 }
 
@@ -204,9 +253,11 @@ mod tests {
 
     #[test]
     fn index_lookup_and_gauges() {
-        let nodes = [node_with_jobs(0, 128, &[(1, 28)]),
+        let nodes = [
+            node_with_jobs(0, 128, &[(1, 28)]),
             node_with_jobs(1, 128, &[(2, 100)]),
-            node_with_jobs(2, 128, &[])];
+            node_with_jobs(2, 128, &[]),
+        ];
         let mut index = LoadIndex::new();
         index.refresh(nodes.iter(), SimTime::from_secs(5));
         assert_eq!(index.len(), 3);
@@ -223,9 +274,11 @@ mod tests {
 
     #[test]
     fn best_destination_prefers_light_nodes() {
-        let nodes = [node_with_jobs(0, 128, &[(1, 10), (2, 10)]),
+        let nodes = [
+            node_with_jobs(0, 128, &[(1, 10), (2, 10)]),
             node_with_jobs(1, 128, &[(3, 10)]),
-            node_with_jobs(2, 128, &[(4, 10)])];
+            node_with_jobs(2, 128, &[(4, 10)]),
+        ];
         let mut index = LoadIndex::new();
         index.refresh(nodes.iter(), SimTime::ZERO);
         // Nodes 1 and 2 tie on job count and idle memory; ties break by id.
@@ -252,9 +305,11 @@ mod tests {
 
     #[test]
     fn reservation_candidate_maximizes_idle_memory() {
-        let nodes = [node_with_jobs(0, 128, &[(1, 100)]),
+        let nodes = [
+            node_with_jobs(0, 128, &[(1, 100)]),
             node_with_jobs(1, 128, &[(2, 20)]),
-            node_with_jobs(2, 128, &[(3, 60)])];
+            node_with_jobs(2, 128, &[(3, 60)]),
+        ];
         let mut index = LoadIndex::new();
         index.refresh(nodes.iter(), SimTime::ZERO);
         assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
@@ -278,6 +333,56 @@ mod tests {
         let mut index = LoadIndex::new();
         index.refresh(nodes.iter(), SimTime::ZERO);
         assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn down_node_contributes_nothing() {
+        let mut down = node_with_jobs(0, 128, &[(1, 30)]);
+        down.crash(SimTime::ZERO);
+        let nodes = [down, node_with_jobs(1, 128, &[(2, 28)])];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        let entry = index.get(NodeId(0)).unwrap();
+        assert!(!entry.up);
+        assert_eq!(entry.idle_memory, Bytes::ZERO);
+        assert!(!entry.has_slot);
+        assert!(!entry.accepts_submissions());
+        // Gauges and candidate selection exclude the dead node.
+        assert_eq!(index.accumulated_idle_memory(), Bytes::from_mb(100));
+        assert_eq!(index.best_destination(None).unwrap().node, NodeId(1));
+        assert_eq!(index.reservation_candidate().unwrap().node, NodeId(1));
+    }
+
+    #[test]
+    fn refresh_except_keeps_stale_entries() {
+        let mut node0 = node_with_jobs(0, 128, &[]);
+        let node1 = node_with_jobs(1, 128, &[]);
+        let mut index = LoadIndex::new();
+        index.refresh([&node0, &node1], SimTime::ZERO);
+        assert_eq!(index.get(NodeId(0)).unwrap().active_jobs, 0);
+        // Node 0 gains a job, but its next report is lost.
+        node0
+            .try_admit(
+                RunningJob::new(JobSpec {
+                    id: JobId(9),
+                    name: "j9".into(),
+                    class: JobClass::CpuIntensive,
+                    submit: SimTime::ZERO,
+                    cpu_work: SimSpan::from_secs(100),
+                    memory: MemoryProfile::constant(Bytes::from_mb(10)),
+                    io_rate: 0.0,
+                }),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        index.refresh_except([&node0, &node1], SimTime::from_secs(5), &[NodeId(0)]);
+        // Peers still see the pre-admission snapshot of node 0.
+        assert_eq!(index.get(NodeId(0)).unwrap().active_jobs, 0);
+        assert_eq!(index.refreshed_at(), SimTime::from_secs(5));
+        // A lost report with no prior entry falls back to a fresh capture.
+        let mut empty = LoadIndex::new();
+        empty.refresh_except([&node0, &node1], SimTime::from_secs(6), &[NodeId(0)]);
+        assert_eq!(empty.get(NodeId(0)).unwrap().active_jobs, 1);
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub enum AdmitError {
     MemoryExhausted,
     /// The node is reserved for special service.
     Reserved,
+    /// The node has crashed and not (yet) restarted.
+    Down,
 }
 
 impl fmt::Display for AdmitError {
@@ -62,6 +64,7 @@ impl fmt::Display for AdmitError {
             AdmitError::NoSlot => f.write_str("no CPU job slot available"),
             AdmitError::MemoryExhausted => f.write_str("user memory and swap exhausted"),
             AdmitError::Reserved => f.write_str("workstation is reserved"),
+            AdmitError::Down => f.write_str("workstation is down"),
         }
     }
 }
@@ -117,6 +120,7 @@ pub struct Workstation {
     last_update: SimTime,
     epoch: u64,
     reserved: bool,
+    up: bool,
     completed: Vec<RunningJob>,
     counters: NodeCounters,
     /// Multiplier applied to page-fault stalls (1.0 = local disk; < 1.0
@@ -134,6 +138,7 @@ impl Workstation {
             last_update: SimTime::ZERO,
             epoch: 0,
             reserved: false,
+            up: true,
             completed: Vec::new(),
             counters: NodeCounters::default(),
             stall_scale: 1.0,
@@ -187,6 +192,38 @@ impl Workstation {
     /// Reservation flag (see the paper's `reservation_flag`).
     pub fn is_reserved(&self) -> bool {
         self.reserved
+    }
+
+    /// `false` while the node is crashed (see [`Workstation::crash`]).
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Crashes the node at `now`: resident jobs are drained and returned to
+    /// the caller (they are *not* counted as migrated out — the scheduler
+    /// decides their fate), the reservation flag is dropped, and further
+    /// admissions fail with [`AdmitError::Down`] until
+    /// [`Workstation::restart`].
+    ///
+    /// Jobs are advanced to `now` first, so any that completed before the
+    /// crash land in the completion outbox rather than the drained set.
+    pub fn crash(&mut self, now: SimTime) -> Vec<RunningJob> {
+        self.advance_to(now);
+        self.up = false;
+        self.reserved = false;
+        self.epoch += 1;
+        std::mem::take(&mut self.jobs)
+    }
+
+    /// Brings a crashed node back up, empty and unreserved. A no-op on a
+    /// node that is already up.
+    pub fn restart(&mut self, now: SimTime) {
+        if self.up {
+            return;
+        }
+        self.last_update = self.last_update.max(now);
+        self.up = true;
+        self.epoch += 1;
     }
 
     /// Sets the reservation flag, bumping the epoch.
@@ -244,12 +281,21 @@ impl Workstation {
         std::mem::take(&mut self.completed)
     }
 
+    /// Completions waiting in the outbox, without draining them (for
+    /// observers that must not perturb the node).
+    pub fn pending_completions(&self) -> &[RunningJob] {
+        &self.completed
+    }
+
     /// Checks whether `job` could be admitted right now, without admitting.
     ///
     /// Only *hard* constraints are checked (slots, memory + swap ceiling,
     /// reservation); policy-level rules such as "has idle memory" belong to
     /// the scheduler.
     pub fn can_admit(&self, job: &RunningJob) -> Result<(), AdmitError> {
+        if !self.up {
+            return Err(AdmitError::Down);
+        }
         if self.reserved {
             return Err(AdmitError::Reserved);
         }
@@ -272,11 +318,7 @@ impl Workstation {
     ///
     /// Returns the job back inside [`RejectedJob`] if a hard constraint
     /// fails.
-    pub fn try_admit(
-        &mut self,
-        mut job: RunningJob,
-        now: SimTime,
-    ) -> Result<(), Box<RejectedJob>> {
+    pub fn try_admit(&mut self, mut job: RunningJob, now: SimTime) -> Result<(), Box<RejectedJob>> {
         self.advance_to(now);
         if let Err(reason) = self.can_admit(&job) {
             return Err(Box::new(RejectedJob { job, reason }));
@@ -301,6 +343,12 @@ impl Workstation {
         now: SimTime,
     ) -> Result<(), Box<RejectedJob>> {
         self.advance_to(now);
+        if !self.up {
+            return Err(Box::new(RejectedJob {
+                job,
+                reason: AdmitError::Down,
+            }));
+        }
         if !self.has_slot() {
             return Err(Box::new(RejectedJob {
                 job,
@@ -732,6 +780,61 @@ mod tests {
         assert_eq!(c.admitted, 1);
         assert_eq!(c.completed, 1);
         assert!((c.delivered_cpu - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crash_drains_jobs_and_blocks_admission_until_restart() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.set_reserved(true);
+        node.admit_to_reserved(job(1, 10, 60.0), SimTime::ZERO)
+            .unwrap();
+        let e0 = node.epoch();
+        let drained = node.crash(SimTime::from_secs(15));
+        assert_eq!(drained.len(), 1);
+        assert!((drained[0].progress_secs - 15.0).abs() < 1e-6);
+        assert!(!node.is_up());
+        assert!(!node.is_reserved(), "crash drops the reservation flag");
+        assert_eq!(node.active_jobs(), 0);
+        assert!(node.epoch() > e0);
+        // Drained jobs are not migrations.
+        assert_eq!(node.counters().migrated_out, 0);
+        let rejected = node
+            .try_admit(job(2, 10, 10.0), SimTime::from_secs(16))
+            .unwrap_err();
+        assert_eq!(rejected.reason, AdmitError::Down);
+        let rejected = node
+            .admit_to_reserved(job(2, 10, 10.0), SimTime::from_secs(16))
+            .unwrap_err();
+        assert_eq!(rejected.reason, AdmitError::Down);
+        node.restart(SimTime::from_secs(20));
+        assert!(node.is_up());
+        node.try_admit(job(2, 10, 10.0), SimTime::from_secs(20))
+            .unwrap();
+        assert_eq!(node.active_jobs(), 1);
+    }
+
+    #[test]
+    fn crash_keeps_already_completed_jobs_in_outbox() {
+        let mut node = Workstation::new(NodeId(0), params());
+        node.try_admit(job(1, 10, 5.0), SimTime::ZERO).unwrap();
+        node.try_admit(job(2, 10, 100.0), SimTime::ZERO).unwrap();
+        // Job 1 completes at t=10 (half speed); crash at t=20 drains only
+        // job 2 — the finished job stays observable in the outbox.
+        let drained = node.crash(SimTime::from_secs(20));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id(), JobId(2));
+        assert_eq!(node.pending_completions().len(), 1);
+        assert_eq!(node.pending_completions()[0].id(), JobId(1));
+        assert_eq!(node.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn restart_on_running_node_is_a_no_op() {
+        let mut node = Workstation::new(NodeId(0), params());
+        let e0 = node.epoch();
+        node.restart(SimTime::from_secs(5));
+        assert!(node.is_up());
+        assert_eq!(node.epoch(), e0);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Invariant auditing: a cross-cutting checker that inspects the whole
+//! simulation world after every event.
+//!
+//! The simulator's unit tests check behaviour at module boundaries; the
+//! [`InvariantAuditor`] instead re-derives global properties from first
+//! principles on every step of a real run — exactly the kind of check that
+//! catches a scheduler bug the moment it corrupts state rather than when a
+//! downstream number looks odd. Enabled via [`SimConfig::with_audit`]; the
+//! violations (hopefully none) land in `RunReport::audit_violations`.
+//!
+//! Checked after every event:
+//!
+//! * **Job lifecycle** (from the scheduler event log): a job is submitted
+//!   exactly once, placed only after submission, completed at most once and
+//!   only after a placement, and never mentioned again after completion.
+//! * **Per-node accounting**: the node's reported memory demand equals the
+//!   recomputed sum of its resident jobs' working sets; the slot cap holds;
+//!   a crashed node is empty and unreserved; the reservation flag agrees
+//!   with the reservation manager (or a fault-stalled release).
+//! * **Job conservation**: every arrived job is in exactly one place —
+//!   resident, in a completion outbox, pending, in transit, suspended, or
+//!   completed.
+//! * **Reservation balance**: `started` equals the released/timed-out
+//!   counts plus currently active reservations, and the active count obeys
+//!   the configured cap.
+
+use std::collections::HashMap;
+
+use vr_cluster::job::JobId;
+use vr_simcore::engine::EventHook;
+use vr_simcore::time::SimTime;
+
+use crate::config::SimConfig;
+use crate::events::SchedulerEventKind;
+use crate::sim::ClusterWorld;
+
+/// Violations reported per run are capped so a systemic bug does not grow
+/// the report without bound.
+const MAX_VIOLATIONS: usize = 50;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Life {
+    submitted: bool,
+    placed: bool,
+    completed: bool,
+}
+
+/// An [`EventHook`] that audits the cluster world's invariants after every
+/// event (see the module docs for the list).
+#[derive(Debug)]
+pub struct InvariantAuditor {
+    /// Cap on simultaneously reserved workstations, from the config.
+    max_reserved: usize,
+    /// Scheduler-log entries already processed by the lifecycle check.
+    log_cursor: usize,
+    lives: HashMap<JobId, Life>,
+    violations: Vec<String>,
+    truncated: bool,
+}
+
+impl InvariantAuditor {
+    /// Creates an auditor for runs of `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        InvariantAuditor {
+            max_reserved: config.reservation.max_reserved(config.cluster.nodes.len()),
+            log_cursor: 0,
+            lives: HashMap::new(),
+            violations: Vec::new(),
+            truncated: false,
+        }
+    }
+
+    /// `true` if every check passed so far.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The violations found so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Consumes the auditor, returning its violations.
+    pub fn into_violations(self) -> Vec<String> {
+        self.violations
+    }
+
+    /// Runs one final check (used after the engine stops, so horizon-end
+    /// state is audited too).
+    pub(crate) fn finish(&mut self, world: &ClusterWorld, now: SimTime) {
+        self.check(world, now);
+    }
+
+    fn violation(&mut self, now: SimTime, message: String) {
+        if self.violations.len() >= MAX_VIOLATIONS {
+            if !self.truncated {
+                self.truncated = true;
+                self.violations
+                    .push("... further violations suppressed".into());
+            }
+            return;
+        }
+        self.violations
+            .push(format!("[{:.6}s] {message}", now.as_secs_f64()));
+    }
+
+    fn check(&mut self, world: &ClusterWorld, now: SimTime) {
+        self.check_lifecycle(world, now);
+        self.check_nodes(world, now);
+        self.check_conservation(world, now);
+        self.check_reservations(world, now);
+    }
+
+    /// Replays scheduler-log entries appended since the last check through
+    /// a per-job state machine.
+    fn check_lifecycle(&mut self, world: &ClusterWorld, now: SimTime) {
+        use SchedulerEventKind as K;
+        let entries = world.log.entries();
+        for entry in &entries[self.log_cursor.min(entries.len())..] {
+            let Some(job) = entry.job else { continue };
+            let life = self.lives.entry(job).or_default();
+            match entry.kind {
+                K::Submitted => {
+                    if life.submitted {
+                        let msg = format!("{job} submitted twice");
+                        self.violation(now, msg);
+                        continue;
+                    }
+                    life.submitted = true;
+                }
+                K::Placed => {
+                    if !life.submitted || life.completed {
+                        let msg = format!("{job} placed while not live");
+                        self.violation(now, msg);
+                        continue;
+                    }
+                    life.placed = true;
+                }
+                K::Completed => {
+                    if !life.placed {
+                        let msg = format!("{job} completed without a placement");
+                        self.violation(now, msg);
+                        continue;
+                    }
+                    if life.completed {
+                        let msg = format!("{job} completed twice");
+                        self.violation(now, msg);
+                        continue;
+                    }
+                    life.completed = true;
+                }
+                _ => {
+                    if !life.submitted || life.completed {
+                        let msg = format!("{job} saw '{}' while not live", entry.kind);
+                        self.violation(now, msg);
+                    }
+                }
+            }
+        }
+        self.log_cursor = entries.len();
+    }
+
+    fn check_nodes(&mut self, world: &ClusterWorld, now: SimTime) {
+        for node in &world.nodes {
+            let id = node.id();
+            let recomputed: vr_cluster::units::Bytes =
+                node.jobs().iter().map(|j| j.current_working_set()).sum();
+            let reported = node.memory_usage().demand;
+            if recomputed != reported {
+                self.violation(
+                    now,
+                    format!("{id} reports demand {reported} but jobs sum to {recomputed}"),
+                );
+            }
+            let slots = node.params().cpu.slots as usize;
+            if node.active_jobs() > slots {
+                self.violation(
+                    now,
+                    format!(
+                        "{id} runs {} jobs over its {slots} slots",
+                        node.active_jobs()
+                    ),
+                );
+            }
+            if !node.is_up() {
+                if node.active_jobs() > 0 {
+                    self.violation(
+                        now,
+                        format!("{id} is down but still holds {} jobs", node.active_jobs()),
+                    );
+                }
+                if node.is_reserved() {
+                    self.violation(now, format!("{id} is down but flagged reserved"));
+                }
+            }
+            let managed = world.reservations.is_reserved(id) || world.stalled.contains(&id);
+            if node.is_reserved() != managed {
+                self.violation(
+                    now,
+                    format!(
+                        "{id} reservation flag {} disagrees with manager/stall state {}",
+                        node.is_reserved(),
+                        managed
+                    ),
+                );
+            }
+        }
+    }
+
+    fn check_conservation(&mut self, world: &ClusterWorld, now: SimTime) {
+        let resident: usize = world.nodes.iter().map(|n| n.active_jobs()).sum();
+        let outboxed: usize = world
+            .nodes
+            .iter()
+            .map(|n| n.pending_completions().len())
+            .sum();
+        let accounted = resident
+            + outboxed
+            + world.pending.len()
+            + world.in_transit.len()
+            + world.suspended.len()
+            + world.completed.len();
+        if accounted != world.arrived {
+            self.violation(
+                now,
+                format!(
+                    "job conservation broken: {} arrived but {accounted} accounted \
+                     ({resident} resident, {outboxed} outboxed, {} pending, \
+                     {} in transit, {} suspended, {} completed)",
+                    world.arrived,
+                    world.pending.len(),
+                    world.in_transit.len(),
+                    world.suspended.len(),
+                    world.completed.len(),
+                ),
+            );
+        }
+    }
+
+    fn check_reservations(&mut self, world: &ClusterWorld, now: SimTime) {
+        let stats = world.reservations.stats();
+        let active = world.reservations.reserved_count() as u64;
+        let closed = stats.released_after_service + stats.released_unused + stats.timed_out;
+        if stats.started != closed + active {
+            self.violation(
+                now,
+                format!(
+                    "reservation balance broken: started {} != closed {closed} + active {active}",
+                    stats.started
+                ),
+            );
+        }
+        if active as usize > self.max_reserved {
+            self.violation(
+                now,
+                format!(
+                    "{active} workstations reserved, above the cap of {}",
+                    self.max_reserved
+                ),
+            );
+        }
+    }
+}
+
+impl EventHook<ClusterWorld> for InvariantAuditor {
+    fn after_event(&mut self, world: &ClusterWorld, now: SimTime) {
+        self.check(world, now);
+    }
+}

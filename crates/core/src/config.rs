@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vr_cluster::netram::NetworkRamParams;
 use vr_cluster::params::ClusterParams;
+use vr_faults::FaultPlan;
 use vr_simcore::time::SimSpan;
 
 use crate::policy::PolicyKind;
@@ -101,6 +102,15 @@ pub struct SimConfig {
     /// Safety horizon: the run aborts (reporting unfinished jobs) if the
     /// simulated clock passes this span.
     pub max_sim_time: SimSpan,
+    /// Optional fault plan injected into the run (crashes, migration
+    /// failures, load-information loss, reservation stalls). `None` and an
+    /// empty plan are equivalent — and bit-identical in output.
+    pub fault_plan: Option<FaultPlan>,
+    /// When `true`, an invariant auditor checks the world after every event
+    /// and records violations in [`RunReport::audit_violations`].
+    ///
+    /// [`RunReport::audit_violations`]: crate::report::RunReport::audit_violations
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -118,6 +128,8 @@ impl SimConfig {
             overload_threshold: 0.02,
             seed: 0x5eed,
             max_sim_time: SimSpan::from_secs(200_000),
+            fault_plan: None,
+            audit: false,
         }
     }
 
@@ -145,6 +157,19 @@ impl SimConfig {
     /// (builder-style).
     pub fn with_reservation(mut self, reservation: ReservationOptions) -> Self {
         self.reservation = reservation;
+        self
+    }
+
+    /// Returns the config with a fault plan injected (builder-style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Returns the config with invariant auditing switched on or off
+    /// (builder-style).
+    pub fn with_audit(mut self, audit: bool) -> Self {
+        self.audit = audit;
         self
     }
 
@@ -183,6 +208,18 @@ impl SimConfig {
         }
         if self.max_sim_time.is_zero() {
             return Err("max simulation time must be non-zero".into());
+        }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate()?;
+            for crash in &plan.node_crashes {
+                if crash.node >= self.cluster.nodes.len() {
+                    return Err(format!(
+                        "fault plan crashes node {} but the cluster has {} workstations",
+                        crash.node,
+                        self.cluster.nodes.len()
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -245,6 +282,25 @@ mod tests {
         let mut bad = good;
         bad.cluster.nodes.clear();
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn validate_checks_fault_plan_against_cluster() {
+        use vr_simcore::time::SimTime;
+        let base = SimConfig::new(ClusterParams::cluster1(), PolicyKind::VReconfiguration);
+        let in_range =
+            base.clone()
+                .with_faults(FaultPlan::none().with_crash(0, SimTime::from_secs(1), None));
+        in_range.validate().unwrap();
+        let nodes = in_range.cluster.nodes.len();
+        let out_of_range = base.clone().with_faults(FaultPlan::none().with_crash(
+            nodes,
+            SimTime::from_secs(1),
+            None,
+        ));
+        assert!(out_of_range.validate().is_err());
+        let bad_prob = base.with_faults(FaultPlan::none().with_migration_failures(2.0));
+        assert!(bad_prob.validate().is_err());
     }
 
     #[test]

@@ -46,6 +46,16 @@ pub enum SchedulerEventKind {
     ReservationReleased,
     /// A job completed.
     Completed,
+    /// A workstation crashed (fault injection); resident jobs drain back to
+    /// the pending queue.
+    NodeCrashed,
+    /// A crashed workstation came back up.
+    NodeRestarted,
+    /// An in-flight migration failed in transit (fault injection).
+    MigrationFailed,
+    /// A job was re-queued by fault recovery (crash drain or abandoned
+    /// migration).
+    Requeued,
 }
 
 impl fmt::Display for SchedulerEventKind {
@@ -64,6 +74,10 @@ impl fmt::Display for SchedulerEventKind {
             SchedulerEventKind::ReservationBegan => "reservation-began",
             SchedulerEventKind::ReservationReleased => "reservation-released",
             SchedulerEventKind::Completed => "completed",
+            SchedulerEventKind::NodeCrashed => "node-crashed",
+            SchedulerEventKind::NodeRestarted => "node-restarted",
+            SchedulerEventKind::MigrationFailed => "migration-failed",
+            SchedulerEventKind::Requeued => "requeued",
         };
         f.write_str(s)
     }

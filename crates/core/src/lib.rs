@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod events;
 pub mod policy;
@@ -49,6 +50,7 @@ pub mod report;
 pub mod reservation;
 pub mod sim;
 
+pub use audit::InvariantAuditor;
 pub use config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
 pub use events::{EventLog, SchedulerEvent, SchedulerEventKind};
 pub use policy::{Placement, PolicyKind};

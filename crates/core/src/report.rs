@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use vr_cluster::job::RunningJob;
 use vr_cluster::node::NodeCounters;
+use vr_faults::FaultCounters;
 use vr_metrics::sampler::ClusterGauges;
 use vr_metrics::summary::WorkloadSummary;
 use vr_simcore::time::SimTime;
@@ -36,7 +37,10 @@ pub struct SchedulerCounters {
 }
 
 /// Everything measured during one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Derives `PartialEq` so tests can assert the determinism contract
+/// directly: same config, same seed, same fault plan ⇒ equal reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// The trace that was executed.
     pub trace_name: String,
@@ -63,6 +67,12 @@ pub struct RunReport {
     pub finished_at: SimTime,
     /// Jobs that had not completed when the safety horizon was hit.
     pub unfinished_jobs: usize,
+    /// Injected faults and the scheduler's recovery actions (all zeros when
+    /// the run had no fault plan).
+    pub faults: FaultCounters,
+    /// Invariant violations found by the auditor (empty when auditing was
+    /// off — or, as it should be, when it found nothing).
+    pub audit_violations: Vec<String>,
 }
 
 impl RunReport {
@@ -227,6 +237,8 @@ mod tests {
             events: Default::default(),
             finished_at: SimTime::from_secs(100),
             unfinished_jobs: 0,
+            faults: Default::default(),
+            audit_violations: Vec::new(),
             jobs,
         }
     }

@@ -41,12 +41,13 @@
 //!   qualifies, the blocking problem is detected and (under
 //!   V-Reconfiguration) the reconfiguration routine runs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::loadinfo::LoadIndex;
 use vr_cluster::node::{NodeId, Workstation};
 use vr_cluster::units::Bytes;
+use vr_faults::FaultInjector;
 use vr_metrics::sampler::ClusterGauges;
 use vr_metrics::summary::WorkloadSummary;
 use vr_simcore::engine::{Engine, Scheduler, World};
@@ -62,7 +63,7 @@ use crate::reservation::{ReservationManager, ReservationPhase};
 
 /// Events driving the cluster world.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// A job reaches the cluster.
     Arrival(Box<JobSpec>),
     /// A workstation predicted a completion or phase boundary.
@@ -75,6 +76,12 @@ enum Event {
     PendingRetry,
     /// A remote submission or migration arrives at its destination.
     TransitArrive { job: JobId },
+    /// Fault injection: a workstation crashes.
+    NodeCrash { node: NodeId },
+    /// Fault injection: a crashed workstation comes back up.
+    NodeRestart { node: NodeId },
+    /// Fault injection: a stalled reservation release finally lands.
+    ReservationUnstall { node: NodeId },
 }
 
 /// How many times one job may be suspended before it is pinned resident.
@@ -82,7 +89,7 @@ const MAX_SUSPENSIONS_PER_JOB: u32 = 5;
 
 /// A job waiting in the cluster pending queue.
 #[derive(Debug)]
-struct PendingJob {
+pub(crate) struct PendingJob {
     job: RunningJob,
     since: SimTime,
     home: NodeId,
@@ -90,16 +97,18 @@ struct PendingJob {
 
 /// A job on the wire.
 #[derive(Debug)]
-struct Transit {
-    job: RunningJob,
-    dst: NodeId,
+pub(crate) struct Transit {
+    pub(crate) job: RunningJob,
+    pub(crate) dst: NodeId,
     /// `true` if this is a special-service migration into a reserved node.
     to_reserved: bool,
+    /// Delivery attempts that failed in transit (fault injection).
+    attempts: u32,
 }
 
 /// A job swapped out by the Suspend-Largest strawman.
 #[derive(Debug)]
-struct SuspendedJob {
+pub(crate) struct SuspendedJob {
     job: RunningJob,
     since: SimTime,
 }
@@ -159,29 +168,59 @@ impl Simulation {
             sched.schedule_at(SimTime::ZERO, Event::Exchange);
             sched.schedule_at(SimTime::ZERO, Event::Sample);
             sched.schedule_in(self.config.pending_retry_period, Event::PendingRetry);
+            if let Some(injector) = &world.faults {
+                for crash in injector.crash_schedule() {
+                    let node = NodeId(crash.node as u32);
+                    sched.schedule_at(crash.at, Event::NodeCrash { node });
+                    if let Some(delay) = crash.restart_after {
+                        sched.schedule_at(crash.at + delay, Event::NodeRestart { node });
+                    }
+                }
+            }
         }
         let horizon = SimTime::ZERO + self.config.max_sim_time;
-        engine.run_until(&mut world, horizon);
-        world.into_report(trace, &self.config, engine.now())
+        let mut auditor = self
+            .config
+            .audit
+            .then(|| crate::audit::InvariantAuditor::new(&self.config));
+        match auditor.as_mut() {
+            Some(hook) => {
+                engine.run_until_with(&mut world, horizon, hook);
+            }
+            None => {
+                engine.run_until(&mut world, horizon);
+            }
+        }
+        let violations = auditor
+            .map(|mut a| {
+                a.finish(&world, engine.now());
+                a.into_violations()
+            })
+            .unwrap_or_default();
+        let mut report = world.into_report(trace, &self.config, engine.now());
+        report.audit_violations = violations;
+        report
     }
 }
 
 /// The mutable simulation state (the [`World`] the engine drives).
-struct ClusterWorld {
+/// `pub(crate)` (with visible fields) so the invariant auditor in
+/// [`crate::audit`] can inspect the world after every event.
+pub(crate) struct ClusterWorld {
     policy: PolicyKind,
-    config: SimConfig,
-    nodes: Vec<Workstation>,
+    pub(crate) config: SimConfig,
+    pub(crate) nodes: Vec<Workstation>,
     index: LoadIndex,
     rng: SimRng,
-    pending: VecDeque<PendingJob>,
-    in_transit: HashMap<JobId, Transit>,
-    suspended: Vec<SuspendedJob>,
-    completed: Vec<RunningJob>,
+    pub(crate) pending: VecDeque<PendingJob>,
+    pub(crate) in_transit: HashMap<JobId, Transit>,
+    pub(crate) suspended: Vec<SuspendedJob>,
+    pub(crate) completed: Vec<RunningJob>,
     gauges: ClusterGauges,
     counters: SchedulerCounters,
-    reservations: ReservationManager,
+    pub(crate) reservations: ReservationManager,
     total_jobs: usize,
-    arrived: usize,
+    pub(crate) arrived: usize,
     /// Jobs that have entered the pending queue at least once.
     ever_blocked: std::collections::HashSet<JobId>,
     /// Times each job has been suspended (Suspend-Largest only). A job
@@ -189,10 +228,16 @@ struct ClusterWorld {
     /// swapping the same peak-sized job in and out is a livelock, not a
     /// remedy.
     suspend_counts: HashMap<JobId, u32>,
-    log: EventLog,
+    pub(crate) log: EventLog,
     /// Set once all jobs have completed; periodic events stop rescheduling.
     done: bool,
     finished_at: SimTime,
+    /// Fault injector, when the config carries a plan.
+    pub(crate) faults: Option<FaultInjector>,
+    /// Nodes whose reservation release is stalled by fault injection: the
+    /// manager has already dropped the reservation but the node's flag
+    /// stays up until the matching [`Event::ReservationUnstall`] fires.
+    pub(crate) stalled: HashSet<NodeId>,
 }
 
 impl ClusterWorld {
@@ -218,6 +263,11 @@ impl ClusterWorld {
             log: EventLog::new(),
             done: total_jobs == 0,
             finished_at: SimTime::ZERO,
+            faults: config
+                .fault_plan
+                .clone()
+                .map(|plan| FaultInjector::new(plan, config.seed)),
+            stalled: HashSet::new(),
         };
         world.index.refresh(world.nodes.iter(), SimTime::ZERO);
         world
@@ -235,6 +285,65 @@ impl ClusterWorld {
         self.collect_completions(now, sched);
         self.index.refresh(self.nodes.iter(), now);
         self.update_network_ram();
+    }
+
+    /// The periodic exchange's variant of [`ClusterWorld::refresh_index`]:
+    /// under a load-information-loss fault, each node's report may be
+    /// dropped, leaving its previous (stale) entry in the index.
+    fn refresh_index_lossy(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        for i in 0..self.nodes.len() {
+            self.nodes[i].advance_to(now);
+        }
+        self.collect_completions(now, sched);
+        let lost: Vec<NodeId> = match self.faults.as_mut() {
+            Some(injector) if injector.plan().load_info_loss_prob > 0.0 => self
+                .nodes
+                .iter()
+                .map(|n| n.id())
+                .filter(|_| injector.load_report_lost())
+                .collect(),
+            _ => Vec::new(),
+        };
+        if lost.is_empty() {
+            self.index.refresh(self.nodes.iter(), now);
+        } else {
+            self.index.refresh_except(self.nodes.iter(), now, &lost);
+        }
+        self.update_network_ram();
+    }
+
+    /// Clears a node's reservation flag after the manager dropped its
+    /// reservation, logging the release. Under a reservation-release-stall
+    /// fault the flag instead stays up (and the log entry is deferred)
+    /// until the scheduled [`Event::ReservationUnstall`] lands.
+    ///
+    /// Every release path must come through here — a flag cleared without a
+    /// log entry breaks the began/released pairing in the event log.
+    fn release_reserved_flag(
+        &mut self,
+        node_id: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let stall = self
+            .faults
+            .as_ref()
+            .map(|f| f.plan().reservation_release_stall)
+            .unwrap_or(SimSpan::ZERO);
+        if stall.is_zero() {
+            self.node(node_id).set_reserved(false);
+            self.log.record(
+                now,
+                SchedulerEventKind::ReservationReleased,
+                None,
+                Some(node_id),
+            );
+        } else if self.stalled.insert(node_id) {
+            if let Some(injector) = self.faults.as_mut() {
+                injector.counters.stalled_releases += 1;
+            }
+            sched.schedule_in(stall, Event::ReservationUnstall { node: node_id });
+        }
     }
 
     /// Flips each node's fault-stall scale depending on whether the
@@ -277,13 +386,7 @@ impl ClusterWorld {
                 );
                 if self.reservations.note_completion(node_id, job.id()) {
                     // Special service complete: back to normal load sharing.
-                    self.nodes[i].set_reserved(false);
-                    self.log.record(
-                        now,
-                        SchedulerEventKind::ReservationReleased,
-                        None,
-                        Some(node_id),
-                    );
+                    self.release_reserved_flag(node_id, now, sched);
                 }
                 self.completed.push(job);
             }
@@ -368,6 +471,7 @@ impl ClusterWorld {
                         job,
                         dst: node_id,
                         to_reserved: false,
+                        attempts: 0,
                     },
                 );
                 sched.schedule_in(cost, Event::TransitArrive { job: id });
@@ -425,7 +529,7 @@ impl ClusterWorld {
         }
         for i in 0..self.nodes.len() {
             let src = self.nodes[i].id();
-            if self.nodes[i].is_reserved() {
+            if self.nodes[i].is_reserved() || !self.nodes[i].is_up() {
                 continue;
             }
             let usage = self.nodes[i].memory_usage();
@@ -506,8 +610,15 @@ impl ClusterWorld {
             .index
             .iter()
             // The index can lag a reservation made earlier in this same
-            // scan; the manager is authoritative.
-            .filter(|e| !e.reserved && !self.reservations.is_reserved(e.node) && e.node != src)
+            // scan (or a crash or stalled release); live state is
+            // authoritative for reserved/up, the index for load.
+            .filter(|e| {
+                !e.reserved
+                    && !self.reservations.is_reserved(e.node)
+                    && e.node != src
+                    && self.nodes[e.node.0 as usize].is_up()
+                    && !self.stalled.contains(&e.node)
+            })
             .max_by_key(|e| {
                 (
                     e.idle_memory,
@@ -581,13 +692,7 @@ impl ClusterWorld {
     /// disappeared. Also abandons timed-out reservations.
     fn check_reservations(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         for node_id in self.reservations.sweep_timeouts(now) {
-            self.node(node_id).set_reserved(false);
-            self.log.record(
-                now,
-                SchedulerEventKind::ReservationReleased,
-                None,
-                Some(node_id),
-            );
+            self.release_reserved_flag(node_id, now, sched);
         }
         let reserving: Vec<NodeId> = self
             .reservations
@@ -633,13 +738,7 @@ impl ClusterWorld {
                     // disappears, the system will be back to the normal load
                     // sharing state."
                     self.reservations.release_unused(node_id);
-                    self.node(node_id).set_reserved(false);
-                    self.log.record(
-                        now,
-                        SchedulerEventKind::ReservationReleased,
-                        None,
-                        Some(node_id),
-                    );
+                    self.release_reserved_flag(node_id, now, sched);
                 }
             }
         }
@@ -654,7 +753,7 @@ impl ClusterWorld {
     fn blocking_victim(&self, exclude_dst: NodeId) -> Option<(NodeId, JobId, Bytes)> {
         let mut worst: Option<(Bytes, NodeId, JobId, Bytes)> = None;
         for node in &self.nodes {
-            if node.is_reserved() {
+            if node.is_reserved() || !node.is_up() {
                 continue;
             }
             let usage = node.memory_usage();
@@ -696,13 +795,17 @@ impl ClusterWorld {
         let Some(mut job) = self.node(src).remove_job(job_id, now) else {
             // The job completed in the meantime; undo service bookkeeping.
             if to_reserved && self.reservations.note_completion(dst, job_id) {
-                self.node(dst).set_reserved(false);
+                self.release_reserved_flag(dst, now, sched);
             }
             return;
         };
         self.schedule_wake(src, now, sched);
-        self.log
-            .record(now, SchedulerEventKind::MigratedOut, Some(job_id), Some(src));
+        self.log.record(
+            now,
+            SchedulerEventKind::MigratedOut,
+            Some(job_id),
+            Some(src),
+        );
         self.log.record(
             now,
             if to_reserved {
@@ -724,6 +827,7 @@ impl ClusterWorld {
                 job,
                 dst,
                 to_reserved,
+                attempts: 0,
             },
         );
         sched.schedule_in(cost, Event::TransitArrive { job: job_id });
@@ -742,6 +846,7 @@ impl ClusterWorld {
             job,
             dst,
             to_reserved,
+            ..
         } = transit;
         let home = dst;
         let result = if to_reserved {
@@ -761,11 +866,156 @@ impl ClusterWorld {
                 // the job pending.
                 self.counters.stale_rejections += 1;
                 if to_reserved && self.reservations.note_completion(dst, job_id) {
-                    self.node(dst).set_reserved(false);
+                    self.release_reserved_flag(dst, now, sched);
                 }
                 self.enqueue_pending(rejected.job, home, now);
             }
         }
+    }
+
+    /// Fault recovery for a transfer that failed in transit: retry with
+    /// exponential backoff (the wait is charged as migration time, keeping
+    /// the wall-clock breakdown identity exact), or — once the plan's retry
+    /// budget is spent — abandon the transfer and re-queue the job.
+    fn handle_migration_failure(
+        &mut self,
+        job_id: JobId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let (max_retries, base_backoff) = {
+            let injector = self.faults.as_ref().expect("failure without injector");
+            (
+                injector.plan().max_migration_retries,
+                injector.plan().retry_backoff,
+            )
+        };
+        let (dst, attempts) = {
+            let transit = self.in_transit.get_mut(&job_id).expect("transit present");
+            transit.attempts += 1;
+            (transit.dst, transit.attempts)
+        };
+        self.log.record(
+            now,
+            SchedulerEventKind::MigrationFailed,
+            Some(job_id),
+            Some(dst),
+        );
+        if attempts <= max_retries {
+            // Backoff doubles per failed attempt: base * 2^(attempts-1).
+            let mut backoff = base_backoff;
+            for _ in 0..(attempts - 1).min(16) {
+                backoff = backoff + backoff;
+            }
+            let transit = self.in_transit.get_mut(&job_id).expect("transit present");
+            transit.job.breakdown.migration += backoff.as_secs_f64();
+            if let Some(injector) = self.faults.as_mut() {
+                injector.counters.migration_retries += 1;
+            }
+            sched.schedule_in(backoff, Event::TransitArrive { job: job_id });
+        } else {
+            let transit = self.in_transit.remove(&job_id).expect("transit present");
+            if let Some(injector) = self.faults.as_mut() {
+                injector.counters.migrations_abandoned += 1;
+                injector.counters.requeued_jobs += 1;
+            }
+            if transit.to_reserved && self.reservations.note_completion(dst, job_id) {
+                self.release_reserved_flag(dst, now, sched);
+            }
+            self.log
+                .record(now, SchedulerEventKind::Requeued, Some(job_id), Some(dst));
+            self.enqueue_pending(transit.job, dst, now);
+        }
+    }
+
+    /// Fault injection: crashes `node_id`, re-queueing its resident jobs.
+    fn handle_node_crash(
+        &mut self,
+        node_id: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.nodes[node_id.0 as usize].is_up() {
+            return; // already down (duplicate crash entries in the plan)
+        }
+        // Settle the node first so pre-crash completions count as completed.
+        self.nodes[node_id.0 as usize].advance_to(now);
+        self.collect_completions(now, sched);
+        if let Some(injector) = self.faults.as_mut() {
+            injector.counters.crashes += 1;
+        }
+        self.log
+            .record(now, SchedulerEventKind::NodeCrashed, None, Some(node_id));
+        // A crash takes any reservation (active or stalled) down with it.
+        if self.reservations.release_unused(node_id) || self.stalled.remove(&node_id) {
+            self.log.record(
+                now,
+                SchedulerEventKind::ReservationReleased,
+                None,
+                Some(node_id),
+            );
+        }
+        let drained = self.nodes[node_id.0 as usize].crash(now);
+        for job in drained {
+            if let Some(injector) = self.faults.as_mut() {
+                injector.counters.requeued_jobs += 1;
+            }
+            self.log.record(
+                now,
+                SchedulerEventKind::Requeued,
+                Some(job.id()),
+                Some(node_id),
+            );
+            self.enqueue_pending(job, node_id, now);
+        }
+        self.index.refresh(self.nodes.iter(), now);
+        self.try_place_pending(now, sched);
+    }
+
+    /// Fault injection: brings a crashed node back into service.
+    fn handle_node_restart(
+        &mut self,
+        node_id: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if self.nodes[node_id.0 as usize].is_up() {
+            return;
+        }
+        self.nodes[node_id.0 as usize].restart(now);
+        if let Some(injector) = self.faults.as_mut() {
+            injector.counters.restarts += 1;
+        }
+        self.log
+            .record(now, SchedulerEventKind::NodeRestarted, None, Some(node_id));
+        self.index.refresh(self.nodes.iter(), now);
+        self.try_place_pending(now, sched);
+    }
+
+    /// Fault injection: a stalled reservation release finally takes effect.
+    fn handle_reservation_unstall(
+        &mut self,
+        node_id: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.stalled.remove(&node_id) {
+            return; // cleared meanwhile (e.g. the node crashed)
+        }
+        if self.reservations.is_reserved(node_id) {
+            return; // defensively: a newer reservation owns the flag now
+        }
+        self.nodes[node_id.0 as usize].advance_to(now);
+        self.nodes[node_id.0 as usize].set_reserved(false);
+        self.log.record(
+            now,
+            SchedulerEventKind::ReservationReleased,
+            None,
+            Some(node_id),
+        );
+        self.refresh_index(now, sched);
+        self.schedule_wake(node_id, now, sched);
+        self.try_place_pending(now, sched);
     }
 
     /// The §1 strawman: swap the victim out entirely, freeing its memory so
@@ -879,6 +1129,7 @@ impl ClusterWorld {
                     job: entry.job,
                     dst,
                     to_reserved: false,
+                    attempts: 0,
                 },
             );
             sched.schedule_in(in_cost, Event::TransitArrive { job: id });
@@ -947,6 +1198,8 @@ impl ClusterWorld {
             events: self.log,
             finished_at: if self.done { self.finished_at } else { now },
             unfinished_jobs: unfinished,
+            faults: self.faults.as_ref().map(|f| f.counters).unwrap_or_default(),
+            audit_violations: Vec::new(),
             jobs,
         }
     }
@@ -992,7 +1245,7 @@ impl World for ClusterWorld {
                 }
             }
             Event::Exchange => {
-                self.refresh_index(now, sched);
+                self.refresh_index_lossy(now, sched);
                 self.overload_scan(now, sched);
                 self.check_reservations(now, sched);
                 self.try_resume_suspended(now, sched);
@@ -1023,7 +1276,23 @@ impl World for ClusterWorld {
                 }
             }
             Event::TransitArrive { job } => {
-                self.handle_transit_arrive(job, now, sched);
+                if self.in_transit.contains_key(&job)
+                    && self.faults.as_mut().is_some_and(|f| f.migration_fails())
+                {
+                    self.handle_migration_failure(job, now, sched);
+                } else {
+                    self.handle_transit_arrive(job, now, sched);
+                }
+                self.check_done(now);
+            }
+            Event::NodeCrash { node } => {
+                self.handle_node_crash(node, now, sched);
+            }
+            Event::NodeRestart { node } => {
+                self.handle_node_restart(node, now, sched);
+            }
+            Event::ReservationUnstall { node } => {
+                self.handle_reservation_unstall(node, now, sched);
                 self.check_done(now);
             }
         }

@@ -1,0 +1,181 @@
+//! The runtime side of fault injection: a seeded injector and counters.
+
+use crate::plan::{FaultPlan, NodeCrash};
+use serde::{Deserialize, Serialize};
+use vr_simcore::rng::SimRng;
+
+/// Stream id for the injector's RNG fork, so fault draws never perturb the
+/// simulation's own random stream (a fault-free plan is bit-identical to
+/// running without an injector).
+const FAULT_STREAM: u64 = 0xFA01_7B0C_5EED_0001;
+
+/// Counts of injected faults and the scheduler's recovery actions.
+///
+/// Injection counts (`crashes`, `migration_failures`, ...) are bumped by
+/// the injector itself; recovery counts (`migration_retries`,
+/// `requeued_jobs`, ...) are bumped by the scheduler as it reacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// Node crashes that actually fired (in-range node, before horizon).
+    pub crashes: u64,
+    /// Node restarts that fired.
+    pub restarts: u64,
+    /// Migration attempts that failed in transit.
+    pub migration_failures: u64,
+    /// Migration retries the scheduler issued after failures.
+    pub migration_retries: u64,
+    /// Migrations abandoned after exhausting retries.
+    pub migrations_abandoned: u64,
+    /// Jobs re-queued to the pending queue by crash or migration recovery.
+    pub requeued_jobs: u64,
+    /// Node load reports dropped from periodic exchanges.
+    pub lost_load_reports: u64,
+    /// Reservation releases delayed by a configured stall.
+    pub stalled_releases: u64,
+}
+
+impl FaultCounters {
+    /// Total number of injected fault events (recovery actions excluded).
+    pub fn total_injected(&self) -> u64 {
+        self.crashes
+            + self.restarts
+            + self.migration_failures
+            + self.lost_load_reports
+            + self.stalled_releases
+    }
+}
+
+/// Evaluates a [`FaultPlan`] against a dedicated deterministic RNG stream.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Injection and recovery counts for this run.
+    pub counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Creates an injector for one run.
+    ///
+    /// `seed` is the simulation seed; the injector forks a private stream
+    /// from it (mixed with the plan's `seed_salt`) so probability draws are
+    /// reproducible and independent of the simulation's own stream.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        let rng = SimRng::seed_from(seed).fork(FAULT_STREAM ^ plan.seed_salt);
+        FaultInjector {
+            plan,
+            rng,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan this injector evaluates.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Crash schedule sorted by time (ties broken by node index), ready to
+    /// be turned into simulation events.
+    pub fn crash_schedule(&self) -> Vec<NodeCrash> {
+        let mut crashes = self.plan.node_crashes.clone();
+        crashes.sort_by_key(|c| (c.at, c.node));
+        crashes
+    }
+
+    /// Decides whether one migration attempt fails in transit.
+    ///
+    /// Draws from the RNG only when the plan can actually fail migrations,
+    /// so a fault-free plan consumes no randomness.
+    pub fn migration_fails(&mut self) -> bool {
+        let p = self.plan.migration_failure_prob;
+        if p <= 0.0 {
+            return false;
+        }
+        let failed = self.rng.uniform() < p;
+        if failed {
+            self.counters.migration_failures += 1;
+        }
+        failed
+    }
+
+    /// Decides whether one node's report is lost from a load exchange.
+    pub fn load_report_lost(&mut self) -> bool {
+        let p = self.plan.load_info_loss_prob;
+        if p <= 0.0 {
+            return false;
+        }
+        let lost = self.rng.uniform() < p;
+        if lost {
+            self.counters.lost_load_reports += 1;
+        }
+        lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_simcore::time::SimTime;
+
+    #[test]
+    fn same_seed_same_plan_same_draws() {
+        let plan = FaultPlan::none().with_migration_failures(0.5);
+        let mut a = FaultInjector::new(plan.clone(), 7);
+        let mut b = FaultInjector::new(plan, 7);
+        let xs: Vec<bool> = (0..64).map(|_| a.migration_fails()).collect();
+        let ys: Vec<bool> = (0..64).map(|_| b.migration_fails()).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn different_salt_changes_draws() {
+        let base = FaultPlan::none().with_migration_failures(0.5);
+        let mut salted = base.clone();
+        salted.seed_salt = 1;
+        let xs: Vec<bool> = {
+            let mut inj = FaultInjector::new(base, 7);
+            (0..64).map(|_| inj.migration_fails()).collect()
+        };
+        let ys: Vec<bool> = {
+            let mut inj = FaultInjector::new(salted, 7);
+            (0..64).map(|_| inj.migration_fails()).collect()
+        };
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn zero_probability_never_fires_or_draws() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 7);
+        for _ in 0..100 {
+            assert!(!inj.migration_fails());
+            assert!(!inj.load_report_lost());
+        }
+        assert_eq!(inj.counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn probability_one_always_fires() {
+        let plan = FaultPlan::none()
+            .with_migration_failures(1.0)
+            .with_load_info_loss(1.0);
+        let mut inj = FaultInjector::new(plan, 7);
+        for _ in 0..10 {
+            assert!(inj.migration_fails());
+            assert!(inj.load_report_lost());
+        }
+        assert_eq!(inj.counters.migration_failures, 10);
+        assert_eq!(inj.counters.lost_load_reports, 10);
+    }
+
+    #[test]
+    fn crash_schedule_is_time_ordered() {
+        let plan = FaultPlan::none()
+            .with_crash(5, SimTime::from_secs(30), None)
+            .with_crash(1, SimTime::from_secs(10), None)
+            .with_crash(2, SimTime::from_secs(30), None);
+        let inj = FaultInjector::new(plan, 0);
+        let order: Vec<usize> = inj.crash_schedule().iter().map(|c| c.node).collect();
+        assert_eq!(order, vec![1, 2, 5]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Declarative fault plans and their on-disk text format.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vr_simcore::time::{SimSpan, SimTime};
+
+/// A scheduled crash of one workstation, with an optional restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCrash {
+    /// Index of the workstation in the cluster (0-based).
+    pub node: usize,
+    /// Simulation time at which the node crashes.
+    pub at: SimTime,
+    /// If set, the node comes back up this long after the crash.
+    pub restart_after: Option<SimSpan>,
+}
+
+/// A declarative description of every fault a run should experience.
+///
+/// The default plan is fault-free; builders switch individual fault classes
+/// on. Probabilities are evaluated on a dedicated RNG stream forked from
+/// the simulation seed, so two runs with the same seed and plan are
+/// bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Scheduled node crashes (and optional restarts).
+    pub node_crashes: Vec<NodeCrash>,
+    /// Probability in `[0, 1]` that any single migration attempt fails in
+    /// transit.
+    pub migration_failure_prob: f64,
+    /// Retries the scheduler grants a failed migration before giving up
+    /// and re-queueing the job locally.
+    pub max_migration_retries: u32,
+    /// Base backoff before a migration retry; doubles per attempt.
+    pub retry_backoff: SimSpan,
+    /// Probability in `[0, 1]` that a node's report is lost from one
+    /// periodic load-information exchange.
+    pub load_info_loss_prob: f64,
+    /// Extra delay a reserved workstation stays reserved after the
+    /// reservation protocol releases it (`SimSpan::ZERO` = no stall).
+    pub reservation_release_stall: SimSpan,
+    /// Salt mixed into the injector's RNG stream, so plans can be re-rolled
+    /// without changing the simulation seed.
+    pub seed_salt: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            node_crashes: Vec::new(),
+            migration_failure_prob: 0.0,
+            max_migration_retries: 3,
+            retry_backoff: SimSpan::from_secs(1),
+            load_info_loss_prob: 0.0,
+            reservation_release_stall: SimSpan::ZERO,
+            seed_salt: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults at all (identical to `Default`).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Returns true if the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.node_crashes.is_empty()
+            && self.migration_failure_prob == 0.0
+            && self.load_info_loss_prob == 0.0
+            && self.reservation_release_stall == SimSpan::ZERO
+    }
+
+    /// Adds a node crash (optionally restarting after `restart_after`).
+    pub fn with_crash(mut self, node: usize, at: SimTime, restart_after: Option<SimSpan>) -> Self {
+        self.node_crashes.push(NodeCrash {
+            node,
+            at,
+            restart_after,
+        });
+        self
+    }
+
+    /// Sets the migration failure probability.
+    pub fn with_migration_failures(mut self, prob: f64) -> Self {
+        self.migration_failure_prob = prob;
+        self
+    }
+
+    /// Sets the load-information loss probability.
+    pub fn with_load_info_loss(mut self, prob: f64) -> Self {
+        self.load_info_loss_prob = prob;
+        self
+    }
+
+    /// Sets the reservation-release stall delay.
+    pub fn with_reservation_stall(mut self, delay: SimSpan) -> Self {
+        self.reservation_release_stall = delay;
+        self
+    }
+
+    /// Validates ranges (probabilities in `[0, 1]`, sane retry settings).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.migration_failure_prob) {
+            return Err(format!(
+                "migration_failure_prob must be in [0, 1], got {}",
+                self.migration_failure_prob
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.load_info_loss_prob) {
+            return Err(format!(
+                "load_info_loss_prob must be in [0, 1], got {}",
+                self.load_info_loss_prob
+            ));
+        }
+        if self.migration_failure_prob > 0.0 && self.retry_backoff == SimSpan::ZERO {
+            return Err("retry_backoff must be positive when migrations can fail".into());
+        }
+        Ok(())
+    }
+
+    /// Parses the line-oriented plan format used by `--fault-plan <file>`.
+    ///
+    /// ```text
+    /// # comments and blank lines are ignored
+    /// crash node=3 at=120 restart_after=60
+    /// crash node=5 at=300
+    /// migration-failure p=0.2
+    /// max-retries 5
+    /// retry-backoff 2
+    /// load-info-loss p=0.1
+    /// reservation-stall 5
+    /// seed-salt 99
+    /// ```
+    ///
+    /// Durations and times are in seconds (fractions allowed).
+    pub fn parse(text: &str) -> Result<Self, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |msg: String| PlanParseError {
+                line: idx + 1,
+                message: msg,
+            };
+            let mut parts = line.split_whitespace();
+            let keyword = parts.next().expect("non-empty line has a first token");
+            let rest: Vec<&str> = parts.collect();
+            match keyword {
+                "crash" => {
+                    let mut node = None;
+                    let mut at = None;
+                    let mut restart_after = None;
+                    for field in &rest {
+                        let (key, value) = field
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("expected key=value, got '{field}'")))?;
+                        match key {
+                            "node" => node = Some(parse_num::<usize>(value).map_err(&err)?),
+                            "at" => at = Some(parse_secs(value).map(secs_to_time).map_err(&err)?),
+                            "restart_after" => {
+                                restart_after =
+                                    Some(parse_secs(value).map(secs_to_span).map_err(&err)?)
+                            }
+                            other => return Err(err(format!("unknown crash field '{other}'"))),
+                        }
+                    }
+                    plan.node_crashes.push(NodeCrash {
+                        node: node.ok_or_else(|| err("crash requires node=<idx>".into()))?,
+                        at: at.ok_or_else(|| err("crash requires at=<secs>".into()))?,
+                        restart_after,
+                    });
+                }
+                "migration-failure" => {
+                    plan.migration_failure_prob = parse_p(&rest).map_err(&err)?;
+                }
+                "load-info-loss" => {
+                    plan.load_info_loss_prob = parse_p(&rest).map_err(&err)?;
+                }
+                "max-retries" => {
+                    plan.max_migration_retries =
+                        parse_num::<u32>(single(&rest).map_err(&err)?).map_err(&err)?;
+                }
+                "retry-backoff" => {
+                    plan.retry_backoff = parse_secs(single(&rest).map_err(&err)?)
+                        .map(secs_to_span)
+                        .map_err(&err)?;
+                }
+                "reservation-stall" => {
+                    plan.reservation_release_stall = parse_secs(single(&rest).map_err(&err)?)
+                        .map(secs_to_span)
+                        .map_err(&err)?;
+                }
+                "seed-salt" => {
+                    plan.seed_salt =
+                        parse_num::<u64>(single(&rest).map_err(&err)?).map_err(&err)?;
+                }
+                other => return Err(err(format!("unknown directive '{other}'"))),
+            }
+        }
+        plan.validate()
+            .map_err(|message| PlanParseError { line: 0, message })?;
+        Ok(plan)
+    }
+}
+
+/// Error from [`FaultPlan::parse`], carrying the offending line number
+/// (0 for whole-plan validation failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number, or 0 for plan-level validation errors.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "invalid fault plan: {}", self.message)
+        } else {
+            write!(f, "fault plan line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn single<'a>(rest: &[&'a str]) -> Result<&'a str, String> {
+    match rest {
+        [one] => Ok(one),
+        _ => Err(format!("expected exactly one argument, got {}", rest.len())),
+    }
+}
+
+fn parse_p(rest: &[&str]) -> Result<f64, String> {
+    let field = single(rest)?;
+    let value = field
+        .strip_prefix("p=")
+        .ok_or_else(|| format!("expected p=<prob>, got '{field}'"))?;
+    parse_num::<f64>(value)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str) -> Result<T, String>
+where
+    T::Err: fmt::Display,
+{
+    value
+        .parse::<T>()
+        .map_err(|e| format!("bad number '{value}': {e}"))
+}
+
+fn parse_secs(value: &str) -> Result<f64, String> {
+    let trimmed = value.strip_suffix('s').unwrap_or(value);
+    let secs = parse_num::<f64>(trimmed)?;
+    if secs < 0.0 || !secs.is_finite() {
+        return Err(format!(
+            "duration must be finite and non-negative, got {secs}"
+        ));
+    }
+    Ok(secs)
+}
+
+fn secs_to_time(secs: f64) -> SimTime {
+    SimTime::from_micros((secs * 1e6).round() as u64)
+}
+
+fn secs_to_span(secs: f64) -> SimSpan {
+    SimSpan::from_micros((secs * 1e6).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_valid() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_full_plan() {
+        let text = "\
+# adversarial mix
+crash node=3 at=120 restart_after=60
+crash node=5 at=300.5
+
+migration-failure p=0.2
+max-retries 5
+retry-backoff 2s
+load-info-loss p=0.1
+reservation-stall 5
+seed-salt 99
+";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(
+            plan.node_crashes,
+            vec![
+                NodeCrash {
+                    node: 3,
+                    at: SimTime::from_secs(120),
+                    restart_after: Some(SimSpan::from_secs(60)),
+                },
+                NodeCrash {
+                    node: 5,
+                    at: SimTime::from_micros(300_500_000),
+                    restart_after: None,
+                },
+            ]
+        );
+        assert_eq!(plan.migration_failure_prob, 0.2);
+        assert_eq!(plan.max_migration_retries, 5);
+        assert_eq!(plan.retry_backoff, SimSpan::from_secs(2));
+        assert_eq!(plan.load_info_loss_prob, 0.1);
+        assert_eq!(plan.reservation_release_stall, SimSpan::from_secs(5));
+        assert_eq!(plan.seed_salt, 99);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips_builders() {
+        let built = FaultPlan::none()
+            .with_crash(1, SimTime::from_secs(10), None)
+            .with_migration_failures(0.5);
+        let parsed = FaultPlan::parse("crash node=1 at=10\nmigration-failure p=0.5").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        for bad in [
+            "crash node=1",                // missing at=
+            "crash at=10",                 // missing node=
+            "crash node=x at=10",          // bad number
+            "migration-failure 0.5",       // missing p=
+            "migration-failure p=1.5",     // out of range
+            "teleport node=1",             // unknown directive
+            "reservation-stall",           // missing argument
+            "crash node=1 at=10 when=now", // unknown field
+        ] {
+            let result = FaultPlan::parse(bad);
+            assert!(result.is_err(), "accepted: {bad}");
+        }
+        let err = FaultPlan::parse("crash node=1\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let plan = FaultPlan::parse("\n# nothing\n   \n").unwrap();
+        assert!(plan.is_empty());
+    }
+}

@@ -21,7 +21,10 @@ pub fn jain_index(values: &[f64]) -> f64 {
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     for v in values {
-        assert!(v.is_finite() && *v >= 0.0, "fairness over invalid value {v}");
+        assert!(
+            v.is_finite() && *v >= 0.0,
+            "fairness over invalid value {v}"
+        );
         sum += v;
         sum_sq += v * v;
     }
@@ -47,7 +50,10 @@ pub fn worst_to_mean(values: &[f64]) -> f64 {
     let mut sum = 0.0;
     let mut max = 0.0f64;
     for v in values {
-        assert!(v.is_finite() && *v >= 0.0, "fairness over invalid value {v}");
+        assert!(
+            v.is_finite() && *v >= 0.0,
+            "fairness over invalid value {v}"
+        );
         sum += v;
         max = max.max(*v);
     }

@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn summarizes_per_node_and_cluster() {
-        let c = vec![
-            counters(50.0, 10.0, 3, 3),
-            counters(100.0, 0.0, 5, 5),
-        ];
+        let c = vec![counters(50.0, 10.0, 3, 3), counters(100.0, 0.0, 5, 5)];
         let s = UtilizationSummary::from_counters(&c, SimTime::from_secs(100));
         assert_eq!(s.nodes.len(), 2);
         assert!((s.nodes[0].cpu_utilization - 0.5).abs() < 1e-12);

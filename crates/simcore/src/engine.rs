@@ -46,6 +46,22 @@ pub trait World {
     fn handle(&mut self, sched: &mut Scheduler<'_, Self::Event>, event: Self::Event);
 }
 
+/// An observer invoked after every dispatched event.
+///
+/// Hooks see the world *after* it reacted, making them the natural seam for
+/// invariant auditors, tracers, and other cross-cutting observers that must
+/// not perturb the simulation itself (the world is handed out immutably).
+/// The no-op hook is `()`, which [`Engine::run_until`] uses.
+pub trait EventHook<W: World> {
+    /// Called once per dispatched event, after `world` handled it. `now` is
+    /// the event's firing time.
+    fn after_event(&mut self, world: &W, now: SimTime);
+}
+
+impl<W: World> EventHook<W> for () {
+    fn after_event(&mut self, _world: &W, _now: SimTime) {}
+}
+
 /// Scheduling access handed to a [`World`] during event handling (and
 /// available from the engine between runs to seed initial events).
 #[derive(Debug)]
@@ -167,11 +183,27 @@ impl<E> Engine<E> {
     /// Events firing exactly at `horizon` are processed. The clock never
     /// advances past the last processed event.
     pub fn run_until<W: World<Event = E>>(&mut self, world: &mut W, horizon: SimTime) -> RunStats {
+        self.run_until_with(world, horizon, &mut ())
+    }
+
+    /// Like [`Engine::run_until`], but invokes `hook` after every dispatched
+    /// event (see [`EventHook`]).
+    pub fn run_until_with<W, H>(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+        hook: &mut H,
+    ) -> RunStats
+    where
+        W: World<Event = E>,
+        H: EventHook<W>,
+    {
         let mut stats = RunStats::default();
         loop {
             match self.queue.peek_time() {
                 Some(t) if t <= horizon => {
                     self.step(world);
+                    hook.after_event(world, self.now);
                     stats.events_processed += 1;
                 }
                 Some(_) => break,
@@ -292,6 +324,34 @@ mod tests {
         engine
             .scheduler()
             .schedule_at(SimTime::from_secs(1), Ev::Pong);
+    }
+
+    #[test]
+    fn hook_observes_every_event_after_the_world_reacted() {
+        struct Spy {
+            seen: Vec<(SimTime, usize)>,
+        }
+        impl EventHook<Recorder> for Spy {
+            fn after_event(&mut self, world: &Recorder, now: SimTime) {
+                self.seen.push((now, world.log.len()));
+            }
+        }
+        let mut world = Recorder {
+            respawn: true,
+            ..Recorder::default()
+        };
+        let mut engine = Engine::new();
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_secs(1), Ev::Ping);
+        let mut spy = Spy { seen: Vec::new() };
+        let stats = engine.run_until_with(&mut world, SimTime::MAX, &mut spy);
+        assert_eq!(stats.events_processed, 2);
+        // The hook saw the world's log *after* each event was appended.
+        assert_eq!(
+            spy.seen,
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(2), 2)]
+        );
     }
 
     #[test]

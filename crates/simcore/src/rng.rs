@@ -6,9 +6,10 @@
 //! [`SimRng::fork`] (e.g. one stream per workload trace) so that adding draws
 //! to one component does not perturb another.
 //!
-//! `rand` 0.8 ships only uniform sampling; the normal, lognormal, and
-//! exponential samplers needed by the workload generator are implemented here
-//! (Box–Muller and inverse-CDF transforms).
+//! The generator is self-contained (xoshiro256++ seeded through splitmix64,
+//! no external crates — the build environment has no registry access), and
+//! the normal, lognormal, and exponential samplers needed by the workload
+//! generator are implemented here (Box–Muller and inverse-CDF transforms).
 //!
 //! ```
 //! use vr_simcore::rng::SimRng;
@@ -21,14 +22,51 @@
 //! assert!(x > 0.0);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// xoshiro256++ core: fast, tiny-state, and entirely deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Expands a 64-bit seed into the 256-bit state via splitmix64, per the
+    /// reference implementation's seeding recommendation.
+    fn seeded(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = splitmix64(x);
+            *slot = x;
+        }
+        // The all-zero state is the one fixed point; unreachable from
+        // splitmix64 outputs in practice, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A seeded random-number generator with the distribution samplers the
 /// simulator needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256PlusPlus,
     /// Spare deviate from the last Box–Muller pair.
     spare_normal: Option<f64>,
 }
@@ -37,7 +75,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256PlusPlus::seeded(seed),
             spare_normal: None,
         }
     }
@@ -60,9 +98,9 @@ impl SimRng {
         self.inner.next_u64()
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)`: the top 53 bits of a draw, scaled.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform in `[lo, hi)`.
@@ -82,7 +120,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // 128-bit multiply-shift maps the draw to [0, n) without the low-bit
+        // bias of a plain modulus.
+        ((u128::from(self.inner.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Picks a uniformly random element of `items`.

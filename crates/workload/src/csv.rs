@@ -251,9 +251,7 @@ pub fn write_activity<W: Write>(
 /// # Errors
 ///
 /// Returns [`ReadTraceError`] on I/O failure or malformed input.
-pub fn read_activity<R: BufRead>(
-    r: R,
-) -> Result<crate::activity::ActivityRecord, ReadTraceError> {
+pub fn read_activity<R: BufRead>(r: R) -> Result<crate::activity::ActivityRecord, ReadTraceError> {
     let mut lines = r.lines().enumerate();
     let bad = |line: usize, message: &str| ReadTraceError::Parse {
         line: line + 1,
@@ -287,7 +285,9 @@ pub fn read_activity<R: BufRead>(
         (Some(a), Some(b), Some(c)) => (a, b, c),
         _ => return Err(bad(n, "header must carry name, class, interval_us")),
     };
-    let (_, _columns) = lines.next().ok_or_else(|| bad(2, "missing column header"))?;
+    let (_, _columns) = lines
+        .next()
+        .ok_or_else(|| bad(2, "missing column header"))?;
     let mut samples = Vec::new();
     for (n, line) in lines {
         let line = line?;

@@ -35,10 +35,7 @@ fn main() {
              {total_blocked:.0} job-seconds spent blocked",
             episodes.len(),
         );
-        if let Some((start, dur)) = episodes
-            .iter()
-            .max_by_key(|(_, d)| *d)
-        {
+        if let Some((start, dur)) = episodes.iter().max_by_key(|(_, d)| *d) {
             println!("longest episode: started {start}, lasted {dur}");
         }
 

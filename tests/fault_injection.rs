@@ -1,0 +1,189 @@
+//! Fault injection and invariant auditing, end to end.
+//!
+//! The contract under test: fault plans compose with determinism (same
+//! seed + same plan ⇒ bit-identical `RunReport`), the invariant auditor
+//! stays clean across every policy with and without faults, and the
+//! scheduler's recovery paths (crash re-queue, migration retry) lose no
+//! jobs.
+
+use vr_faults::FaultPlan;
+use vrecon_repro::prelude::*;
+
+fn small_cluster() -> ClusterParams {
+    let mut c = ClusterParams::cluster2();
+    c.nodes.truncate(8);
+    c
+}
+
+fn blocking_trace() -> vr_workload::trace::Trace {
+    synth::blocking_scenario(8, Bytes::from_mb(128))
+}
+
+fn run_with(policy: PolicyKind, plan: Option<FaultPlan>, audit: bool, seed: u64) -> RunReport {
+    let mut config = SimConfig::new(small_cluster(), policy)
+        .with_seed(seed)
+        .with_audit(audit);
+    if let Some(plan) = plan {
+        config = config.with_faults(plan);
+    }
+    Simulation::new(config).run(&blocking_trace())
+}
+
+/// An adversarial-but-survivable plan: one mid-run crash with restart,
+/// flaky migrations, lossy load reports, and stalled releases.
+fn adversarial_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_crash(2, SimTime::from_secs(40), Some(SimSpan::from_secs(30)))
+        .with_migration_failures(0.3)
+        .with_load_info_loss(0.2)
+        .with_reservation_stall(SimSpan::from_secs(3))
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    // `FaultPlan::none()` must not perturb the RNG stream or the schedule:
+    // the injector draws nothing when every probability is zero.
+    let bare = run_with(PolicyKind::VReconfiguration, None, false, 77);
+    let with_plan = run_with(
+        PolicyKind::VReconfiguration,
+        Some(FaultPlan::none()),
+        false,
+        77,
+    );
+    assert_eq!(bare, with_plan);
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_repeats() {
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let a = run_with(policy, Some(adversarial_plan()), false, 1131);
+        let b = run_with(policy, Some(adversarial_plan()), false, 1131);
+        assert_eq!(a, b, "{policy} diverged under a fixed fault plan");
+    }
+}
+
+#[test]
+fn auditing_observes_without_perturbing() {
+    let plain = run_with(
+        PolicyKind::VReconfiguration,
+        Some(adversarial_plan()),
+        false,
+        7,
+    );
+    let audited = run_with(
+        PolicyKind::VReconfiguration,
+        Some(adversarial_plan()),
+        true,
+        7,
+    );
+    assert_eq!(
+        audited.audit_violations,
+        Vec::<String>::new(),
+        "auditor found violations"
+    );
+    // Everything except the violations field must match the unaudited run.
+    let mut audited_scrubbed = audited;
+    audited_scrubbed.audit_violations.clear();
+    assert_eq!(plain, audited_scrubbed);
+}
+
+#[test]
+fn auditor_is_clean_for_every_policy_without_faults() {
+    for (i, policy) in PolicyKind::ALL.into_iter().enumerate() {
+        let report = run_with(policy, None, true, 9000 + i as u64);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{policy}: {:?}",
+            report.audit_violations
+        );
+        assert!(report.all_completed(), "{policy} left jobs unfinished");
+    }
+}
+
+#[test]
+fn auditor_is_clean_for_every_policy_under_faults() {
+    for (i, policy) in PolicyKind::ALL.into_iter().enumerate() {
+        let report = run_with(policy, Some(adversarial_plan()), true, 4000 + i as u64);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{policy}: {:?}",
+            report.audit_violations
+        );
+    }
+}
+
+#[test]
+fn auditor_is_clean_on_light_load() {
+    let trace = synth::light_load(40, &mut SimRng::seed_from(3));
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        let config = SimConfig::new(small_cluster(), policy)
+            .with_seed(3)
+            .with_audit(true);
+        let report = Simulation::new(config).run(&trace);
+        assert!(
+            report.audit_violations.is_empty(),
+            "{policy}: {:?}",
+            report.audit_violations
+        );
+        assert!(report.all_completed());
+    }
+}
+
+#[test]
+fn crashed_node_requeues_its_jobs_and_loses_none() {
+    let plan =
+        FaultPlan::none().with_crash(1, SimTime::from_secs(30), Some(SimSpan::from_secs(60)));
+    let report = run_with(PolicyKind::VReconfiguration, Some(plan), true, 42);
+    assert_eq!(report.faults.crashes, 1);
+    assert_eq!(report.faults.restarts, 1);
+    assert!(
+        report.faults.requeued_jobs > 0,
+        "the crash at 30s should have drained resident jobs"
+    );
+    assert!(report.all_completed(), "re-queued jobs must not be lost");
+    assert!(
+        report.audit_violations.is_empty(),
+        "{:?}",
+        report.audit_violations
+    );
+    let kinds: Vec<_> = report.events.entries().iter().map(|e| e.kind).collect();
+    assert!(kinds.contains(&SchedulerEventKind::NodeCrashed));
+    assert!(kinds.contains(&SchedulerEventKind::NodeRestarted));
+    assert!(kinds.contains(&SchedulerEventKind::Requeued));
+}
+
+#[test]
+fn flaky_migrations_are_retried_and_jobs_still_finish() {
+    let plan = FaultPlan::none().with_migration_failures(0.5);
+    let report = run_with(PolicyKind::VReconfiguration, Some(plan), true, 7);
+    assert!(
+        report.faults.migration_failures > 0,
+        "p=0.5 must fail some of the blocking scenario's migrations"
+    );
+    assert!(report.faults.migration_retries > 0);
+    assert!(
+        report.all_completed(),
+        "retried/abandoned jobs must not be lost"
+    );
+    assert!(
+        report.audit_violations.is_empty(),
+        "{:?}",
+        report.audit_violations
+    );
+}
+
+#[test]
+fn fault_counters_survive_into_the_report() {
+    let report = run_with(
+        PolicyKind::VReconfiguration,
+        Some(adversarial_plan()),
+        false,
+        5,
+    );
+    let c = &report.faults;
+    assert_eq!(c.crashes, 1);
+    assert_eq!(c.restarts, 1);
+    // A fault-free run reports all-zero counters.
+    let clean = run_with(PolicyKind::VReconfiguration, None, false, 5);
+    assert_eq!(clean.faults, Default::default());
+}

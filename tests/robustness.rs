@@ -33,9 +33,17 @@ fn single_job_on_single_policy_matrix() {
         let job = &report.jobs[0];
         // A lone small job runs undisturbed: slowdown ~1 (remote submission
         // may add its 0.1s).
-        assert!(job.slowdown() < 1.02, "{policy}: slowdown {}", job.slowdown());
+        assert!(
+            job.slowdown() < 1.02,
+            "{policy}: slowdown {}",
+            job.slowdown()
+        );
         assert_eq!(
-            job.completed_at.unwrap().saturating_since(job.spec.submit).as_secs_f64().round(),
+            job.completed_at
+                .unwrap()
+                .saturating_since(job.spec.submit)
+                .as_secs_f64()
+                .round(),
             job.breakdown.wall().round(),
             "{policy}"
         );
@@ -65,7 +73,11 @@ fn mass_burst_at_time_zero_completes() {
         let mut cluster = ClusterParams::cluster2();
         cluster.nodes.truncate(8);
         let report = Simulation::new(SimConfig::new(cluster, policy).with_seed(5)).run(&trace);
-        assert!(report.all_completed(), "{policy}: {}", report.unfinished_jobs);
+        assert!(
+            report.all_completed(),
+            "{policy}: {}",
+            report.unfinished_jobs
+        );
         report.check_breakdown_identity(0.05).unwrap();
     }
 }
