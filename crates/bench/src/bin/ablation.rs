@@ -23,13 +23,20 @@
 //!     ON/OFF workload bursts.
 //! 13. **Thrashing protection (TPF)** — the paper's ref \[6] as an
 //!     intra-node alternative/complement to reconfiguration.
+//!
+//! Every section's runs execute on the shared experiment runner
+//! (`--jobs N`, `--no-cache`): scenarios go out as a sweep plan and come
+//! back in plan order, so the tables are identical for any worker count.
 
-use vr_bench::SIM_SEED;
+use std::sync::Arc;
+
+use vr_bench::{BenchArgs, SIM_SEED};
 use vr_cluster::memory::FaultModel;
 use vr_cluster::network::NetworkParams;
 use vr_cluster::params::ClusterParams;
 use vr_cluster::units::Bytes;
 use vr_metrics::table::{fmt_f, TextTable};
+use vr_runner::{Runner, Scenario, SweepPlan};
 use vr_simcore::rng::SimRng;
 use vr_simcore::stats::reduction_pct;
 use vr_workload::synth;
@@ -37,7 +44,6 @@ use vr_workload::trace::Trace;
 use vrecon::config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
 use vrecon::policy::PolicyKind;
 use vrecon::report::RunReport;
-use vrecon::sim::Simulation;
 
 fn cluster() -> ClusterParams {
     let mut c = ClusterParams::cluster2();
@@ -45,12 +51,14 @@ fn cluster() -> ClusterParams {
     c
 }
 
-fn blocking_trace() -> Trace {
-    synth::blocking_scenario(16, Bytes::from_mb(128))
+fn blocking_trace() -> Arc<Trace> {
+    Arc::new(synth::blocking_scenario(16, Bytes::from_mb(128)))
 }
 
-fn run(config: SimConfig, trace: &Trace) -> RunReport {
-    Simulation::new(config).run(trace)
+/// Runs one section's scenarios as a sweep, returning reports in order.
+fn sweep(runner: &Runner, scenarios: Vec<Scenario>) -> Vec<RunReport> {
+    let plan: SweepPlan = scenarios.into_iter().collect();
+    runner.run(&plan).expect_reports()
 }
 
 fn base_config(policy: PolicyKind) -> SimConfig {
@@ -58,38 +66,61 @@ fn base_config(policy: PolicyKind) -> SimConfig {
 }
 
 fn main() {
-    negative_conditions();
-    end_condition();
-    pending_discipline();
-    fault_model();
-    baselines();
-    network_speed();
-    suspension_fairness();
-    network_ram();
-    staleness();
-    reservation_cap();
-    heterogeneous();
-    bursty_fluctuation();
-    thrashing_protection();
+    let runner = BenchArgs::from_env().runner(true);
+    negative_conditions(&runner);
+    end_condition(&runner);
+    pending_discipline(&runner);
+    fault_model(&runner);
+    baselines(&runner);
+    network_speed(&runner);
+    suspension_fairness(&runner);
+    network_ram(&runner);
+    staleness(&runner);
+    reservation_cap(&runner);
+    heterogeneous(&runner);
+    bursty_fluctuation(&runner);
+    thrashing_protection(&runner);
 }
 
 /// §5's three negative conditions: V-R should gain little (adaptively doing
 /// nothing) instead of hurting.
-fn negative_conditions() {
+fn negative_conditions(runner: &Runner) {
     println!("ablation 1 — §5 negative conditions (16-node cluster 2)\n");
     let rng = SimRng::seed_from(3);
-    let workloads = vec![
-        ("light-load", synth::light_load(40, &mut rng.fork(0))),
+    let workloads = [
+        (
+            "light-load",
+            Arc::new(synth::light_load(40, &mut rng.fork(0))),
+        ),
         (
             "equal-memory",
-            synth::equal_memory(160, Bytes::from_mb(60), &mut rng.fork(1)),
+            Arc::new(synth::equal_memory(
+                160,
+                Bytes::from_mb(60),
+                &mut rng.fork(1),
+            )),
         ),
         (
             "big-dominant-70pct",
-            synth::big_job_dominant(160, Bytes::from_mb(128), 0.7, &mut rng.fork(2)),
+            Arc::new(synth::big_job_dominant(
+                160,
+                Bytes::from_mb(128),
+                0.7,
+                &mut rng.fork(2),
+            )),
         ),
         ("blocking (positive control)", blocking_trace()),
     ];
+    let reports = sweep(
+        runner,
+        workloads
+            .iter()
+            .flat_map(|(_, trace)| {
+                [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration]
+                    .map(|policy| Scenario::new(base_config(policy), Arc::clone(trace)))
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "workload",
         "G-LS slowdown",
@@ -98,9 +129,8 @@ fn negative_conditions() {
         "reservations",
         "served",
     ]);
-    for (name, trace) in &workloads {
-        let gls = run(base_config(PolicyKind::GLoadSharing), trace);
-        let vr = run(base_config(PolicyKind::VReconfiguration), trace);
+    for ((name, _), pair) in workloads.iter().zip(reports.chunks_exact(2)) {
+        let [gls, vr] = pair else { unreachable!() };
         table.row(vec![
             (*name).to_owned(),
             fmt_f(gls.avg_slowdown(), 2),
@@ -117,9 +147,28 @@ fn negative_conditions() {
 }
 
 /// §2.1's two reserving-period end conditions.
-fn end_condition() {
+fn end_condition(runner: &Runner) {
     println!("ablation 2 — reserving-period end condition (blocking scenario)\n");
     let trace = blocking_trace();
+    let cases = [
+        ("AllJobsComplete", ReservingEnd::AllJobsComplete),
+        ("EnoughMemory", ReservingEnd::EnoughMemory),
+    ];
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(_, end)| {
+                let config = base_config(PolicyKind::VReconfiguration).with_reservation(
+                    ReservationOptions {
+                        end_condition: *end,
+                        ..ReservationOptions::default()
+                    },
+                );
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "end condition",
         "avg slowdown",
@@ -128,18 +177,9 @@ fn end_condition() {
         "served",
         "timed out",
     ]);
-    for (name, end) in [
-        ("AllJobsComplete", ReservingEnd::AllJobsComplete),
-        ("EnoughMemory", ReservingEnd::EnoughMemory),
-    ] {
-        let config =
-            base_config(PolicyKind::VReconfiguration).with_reservation(ReservationOptions {
-                end_condition: end,
-                ..ReservationOptions::default()
-            });
-        let report = run(config, &trace);
+    for ((name, _), report) in cases.iter().zip(&reports) {
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             fmt_f(report.avg_slowdown(), 2),
             fmt_f(report.total_queue_secs(), 0),
             report.reservations.started.to_string(),
@@ -151,9 +191,29 @@ fn end_condition() {
 }
 
 /// FIFO ("submissions blocked") vs backfill pending queues.
-fn pending_discipline() {
+fn pending_discipline(runner: &Runner) {
     println!("ablation 3 — pending-queue discipline (blocking scenario)\n");
     let trace = blocking_trace();
+    let mut cases = Vec::new();
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        for (name, d) in [
+            ("fifo", PendingDiscipline::Fifo),
+            ("backfill", PendingDiscipline::Backfill),
+        ] {
+            cases.push((policy, name, d));
+        }
+    }
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(policy, _, d)| {
+                let mut config = base_config(*policy);
+                config.pending_discipline = *d;
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "discipline",
@@ -161,32 +221,23 @@ fn pending_discipline() {
         "T_que (s)",
         "blocked submissions",
     ]);
-    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
-        for (name, d) in [
-            ("fifo", PendingDiscipline::Fifo),
-            ("backfill", PendingDiscipline::Backfill),
-        ] {
-            let mut config = base_config(policy);
-            config.pending_discipline = d;
-            let report = run(config, &trace);
-            table.row(vec![
-                policy.to_string(),
-                name.to_owned(),
-                fmt_f(report.avg_slowdown(), 2),
-                fmt_f(report.total_queue_secs(), 0),
-                report.counters.blocked_submissions.to_string(),
-            ]);
-        }
+    for ((policy, name, _), report) in cases.iter().zip(&reports) {
+        table.row(vec![
+            policy.to_string(),
+            (*name).to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.total_queue_secs(), 0),
+            report.counters.blocked_submissions.to_string(),
+        ]);
     }
     println!("{}", table.render());
 }
 
 /// Linear vs quadratic vs disabled page-fault models.
-fn fault_model() {
+fn fault_model(runner: &Runner) {
     println!("ablation 4 — page-fault model shape (blocking scenario, V-R)\n");
     let trace = blocking_trace();
-    let mut table = TextTable::new(vec!["fault model", "avg slowdown", "T_page (s)"]);
-    for (name, model) in [
+    let cases = [
         ("linear k=4", FaultModel::LinearOverflow { kappa: 4.0 }),
         ("linear k=8", FaultModel::LinearOverflow { kappa: 8.0 }),
         (
@@ -194,14 +245,24 @@ fn fault_model() {
             FaultModel::QuadraticOverflow { kappa: 4.0 },
         ),
         ("off", FaultModel::Off),
-    ] {
-        let mut config = base_config(PolicyKind::VReconfiguration);
-        for node in &mut config.cluster.nodes {
-            node.fault_model = model;
-        }
-        let report = run(config, &trace);
+    ];
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(_, model)| {
+                let mut config = base_config(PolicyKind::VReconfiguration);
+                for node in &mut config.cluster.nodes {
+                    node.fault_model = *model;
+                }
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
+    let mut table = TextTable::new(vec!["fault model", "avg slowdown", "T_page (s)"]);
+    for ((name, _), report) in cases.iter().zip(&reports) {
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             fmt_f(report.avg_slowdown(), 2),
             fmt_f(report.summary.totals.page, 0),
         ]);
@@ -210,9 +271,16 @@ fn fault_model() {
 }
 
 /// All five policies on the blocking scenario.
-fn baselines() {
+fn baselines(runner: &Runner) {
     println!("ablation 5 — policy baselines (blocking scenario)\n");
     let trace = blocking_trace();
+    let reports = sweep(
+        runner,
+        PolicyKind::ALL
+            .into_iter()
+            .map(|policy| Scenario::new(base_config(policy), Arc::clone(&trace)))
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "avg slowdown",
@@ -220,8 +288,7 @@ fn baselines() {
         "T_que (s)",
         "migrations",
     ]);
-    for policy in PolicyKind::ALL {
-        let report = run(base_config(policy), &trace);
+    for (policy, report) in PolicyKind::ALL.into_iter().zip(&reports) {
         table.row(vec![
             policy.to_string(),
             fmt_f(report.avg_slowdown(), 2),
@@ -235,7 +302,7 @@ fn baselines() {
 
 /// §1's rejected alternative: suspension resolves blocking for the small
 /// jobs but starves the large ones under a sustained flow.
-fn suspension_fairness() {
+fn suspension_fairness(runner: &Runner) {
     println!("ablation 7 — suspension strawman vs reconfiguration (sustained blocking)\n");
     // Extend the blocking scenario's filler stream threefold so submissions
     // "continue to flow" for several multiples of a giant's runtime.
@@ -258,10 +325,22 @@ fn suspension_fairness() {
     for (i, j) in jobs.iter_mut().enumerate() {
         j.id = vr_cluster::job::JobId(i as u64);
     }
-    let trace = Trace {
+    let trace = Arc::new(Trace {
         name: "Synth-Blocking-Sustained".into(),
         jobs,
-    };
+    });
+    let policies = [
+        PolicyKind::GLoadSharing,
+        PolicyKind::SuspendLargest,
+        PolicyKind::VReconfiguration,
+    ];
+    let reports = sweep(
+        runner,
+        policies
+            .iter()
+            .map(|&policy| Scenario::new(base_config(policy), Arc::clone(&trace)))
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "overall slowdown",
@@ -270,12 +349,7 @@ fn suspension_fairness() {
         "Jain fairness",
         "suspensions/reservations",
     ]);
-    for policy in [
-        PolicyKind::GLoadSharing,
-        PolicyKind::SuspendLargest,
-        PolicyKind::VReconfiguration,
-    ] {
-        let report = run(base_config(policy), &trace);
+    for (policy, report) in policies.into_iter().zip(&reports) {
         let mean = |name: &str| {
             let v: Vec<f64> = report
                 .jobs
@@ -302,23 +376,32 @@ fn suspension_fairness() {
 }
 
 /// §2.3 / ref \[12]: serving page faults from remote idle memory.
-fn network_ram() {
+fn network_ram(runner: &Runner) {
     println!("ablation 8 — network RAM (blocking scenario)\n");
     let trace = blocking_trace();
-    let mut table = TextTable::new(vec!["configuration", "avg slowdown", "T_page (s)"]);
-    for (name, netram, policy) in [
+    let cases = [
         ("G-LS, local disk", false, PolicyKind::GLoadSharing),
         ("G-LS + network RAM", true, PolicyKind::GLoadSharing),
         ("V-R, local disk", false, PolicyKind::VReconfiguration),
         ("V-R + network RAM", true, PolicyKind::VReconfiguration),
-    ] {
-        let mut config = base_config(policy);
-        if netram {
-            config = config.with_network_ram();
-        }
-        let report = run(config, &trace);
+    ];
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(_, netram, policy)| {
+                let mut config = base_config(*policy);
+                if *netram {
+                    config = config.with_network_ram();
+                }
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
+    let mut table = TextTable::new(vec!["configuration", "avg slowdown", "T_page (s)"]);
+    for ((name, _, _), report) in cases.iter().zip(&reports) {
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             fmt_f(report.avg_slowdown(), 2),
             fmt_f(report.summary.totals.page, 0),
         ]);
@@ -328,19 +411,28 @@ fn network_ram() {
 
 /// §6 deployment concern 1: "the globally shared load information ...
 /// needs to be delivered timely and consistently."
-fn staleness() {
+fn staleness(runner: &Runner) {
     println!("ablation 9 — load-information exchange period (blocking scenario, V-R)\n");
     let trace = blocking_trace();
+    let periods = [1u64, 5, 15, 30];
+    let reports = sweep(
+        runner,
+        periods
+            .iter()
+            .map(|&secs| {
+                let mut config = base_config(PolicyKind::VReconfiguration);
+                config.cluster.load_exchange_period = vr_simcore::time::SimSpan::from_secs(secs);
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "exchange period",
         "avg slowdown",
         "stale bounces",
         "blocking detections",
     ]);
-    for secs in [1u64, 5, 15, 30] {
-        let mut config = base_config(PolicyKind::VReconfiguration);
-        config.cluster.load_exchange_period = vr_simcore::time::SimSpan::from_secs(secs);
-        let report = run(config, &trace);
+    for (secs, report) in periods.into_iter().zip(&reports) {
         table.row(vec![
             format!("{secs}s"),
             fmt_f(report.avg_slowdown(), 2),
@@ -352,22 +444,32 @@ fn staleness() {
 }
 
 /// Sensitivity to the reservation cap (§2.2 point 4's protection knob).
-fn reservation_cap() {
+fn reservation_cap(runner: &Runner) {
     println!("ablation 10 — max reserved fraction (blocking scenario, V-R)\n");
     let trace = blocking_trace();
+    let fractions = [0.0625, 0.125, 0.25, 0.5];
+    let reports = sweep(
+        runner,
+        fractions
+            .iter()
+            .map(|&frac| {
+                let config = base_config(PolicyKind::VReconfiguration).with_reservation(
+                    ReservationOptions {
+                        max_reserved_fraction: frac,
+                        ..ReservationOptions::default()
+                    },
+                );
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "max fraction",
         "avg slowdown",
         "reservations",
         "served",
     ]);
-    for frac in [0.0625, 0.125, 0.25, 0.5] {
-        let config =
-            base_config(PolicyKind::VReconfiguration).with_reservation(ReservationOptions {
-                max_reserved_fraction: frac,
-                ..ReservationOptions::default()
-            });
-        let report = run(config, &trace);
+    for (frac, report) in fractions.into_iter().zip(&reports) {
         table.row(vec![
             format!("{frac}"),
             fmt_f(report.avg_slowdown(), 2),
@@ -380,10 +482,23 @@ fn reservation_cap() {
 
 /// §2.3/§6: on a heterogeneous cluster the reservation candidate rule
 /// (largest idle memory) steers special service to the big-memory nodes.
-fn heterogeneous() {
+fn heterogeneous(runner: &Runner) {
     println!("ablation 11 — heterogeneous cluster (4 x 384MB + 12 x 128MB nodes)\n");
     let cluster = ClusterParams::heterogeneous(16, 4);
     let trace = blocking_trace();
+    let policies = [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration];
+    let reports = sweep(
+        runner,
+        policies
+            .iter()
+            .map(|&policy| {
+                Scenario::new(
+                    SimConfig::new(cluster.clone(), policy).with_seed(SIM_SEED),
+                    Arc::clone(&trace),
+                )
+            })
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "avg slowdown",
@@ -391,9 +506,7 @@ fn heterogeneous() {
         "admissions/small node",
         "reservations",
     ]);
-    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
-        let config = SimConfig::new(cluster.clone(), policy).with_seed(SIM_SEED);
-        let report = run(config, &trace);
+    for (policy, report) in policies.into_iter().zip(&reports) {
         let big: u64 = report.node_counters[..4].iter().map(|c| c.admitted).sum();
         let small: u64 = report.node_counters[4..].iter().map(|c| c.admitted).sum();
         table.row(vec![
@@ -408,10 +521,22 @@ fn heterogeneous() {
 }
 
 /// The conclusion's motivation: accommodating workload fluctuation.
-fn bursty_fluctuation() {
+fn bursty_fluctuation(runner: &Runner) {
     println!("ablation 12 — bursty ON/OFF workload (group-2 programs, 16 nodes)\n");
     let mut rng = SimRng::seed_from(5);
-    let trace = synth::bursty(240, &mut rng);
+    let trace = Arc::new(synth::bursty(240, &mut rng));
+    let policies = [
+        PolicyKind::CpuOnly,
+        PolicyKind::GLoadSharing,
+        PolicyKind::VReconfiguration,
+    ];
+    let reports = sweep(
+        runner,
+        policies
+            .iter()
+            .map(|&policy| Scenario::new(base_config(policy), Arc::clone(&trace)))
+            .collect(),
+    );
     let mut table = TextTable::new(vec![
         "policy",
         "avg slowdown",
@@ -419,12 +544,7 @@ fn bursty_fluctuation() {
         "T_que (s)",
         "reservations",
     ]);
-    for policy in [
-        PolicyKind::CpuOnly,
-        PolicyKind::GLoadSharing,
-        PolicyKind::VReconfiguration,
-    ] {
-        let report = run(base_config(policy), &trace);
+    for (policy, report) in policies.into_iter().zip(&reports) {
         table.row(vec![
             policy.to_string(),
             fmt_f(report.avg_slowdown(), 2),
@@ -438,11 +558,11 @@ fn bursty_fluctuation() {
 
 /// Ref \[6]: intra-node thrashing protection, alone and composed with the
 /// paper's inter-node reconfiguration.
-fn thrashing_protection() {
+fn thrashing_protection(runner: &Runner) {
     use vr_cluster::protection::ThrashingProtection;
     println!("ablation 13 — thrashing protection (TPF, ref [6]) on the blocking scenario\n");
     let trace = blocking_trace();
-    let mut table = TextTable::new(vec!["policy", "protection", "avg slowdown", "T_page (s)"]);
+    let mut cases = Vec::new();
     for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
         for (name, protection) in [
             ("off", ThrashingProtection::Off),
@@ -452,37 +572,58 @@ fn thrashing_protection() {
                 ThrashingProtection::ProtectShortestRemaining,
             ),
         ] {
-            let mut config = base_config(policy);
-            for node in &mut config.cluster.nodes {
-                node.protection = protection;
-            }
-            let report = run(config, &trace);
-            table.row(vec![
-                policy.to_string(),
-                name.to_owned(),
-                fmt_f(report.avg_slowdown(), 2),
-                fmt_f(report.summary.totals.page, 0),
-            ]);
+            cases.push((policy, name, protection));
         }
+    }
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(policy, _, protection)| {
+                let mut config = base_config(*policy);
+                for node in &mut config.cluster.nodes {
+                    node.protection = *protection;
+                }
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
+    let mut table = TextTable::new(vec!["policy", "protection", "avg slowdown", "T_page (s)"]);
+    for ((policy, name, _), report) in cases.iter().zip(&reports) {
+        table.row(vec![
+            policy.to_string(),
+            (*name).to_owned(),
+            fmt_f(report.avg_slowdown(), 2),
+            fmt_f(report.summary.totals.page, 0),
+        ]);
     }
     println!("{}", table.render());
 }
 
 /// §5 point 4: "As high speed networks become widely used in clusters, the
 /// migration time ... becomes less crucial."
-fn network_speed() {
+fn network_speed(runner: &Runner) {
     println!("ablation 6 — interconnect speed (blocking scenario, V-R)\n");
     let trace = blocking_trace();
-    let mut table = TextTable::new(vec!["network", "avg slowdown", "T_mig (s)"]);
-    for (name, net) in [
+    let cases = [
         ("10 Mbps Ethernet", NetworkParams::ethernet_10mbps()),
         ("1 Gbps Ethernet", NetworkParams::ethernet_1gbps()),
-    ] {
-        let mut config = base_config(PolicyKind::VReconfiguration);
-        config.cluster.network = net;
-        let report = run(config, &trace);
+    ];
+    let reports = sweep(
+        runner,
+        cases
+            .iter()
+            .map(|(_, net)| {
+                let mut config = base_config(PolicyKind::VReconfiguration);
+                config.cluster.network = *net;
+                Scenario::new(config, Arc::clone(&trace))
+            })
+            .collect(),
+    );
+    let mut table = TextTable::new(vec!["network", "avg slowdown", "T_mig (s)"]);
+    for ((name, _), report) in cases.iter().zip(&reports) {
         table.row(vec![
-            name.to_owned(),
+            (*name).to_owned(),
             fmt_f(report.avg_slowdown(), 2),
             fmt_f(report.summary.totals.migration, 0),
         ]);

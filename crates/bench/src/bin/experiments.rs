@@ -1,25 +1,29 @@
 //! Runs the full evaluation — both workload groups, all five traces, both
 //! policies — and prints the per-figure tables plus a paper-vs-measured
 //! summary. This is the data source for `EXPERIMENTS.md`.
+//!
+//! The whole 20-scenario matrix executes as **one sweep** on the
+//! experiment runner: `--jobs N` sets the worker count (0 = auto),
+//! `--no-cache` bypasses the content-addressed result cache. Figure
+//! tables on stdout are bit-identical for any `--jobs` value; progress
+//! and cache telemetry go to stderr; a machine-readable benchmark record
+//! is written to `BENCH_sweep.json` (override with `VR_BENCH_OUT`).
 
-use std::io::Write;
+use std::path::Path;
 
 use vr_bench::render::figure_panel;
-use vr_bench::{paper, run_group, Group, PolicyPair};
+use vr_bench::{group_plan, pairs_from_results, paper, BenchArgs, Group, PolicyPair};
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::TextTable;
 
-/// Writes one figure panel's data as a plot-ready CSV file under the
-/// directory named by `VR_RESULTS_DIR` (no-op when unset).
-fn export_csv(name: &str, pairs: &[PolicyPair], metric: impl Fn(&PolicyPair) -> MetricComparison) {
-    let Ok(dir) = std::env::var("VR_RESULTS_DIR") else {
-        return;
-    };
-    let dir = std::path::Path::new(&dir);
-    if let Err(e) = std::fs::create_dir_all(dir) {
-        eprintln!("cannot create {}: {e}", dir.display());
-        return;
-    }
+/// Writes one figure panel's data as a plot-ready CSV file under `dir`.
+/// Failures are returned, not printed — `main` surfaces them once.
+fn export_csv(
+    dir: &Path,
+    name: &str,
+    pairs: &[PolicyPair],
+    metric: impl Fn(&PolicyPair) -> MetricComparison,
+) -> Result<(), String> {
     let path = dir.join(format!("{name}.csv"));
     let mut table = TextTable::new(vec![
         "trace",
@@ -36,14 +40,8 @@ fn export_csv(name: &str, pairs: &[PolicyPair], metric: impl Fn(&PolicyPair) -> 
             format!("{:.4}", c.reduction()),
         ]);
     }
-    match std::fs::File::create(&path) {
-        Ok(mut f) => {
-            if let Err(e) = f.write_all(table.render_csv().as_bytes()) {
-                eprintln!("cannot write {}: {e}", path.display());
-            }
-        }
-        Err(e) => eprintln!("cannot create {}: {e}", path.display()),
-    }
+    std::fs::write(&path, table.render_csv())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))
 }
 
 fn summary_row(
@@ -71,12 +69,58 @@ fn summary_row(
 }
 
 fn main() {
+    let bench_args = BenchArgs::from_env();
+    let results_dir = vr_bench::results_dir().unwrap_or_else(|e| {
+        eprintln!("fatal: {e}");
+        std::process::exit(1);
+    });
+
     println!("# Full evaluation run\n");
-    if std::env::var("VR_RESULTS_DIR").is_ok() {
+    if results_dir.is_some() {
         println!("(also exporting per-figure CSVs to $VR_RESULTS_DIR)\n");
     }
+
+    // One sweep for the whole matrix: group 1's ten scenarios, then
+    // group 2's. Results come back in plan order, so the figure tables
+    // below are bit-identical for any --jobs value.
+    let mut plan = group_plan(Group::Spec);
+    let split = plan.len();
+    plan.scenarios.extend(group_plan(Group::App).scenarios);
+    let runner = bench_args.runner(true);
+    let mut outcome = runner.run(&plan);
+
+    let bench_out = std::env::var("VR_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    if let Err(e) = vr_runner::write_bench_json(Path::new(&bench_out), &outcome) {
+        eprintln!("note: cannot write {bench_out}: {e}");
+    }
+    eprintln!(
+        "sweep: {} scenarios on {} workers in {:.2}s (sequential {:.2}s, speedup {:.2}x; \
+         cache: {} hits, {} misses)",
+        outcome.results.len(),
+        outcome.jobs,
+        outcome.wall.as_secs_f64(),
+        outcome.busy.as_secs_f64(),
+        outcome.speedup(),
+        outcome.cache.hits,
+        outcome.cache.misses,
+    );
+
+    let app = pairs_from_results(outcome.results.split_off(split));
+    let spec = pairs_from_results(outcome.results);
+    let mut export_errors: Vec<String> = Vec::new();
+    let mut export = |dir: Option<&Path>,
+                      name: &str,
+                      pairs: &[PolicyPair],
+                      metric: &dyn Fn(&PolicyPair) -> MetricComparison| {
+        if let Some(dir) = dir {
+            if let Err(e) = export_csv(dir, name, pairs, metric) {
+                export_errors.push(e);
+            }
+        }
+    };
+    let dir = results_dir.as_deref();
+
     println!("## Workload group 1 (SPEC 2000, cluster 1)\n");
-    let spec = run_group(Group::Spec);
     println!("```text");
     print!(
         "{}",
@@ -122,13 +166,12 @@ fn main() {
         )
     );
     println!("```\n");
-    export_csv("fig1_exec", &spec, |p| p.execution_time());
-    export_csv("fig1_queue", &spec, |p| p.queue_time());
-    export_csv("fig2_slowdown", &spec, |p| p.slowdown());
-    export_csv("fig2_idle_memory", &spec, |p| p.idle_memory());
+    export(dir, "fig1_exec", &spec, &|p| p.execution_time());
+    export(dir, "fig1_queue", &spec, &|p| p.queue_time());
+    export(dir, "fig2_slowdown", &spec, &|p| p.slowdown());
+    export(dir, "fig2_idle_memory", &spec, &|p| p.idle_memory());
 
     println!("## Workload group 2 (applications, cluster 2)\n");
-    let app = run_group(Group::App);
     println!("```text");
     print!(
         "{}",
@@ -174,10 +217,19 @@ fn main() {
         )
     );
     println!("```\n");
-    export_csv("fig3_exec", &app, |p| p.execution_time());
-    export_csv("fig3_queue", &app, |p| p.queue_time());
-    export_csv("fig4_slowdown", &app, |p| p.slowdown());
-    export_csv("fig4_skew", &app, |p| p.balance_skew());
+    export(dir, "fig3_exec", &app, &|p| p.execution_time());
+    export(dir, "fig3_queue", &app, &|p| p.queue_time());
+    export(dir, "fig4_slowdown", &app, &|p| p.slowdown());
+    export(dir, "fig4_skew", &app, &|p| p.balance_skew());
+
+    if !export_errors.is_empty() {
+        // One aggregated note, not one eprintln per row.
+        eprintln!(
+            "note: {} CSV export(s) failed: {}",
+            export_errors.len(),
+            export_errors.join("; ")
+        );
+    }
 
     println!("## Paper-vs-measured summary (mean reduction across traces)\n");
     let mut table = TextTable::new(vec![

@@ -6,16 +6,23 @@
 //! Slowdowns are averaged over several scheduling seeds; fault and
 //! recovery counters are summed over them, showing how much repair work
 //! (re-queues, migration retries) each policy causes at each intensity.
+//!
+//! The whole intensity × policy × seed matrix runs as one sweep on the
+//! experiment runner (`--jobs N`, `--no-cache`); the table is aggregated
+//! from results in plan order, so it is identical for any worker count.
 
+use std::sync::Arc;
+
+use vr_bench::BenchArgs;
 use vr_cluster::params::ClusterParams;
 use vr_cluster::units::Bytes;
 use vr_faults::{FaultCounters, FaultPlan};
 use vr_metrics::table::{fmt_f, TextTable};
+use vr_runner::{Scenario, SweepPlan};
 use vr_simcore::time::{SimSpan, SimTime};
 use vr_workload::synth;
 use vrecon::config::SimConfig;
 use vrecon::policy::PolicyKind;
-use vrecon::sim::Simulation;
 
 const SEEDS: [u64; 3] = [7, 1131, 90210];
 const NODES: usize = 8;
@@ -62,9 +69,10 @@ fn add(total: &mut FaultCounters, c: &FaultCounters) {
 }
 
 fn main() {
+    let bench_args = BenchArgs::from_env();
     let mut cluster = ClusterParams::cluster2();
     cluster.nodes.truncate(NODES);
-    let trace = synth::blocking_scenario(NODES, Bytes::from_mb(128));
+    let trace = Arc::new(synth::blocking_scenario(NODES, Bytes::from_mb(128)));
     println!(
         "fault robustness on {} ({} jobs, {} nodes; {} seeds per cell, auditor on)\n",
         trace.name,
@@ -72,6 +80,31 @@ fn main() {
         NODES,
         SEEDS.len()
     );
+
+    // Cell-major, seed-minor plan: chunks of SEEDS.len() results make one
+    // table row.
+    let policies = [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration];
+    let ladder = intensities();
+    let mut plan = SweepPlan::new();
+    for (name, fault_plan) in &ladder {
+        for policy in policies {
+            for seed in SEEDS {
+                plan.push(
+                    Scenario::new(
+                        SimConfig::new(cluster.clone(), policy)
+                            .with_seed(seed)
+                            .with_faults(fault_plan.clone())
+                            .with_audit(true),
+                        Arc::clone(&trace),
+                    )
+                    .labeled(format!("{name}/{policy}/seed {seed}")),
+                );
+            }
+        }
+    }
+    let outcome = bench_args.runner(true).run(&plan);
+    let mut reports = outcome.expect_reports().into_iter();
+
     let mut table = TextTable::new(vec![
         "intensity",
         "policy",
@@ -83,18 +116,14 @@ fn main() {
         "re-queued",
         "violations",
     ]);
-    for (name, plan) in intensities() {
-        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+    for (name, _) in &ladder {
+        for policy in policies {
             let mut slowdowns = Vec::new();
             let mut unfinished = 0usize;
             let mut violations = 0usize;
             let mut faults = FaultCounters::default();
             for seed in SEEDS {
-                let config = SimConfig::new(cluster.clone(), policy)
-                    .with_seed(seed)
-                    .with_faults(plan.clone())
-                    .with_audit(true);
-                let report = Simulation::new(config).run(&trace);
+                let report = reports.next().expect("plan covers every cell");
                 slowdowns.push(report.avg_slowdown());
                 unfinished += report.unfinished_jobs;
                 violations += report.audit_violations.len();
@@ -105,7 +134,7 @@ fn main() {
             }
             let mean = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64;
             table.row(vec![
-                name.to_owned(),
+                (*name).to_owned(),
                 policy.to_string(),
                 fmt_f(mean, 2),
                 unfinished.to_string(),

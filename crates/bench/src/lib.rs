@@ -25,8 +25,12 @@
 pub mod paper;
 pub mod render;
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use vr_cluster::params::ClusterParams;
 use vr_metrics::comparison::MetricComparison;
+use vr_runner::{ResultCache, Runner, Scenario, ScenarioResult, SweepOptions, SweepPlan};
 use vr_simcore::rng::SimRng;
 use vr_workload::trace::{app_trace, spec_trace, Trace, TraceLevel};
 use vrecon::config::SimConfig;
@@ -117,32 +121,149 @@ pub fn run_policy(group: Group, trace: &Trace, policy: PolicyKind) -> RunReport 
     Simulation::new(config).run(trace)
 }
 
-/// Runs one trace under both policies (in parallel threads — the runs are
-/// independent).
+/// The G-Loadsharing / V-Reconfiguration sweep plan for one arrival level:
+/// two scenarios sharing the regenerated trace.
+pub fn pair_plan(group: Group, level: TraceLevel) -> SweepPlan {
+    let trace = Arc::new(group.trace(level));
+    [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration]
+        .into_iter()
+        .map(|policy| {
+            Scenario::new(
+                SimConfig::new(group.cluster(), policy).with_seed(SIM_SEED),
+                Arc::clone(&trace),
+            )
+        })
+        .collect()
+}
+
+/// The full sweep plan of one workload group: five arrival levels × two
+/// policies, level-major, G-Loadsharing before V-Reconfiguration.
+pub fn group_plan(group: Group) -> SweepPlan {
+    TraceLevel::ALL
+        .into_iter()
+        .flat_map(|level| pair_plan(group, level).scenarios)
+        .collect()
+}
+
+/// Reassembles the results of a plan built by [`pair_plan`]/[`group_plan`]
+/// (or any concatenation of them) into policy pairs.
+///
+/// # Panics
+///
+/// Panics if a scenario failed or the result count is odd.
+pub fn pairs_from_results(results: Vec<Option<ScenarioResult>>) -> Vec<PolicyPair> {
+    let mut reports: Vec<RunReport> = results
+        .into_iter()
+        .map(|slot| slot.expect("sweep scenario failed").report)
+        .collect();
+    assert!(
+        reports.len().is_multiple_of(2),
+        "policy-pair sweeps have an even scenario count"
+    );
+    let mut pairs = Vec::with_capacity(reports.len() / 2);
+    while !reports.is_empty() {
+        let gls = reports.remove(0);
+        let vr = reports.remove(0);
+        assert_eq!(gls.policy, PolicyKind::GLoadSharing);
+        assert_eq!(vr.policy, PolicyKind::VReconfiguration);
+        pairs.push(PolicyPair {
+            trace_name: gls.trace_name.clone(),
+            gls,
+            vr,
+        });
+    }
+    pairs
+}
+
+/// Runs one trace under both policies on `runner`.
+pub fn run_pair_on(runner: &Runner, group: Group, level: TraceLevel) -> PolicyPair {
+    let outcome = runner.run(&pair_plan(group, level));
+    pairs_from_results(outcome.results)
+        .pop()
+        .expect("pair plan yields one pair")
+}
+
+/// Runs all five arrival levels of a group on `runner`.
+pub fn run_group_on(runner: &Runner, group: Group) -> Vec<PolicyPair> {
+    pairs_from_results(runner.run(&group_plan(group)).results)
+}
+
+/// Runs one trace under both policies (parallel, uncached).
 pub fn run_pair(group: Group, level: TraceLevel) -> PolicyPair {
-    let trace = group.trace(level);
-    let (gls, vr) = std::thread::scope(|scope| {
-        let gls = scope.spawn(|| run_policy(group, &trace, PolicyKind::GLoadSharing));
-        let vr = scope.spawn(|| run_policy(group, &trace, PolicyKind::VReconfiguration));
-        (
-            gls.join().expect("baseline run panicked"),
-            vr.join().expect("reconfiguration run panicked"),
-        )
-    });
-    PolicyPair {
-        trace_name: trace.name,
-        gls,
-        vr,
+    run_pair_on(&Runner::uncached(0), group, level)
+}
+
+/// Runs all five arrival levels of a group (parallel, uncached).
+pub fn run_group(group: Group) -> Vec<PolicyPair> {
+    run_group_on(&Runner::uncached(0), group)
+}
+
+/// Common options every bench binary accepts on its command line:
+/// `--jobs N` (0 = auto) and `--no-cache`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchArgs {
+    /// Worker threads for the sweep pool (0 = available parallelism).
+    pub jobs: usize,
+    /// Disable the content-addressed result cache.
+    pub no_cache: bool,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments, exiting with usage on anything
+    /// unrecognised (bench binaries have no other options).
+    pub fn from_env() -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--jobs" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => out.jobs = n,
+                    None => die("--jobs requires an integer value"),
+                },
+                "--no-cache" => out.no_cache = true,
+                other => die(&format!(
+                    "unknown argument {other}; supported: --jobs N, --no-cache"
+                )),
+            }
+        }
+        out
+    }
+
+    /// Builds the sweep runner these options describe. `progress` enables
+    /// live per-scenario telemetry lines on stderr.
+    pub fn runner(&self, progress: bool) -> Runner {
+        let cache = if self.no_cache {
+            ResultCache::disabled()
+        } else {
+            ResultCache::at(vr_runner::default_cache_dir())
+        };
+        Runner::new(SweepOptions {
+            jobs: self.jobs,
+            cache,
+            progress,
+        })
     }
 }
 
-/// Runs all five arrival levels of a group, each level's two policies in
-/// parallel.
-pub fn run_group(group: Group) -> Vec<PolicyPair> {
-    TraceLevel::ALL
-        .into_iter()
-        .map(|level| run_pair(group, level))
-        .collect()
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}
+
+/// Resolves `VR_RESULTS_DIR`, creating it. `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// Returns an error if the directory cannot be created — bench binaries
+/// treat that as fatal rather than silently producing no CSVs.
+pub fn results_dir() -> Result<Option<PathBuf>, String> {
+    let Some(dir) = std::env::var_os("VR_RESULTS_DIR") else {
+        return Ok(None);
+    };
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create VR_RESULTS_DIR {}: {e}", dir.display()))?;
+    Ok(Some(dir))
 }
 
 #[cfg(test)]

@@ -65,7 +65,6 @@ impl Args {
     }
 
     /// Positional arguments, in order.
-    #[cfg_attr(not(test), allow(dead_code))] // parser API completeness
     pub fn positional(&self) -> &[String] {
         &self.positional
     }

@@ -1,12 +1,14 @@
 //! The CLI subcommands.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, IsTerminal, Write};
+use std::sync::Arc;
 
 use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::{fmt_f, TextTable};
+use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
 use vr_simcore::rng::SimRng;
 use vr_workload::trace::{
     app_trace_scaled, spec_trace_scaled, Trace, TraceLevel, APP_LIFETIME_SCALE, SPEC_LIFETIME_SCALE,
@@ -30,9 +32,14 @@ USAGE:
                  [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
                  [--fault-plan FILE] [--audit]
   vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
-  vrecon sweep   --group <spec|app> [--seed N] [--trace-seed N]
+  vrecon sweep   [spec] [app] [--seed N] [--trace-seed N] [--jobs N] [--no-cache]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
+
+`sweep` runs its whole matrix on the parallel experiment runner: `--jobs N`
+sets the worker count (0 or unset = all cores) and results are cached by
+content hash under `.vr-cache/` (`$VR_CACHE_DIR` overrides, `--no-cache`
+bypasses). Tables are identical for any `--jobs` value.
 
 FAULT PLANS (--fault-plan): a text file, one directive per line —
   crash node=N at=SECS [restart_after=SECS]
@@ -422,49 +429,117 @@ pub fn compare(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
-/// `vrecon sweep` — the full five-trace sweep of one workload group,
-/// G-Loadsharing vs V-Reconfiguration (the data behind Figures 1–4).
+/// A workload-group trace builder: level + RNG in, full trace out.
+type TraceBuilder = fn(TraceLevel, &mut SimRng) -> Trace;
+
+/// One workload group's cluster and trace builder for `vrecon sweep`.
+fn sweep_group(name: &str) -> Result<(ClusterParams, TraceBuilder), ArgError> {
+    match name {
+        "spec" => Ok((ClusterParams::cluster1(), |l, r| {
+            spec_trace_scaled(l, r, SPEC_LIFETIME_SCALE)
+        })),
+        "app" => Ok((ClusterParams::cluster2(), |l, r| {
+            app_trace_scaled(l, r, APP_LIFETIME_SCALE)
+        })),
+        other => Err(ArgError(format!("group must be spec|app, got {other}"))),
+    }
+}
+
+/// `vrecon sweep` — the full five-trace sweep of one or more workload
+/// groups, G-Loadsharing vs V-Reconfiguration (the data behind Figures
+/// 1–4). Groups are positional (`vrecon sweep spec app`); the whole matrix
+/// executes on the experiment runner, so `--jobs N` parallelises it and
+/// the content-addressed result cache makes repeat sweeps cheap
+/// (`--no-cache` bypasses it). Tables are bit-identical for any `--jobs`
+/// value; a cache/timing line is appended for scripts to grep.
 pub fn sweep(args: &Args) -> Result<String, ArgError> {
-    let group = args.opt_or("group", "spec");
+    let mut groups: Vec<&str> = args.positional().iter().map(String::as_str).collect();
+    match args.opt("group") {
+        Some(_) if !groups.is_empty() => {
+            return Err(ArgError(
+                "give groups either positionally or via --group, not both".to_owned(),
+            ))
+        }
+        Some(group) => groups.push(group),
+        None if groups.is_empty() => groups.push("spec"),
+        None => {}
+    }
     let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
     let trace_seed = args.opt_parse::<u64>("trace-seed")?.unwrap_or(42);
-    let (cluster, build): (ClusterParams, fn(TraceLevel, &mut SimRng) -> Trace) = match group {
-        "spec" => (ClusterParams::cluster1(), |l, r| {
-            spec_trace_scaled(l, r, SPEC_LIFETIME_SCALE)
-        }),
-        "app" => (ClusterParams::cluster2(), |l, r| {
-            app_trace_scaled(l, r, APP_LIFETIME_SCALE)
-        }),
-        other => return Err(ArgError(format!("--group must be spec|app, got {other}"))),
+    let jobs = args.opt_parse::<usize>("jobs")?.unwrap_or(0);
+    let cache = if args.flag("no-cache") {
+        ResultCache::disabled()
+    } else {
+        ResultCache::at(vr_runner::default_cache_dir())
     };
-    let mut table = TextTable::new(vec![
-        "trace",
-        "exec reduction",
-        "queue reduction",
-        "slowdown G-LS",
-        "slowdown V-R",
-        "slowdown reduction",
-    ]);
-    for level in TraceLevel::ALL {
-        let trace = build(level, &mut SimRng::seed_from(trace_seed));
-        let run_one = |policy| {
-            Simulation::new(SimConfig::new(cluster.clone(), policy).with_seed(seed)).run(&trace)
-        };
-        let gls = run_one(PolicyKind::GLoadSharing);
-        let vr = run_one(PolicyKind::VReconfiguration);
-        let exec = MetricComparison::new(gls.total_execution_secs(), vr.total_execution_secs());
-        let queue = MetricComparison::new(gls.total_queue_secs(), vr.total_queue_secs());
-        let slow = MetricComparison::new(gls.avg_slowdown(), vr.avg_slowdown());
-        table.row(vec![
-            trace.name.clone(),
-            format!("{:.1}%", exec.reduction()),
-            format!("{:.1}%", queue.reduction()),
-            fmt_f(slow.baseline, 2),
-            fmt_f(slow.candidate, 2),
-            format!("{:.1}%", slow.reduction()),
-        ]);
+
+    let mut plan = SweepPlan::new();
+    for name in &groups {
+        let (cluster, build) = sweep_group(name)?;
+        for level in TraceLevel::ALL {
+            let trace = Arc::new(build(level, &mut SimRng::seed_from(trace_seed)));
+            for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+                plan.push(Scenario::new(
+                    SimConfig::new(cluster.clone(), policy).with_seed(seed),
+                    Arc::clone(&trace),
+                ));
+            }
+        }
     }
-    Ok(table.render())
+
+    let runner = Runner::new(SweepOptions {
+        jobs,
+        cache,
+        progress: std::io::stderr().is_terminal(),
+    });
+    let outcome = runner.run(&plan);
+    if let Some((index, message)) = outcome.failures.first() {
+        return Err(ArgError(format!("scenario {index} failed: {message}")));
+    }
+    let mut results = outcome.results.iter().flatten();
+
+    let mut out = String::new();
+    for (i, name) in groups.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        if groups.len() > 1 {
+            out.push_str(&format!("group {name}:\n"));
+        }
+        let mut table = TextTable::new(vec![
+            "trace",
+            "exec reduction",
+            "queue reduction",
+            "slowdown G-LS",
+            "slowdown V-R",
+            "slowdown reduction",
+        ]);
+        for _ in TraceLevel::ALL {
+            let gls = &results.next().expect("plan covers every cell").report;
+            let vr = &results.next().expect("plan covers every cell").report;
+            let exec = MetricComparison::new(gls.total_execution_secs(), vr.total_execution_secs());
+            let queue = MetricComparison::new(gls.total_queue_secs(), vr.total_queue_secs());
+            let slow = MetricComparison::new(gls.avg_slowdown(), vr.avg_slowdown());
+            table.row(vec![
+                gls.trace_name.clone(),
+                format!("{:.1}%", exec.reduction()),
+                format!("{:.1}%", queue.reduction()),
+                fmt_f(slow.baseline, 2),
+                fmt_f(slow.candidate, 2),
+                format!("{:.1}%", slow.reduction()),
+            ]);
+        }
+        out.push_str(&table.render());
+    }
+    out.push_str(&format!(
+        "\nsweep: {} scenarios on {} workers in {:.2}s; cache: {} hits, {} misses",
+        plan.len(),
+        outcome.jobs,
+        outcome.wall.as_secs_f64(),
+        outcome.cache.hits,
+        outcome.cache.misses,
+    ));
+    Ok(out)
 }
 
 /// Dispatches a subcommand.
@@ -485,7 +560,11 @@ mod tests {
     use vr_cluster::units::Bytes;
 
     fn args(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().copied(), &["netram", "csv", "log", "audit"]).unwrap()
+        Args::parse(
+            tokens.iter().copied(),
+            &["netram", "csv", "log", "audit", "no-cache"],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -586,6 +665,11 @@ mod tests {
     #[test]
     fn sweep_rejects_bad_group() {
         assert!(sweep(&args(&["--group", "weird"])).is_err());
+        // Positional group names go through the same validation.
+        assert!(sweep(&args(&["weird"])).is_err());
+        // Mixing positional groups with --group is ambiguous.
+        let err = sweep(&args(&["spec", "--group", "app"])).unwrap_err();
+        assert!(err.0.contains("not both"), "{}", err.0);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   tunables.
 //! * [`report`] — [`RunReport`] with the §4/§5
 //!   measurements.
+//! * [`report_json`] — lossless, deterministic JSON encoding of
+//!   [`RunReport`] backing the experiment runner's result cache.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub mod config;
 pub mod events;
 pub mod policy;
 pub mod report;
+pub mod report_json;
 pub mod reservation;
 pub mod sim;
 
@@ -55,5 +58,6 @@ pub use config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig}
 pub use events::{EventLog, SchedulerEvent, SchedulerEventKind};
 pub use policy::{Placement, PolicyKind};
 pub use report::{RunReport, SchedulerCounters};
+pub use report_json::{decode_report, encode_report};
 pub use reservation::{Reservation, ReservationManager, ReservationPhase, ReservationStats};
 pub use sim::Simulation;

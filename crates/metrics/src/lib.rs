@@ -14,6 +14,8 @@
 //! * [`table`] — fixed-width / CSV rendering for the figure binaries.
 //! * [`utilization`] — per-workstation CPU/paging utilization and
 //!   load-imbalance summaries from node counters.
+//! * [`throughput`] — [`ThroughputSummary`]: simulator events/second
+//!   accounting for the experiment runner's sweep telemetry.
 //!
 //! ```
 //! use vr_metrics::comparison::MetricComparison;
@@ -30,6 +32,7 @@ pub mod fairness;
 pub mod sampler;
 pub mod summary;
 pub mod table;
+pub mod throughput;
 pub mod utilization;
 
 pub use comparison::MetricComparison;
@@ -37,4 +40,5 @@ pub use fairness::{jain_index, worst_to_mean};
 pub use sampler::{balance_skew, ClusterGauges};
 pub use summary::WorkloadSummary;
 pub use table::TextTable;
+pub use throughput::ThroughputSummary;
 pub use utilization::{NodeUtilization, UtilizationSummary};

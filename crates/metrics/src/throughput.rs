@@ -1,0 +1,96 @@
+//! Sweep throughput accounting.
+//!
+//! The experiment runner measures, per scenario, how many simulator
+//! events it replayed and how long that took on the wall clock. This
+//! module aggregates those measurements into the figures reported in
+//! `BENCH_sweep.json`: total events, aggregate events/second, and the
+//! per-run distribution — so regressions in simulator speed show up as a
+//! number, not a feeling.
+
+use vr_simcore::stats::{OnlineStats, Summary};
+
+/// Aggregate throughput of a batch of timed simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputSummary {
+    /// Number of runs measured (cache hits are excluded by the caller —
+    /// a decode is not simulator throughput).
+    pub runs: usize,
+    /// Total simulator events replayed across all runs.
+    pub total_events: u64,
+    /// Total wall-clock seconds spent across all runs.
+    pub total_wall_secs: f64,
+    /// `total_events / total_wall_secs` — the batch-level rate.
+    pub aggregate_events_per_sec: f64,
+    /// Distribution of per-run events/second.
+    pub per_run: Summary,
+}
+
+impl ThroughputSummary {
+    /// Aggregates `(events, wall_secs)` measurements. Runs with a
+    /// non-positive wall time are counted in the totals but excluded from
+    /// the per-run rate distribution (a rate over zero time is noise).
+    pub fn of_runs<I>(measurements: I) -> ThroughputSummary
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let mut runs = 0usize;
+        let mut total_events = 0u64;
+        let mut total_wall_secs = 0.0f64;
+        let mut rates = OnlineStats::new();
+        for (events, wall_secs) in measurements {
+            runs += 1;
+            total_events += events;
+            total_wall_secs += wall_secs.max(0.0);
+            if wall_secs > 0.0 {
+                rates.push(events as f64 / wall_secs);
+            }
+        }
+        let aggregate = if total_wall_secs > 0.0 {
+            total_events as f64 / total_wall_secs
+        } else {
+            0.0
+        };
+        ThroughputSummary {
+            runs,
+            total_events,
+            total_wall_secs,
+            aggregate_events_per_sec: aggregate,
+            per_run: rates.summary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_totals_and_rates() {
+        let t = ThroughputSummary::of_runs([(1000, 2.0), (3000, 2.0)]);
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.total_events, 4000);
+        assert!((t.total_wall_secs - 4.0).abs() < 1e-12);
+        assert!((t.aggregate_events_per_sec - 1000.0).abs() < 1e-9);
+        assert_eq!(t.per_run.count, 2);
+        assert!((t.per_run.mean - 1000.0).abs() < 1e-9);
+        assert!((t.per_run.min - 500.0).abs() < 1e-9);
+        assert!((t.per_run.max - 1500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_wall_runs_do_not_poison_rates() {
+        let t = ThroughputSummary::of_runs([(500, 0.0), (500, 1.0)]);
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.total_events, 1000);
+        assert_eq!(t.per_run.count, 1);
+        assert!((t.aggregate_events_per_sec - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_is_all_zeros() {
+        let t = ThroughputSummary::of_runs([]);
+        assert_eq!(t.runs, 0);
+        assert_eq!(t.aggregate_events_per_sec, 0.0);
+        assert_eq!(t.per_run.count, 0);
+    }
+}

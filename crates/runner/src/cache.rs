@@ -1,0 +1,203 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Finished [`RunReport`]s are stored as `<dir>/<scenario-hash>.json`
+//! using the deterministic encoding in [`vrecon::report_json`]. Because
+//! the file name is a content hash of the *inputs* and the file body is a
+//! pure function of those inputs (the simulator is deterministic), a hit
+//! can simply be decoded and returned — no validation beyond the decode
+//! itself is needed, and a corrupt or stale-schema file just counts as a
+//! miss and is overwritten.
+//!
+//! Writes go through a temp file in the same directory followed by an
+//! atomic rename, so parallel workers (or parallel *processes*) racing on
+//! the same key are harmless: both write identical bytes and the rename
+//! is atomic either way.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vrecon::{decode_report, encode_report, RunReport};
+
+/// Hit/miss counters of one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that ran the simulator (including decode failures).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A result cache rooted at a directory, or disabled entirely.
+///
+/// A disabled cache (`ResultCache::disabled()`, the `--no-cache` escape
+/// hatch) reports every lookup as a miss and stores nothing.
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    write_seq: AtomicU64,
+}
+
+impl ResultCache {
+    /// Default cache directory name, relative to the working directory.
+    pub const DEFAULT_DIR: &'static str = ".vr-cache";
+
+    /// A cache rooted at `dir` (created on first store).
+    pub fn at(dir: impl Into<PathBuf>) -> ResultCache {
+        ResultCache {
+            dir: Some(dir.into()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            write_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A no-op cache: every lookup misses, stores are dropped.
+    pub fn disabled() -> ResultCache {
+        ResultCache {
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            write_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// The file a given scenario hash lives at, if caching is enabled.
+    pub fn path_for(&self, hash: &str) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{hash}.json")))
+    }
+
+    /// Looks up a scenario hash, counting the outcome. Any read or decode
+    /// failure (missing file, corruption, older schema version) is a miss.
+    pub fn lookup(&self, hash: &str) -> Option<RunReport> {
+        let report = self
+            .path_for(hash)
+            .and_then(|path| std::fs::read_to_string(path).ok())
+            .and_then(|text| decode_report(&text).ok());
+        match report {
+            Some(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(report)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a report under a scenario hash (atomic temp-file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing path and I/O error; callers surface this once
+    /// via telemetry rather than per-row.
+    pub fn store(&self, hash: &str, report: &RunReport) -> Result<(), (PathBuf, std::io::Error)> {
+        let Some(path) = self.path_for(hash) else {
+            return Ok(());
+        };
+        let dir = path.parent().expect("cache path always has a parent");
+        std::fs::create_dir_all(dir).map_err(|e| (dir.to_path_buf(), e))?;
+        // Unique temp name per process *and* per in-process writer, so
+        // concurrent stores never clobber each other's half-written file.
+        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!("{hash}.tmp.{}.{seq}", std::process::id()));
+        std::fs::write(&tmp, encode_report(report)).map_err(|e| (tmp.clone(), e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| (path.clone(), e))
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Resolves the cache directory from the environment: `VR_CACHE_DIR` if
+/// set, else [`ResultCache::DEFAULT_DIR`].
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("VR_CACHE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(ResultCache::DEFAULT_DIR).to_path_buf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vr_cluster::params::ClusterParams;
+    use vr_cluster::units::Bytes;
+    use vrecon::{PolicyKind, SimConfig};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vr-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_report() -> RunReport {
+        let mut cluster = ClusterParams::cluster2();
+        cluster.nodes.truncate(2);
+        let trace = vr_workload::synth::blocking_scenario(2, Bytes::from_mb(64));
+        crate::Scenario::new(
+            SimConfig::new(cluster, PolicyKind::GLoadSharing).with_seed(3),
+            Arc::new(trace),
+        )
+        .run()
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let cache = ResultCache::at(&dir);
+        let report = small_report();
+        assert!(cache.lookup("abc").is_none());
+        cache.store("abc", &report).unwrap();
+        assert_eq!(cache.lookup("abc").unwrap(), report);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        // No stray temp files survive the atomic write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("abc.json")]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_count_as_misses() {
+        let dir = tmp_dir("corrupt");
+        let cache = ResultCache::at(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
+        assert!(cache.lookup("bad").is_none());
+        assert_eq!(cache.stats().misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_and_never_writes() {
+        let cache = ResultCache::disabled();
+        let report = small_report();
+        cache.store("xyz", &report).unwrap();
+        assert!(cache.lookup("xyz").is_none());
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.path_for("xyz"), None);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+    }
+}

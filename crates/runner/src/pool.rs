@@ -1,0 +1,209 @@
+//! Work-stealing thread pool for embarrassingly parallel sweeps.
+//!
+//! The offline build environment ships no rayon or crossbeam, so this is a
+//! small, dependency-free pool built on [`std::thread::scope`]:
+//!
+//! * work items are *indices* into the caller's slice, pre-distributed
+//!   round-robin across per-worker deques;
+//! * a worker pops from the **front** of its own deque and, when empty,
+//!   steals from the **back** of a sibling's — the classic arrangement
+//!   that keeps contention low and preserves rough locality;
+//! * each item runs under [`std::panic::catch_unwind`], so one panicking
+//!   scenario fails only that scenario: remaining items still execute,
+//!   the pool still joins, and the panic message is reported per-index;
+//! * results land in a slot per index, so output order is the **input
+//!   order**, never the completion order — the cornerstone of
+//!   determinism under parallelism.
+//!
+//! No work is spawned after start, so idle workers simply exit once every
+//! deque is empty; there is no parking or wake-up protocol to get wrong.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// The result slots and failures of one pool execution.
+#[derive(Debug)]
+pub struct PoolOutcome<R> {
+    /// One slot per input item, in input order. `None` iff that item's
+    /// closure panicked.
+    pub results: Vec<Option<R>>,
+    /// `(index, panic message)` for every item that panicked, in index
+    /// order.
+    pub panics: Vec<(usize, String)>,
+}
+
+impl<R> PoolOutcome<R> {
+    /// Unwraps all slots, panicking with the first recorded failure if any
+    /// item failed. Convenience for callers that treat any panic as fatal.
+    pub fn into_results(self) -> Vec<R> {
+        if let Some((index, message)) = self.panics.first() {
+            panic!("pool item {index} panicked: {message}");
+        }
+        self.results
+            .into_iter()
+            .map(|slot| slot.expect("no panic recorded, so every slot is filled"))
+            .collect()
+    }
+}
+
+/// Clamps a requested worker count to something sensible for `len` items.
+///
+/// `0` means "auto": [`std::thread::available_parallelism`] (or 1 if even
+/// that is unavailable). The result never exceeds the item count and is
+/// never zero.
+pub fn effective_workers(requested: usize, len: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, usize::from);
+    let workers = if requested == 0 { auto } else { requested };
+    workers.clamp(1, len.max(1))
+}
+
+/// Runs `work(index, &items[index])` for every item on `jobs` workers and
+/// returns results in input order.
+///
+/// `jobs == 0` selects [`std::thread::available_parallelism`]. With
+/// `jobs == 1` items execute on one worker thread in exact input order —
+/// the sequential reference that parallel runs must match bit-for-bit.
+pub fn run_indexed<T, R, F>(items: &[T], jobs: usize, work: F) -> PoolOutcome<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = effective_workers(jobs, items.len());
+    // Per-worker deques, pre-loaded round-robin.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+        .collect();
+    // One slot per item; each index is written exactly once, by whichever
+    // worker claimed it, so a mutex per slot never contends.
+    let slots: Vec<Mutex<Option<Result<R, String>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let work = &work;
+            scope.spawn(move || {
+                while let Some(index) = claim(deques, me) {
+                    let result = catch_unwind(AssertUnwindSafe(|| work(index, &items[index])))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(items.len());
+    let mut panics = Vec::new();
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("every index was claimed exactly once")
+        {
+            Ok(r) => results.push(Some(r)),
+            Err(message) => {
+                results.push(None);
+                panics.push((index, message));
+            }
+        }
+    }
+    PoolOutcome { results, panics }
+}
+
+/// Pops the next index: front of our own deque, else steal from the back
+/// of the first non-empty sibling. `None` once every deque is empty.
+fn claim(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(index) = deques[me].lock().expect("deque poisoned").pop_front() {
+        return Some(index);
+    }
+    for offset in 1..deques.len() {
+        let victim = (me + offset) % deques.len();
+        if let Some(index) = deques[victim].lock().expect("deque poisoned").pop_back() {
+            return Some(index);
+        }
+    }
+    None
+}
+
+/// Extracts a readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_input_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..37).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let out = run_indexed(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert!(out.panics.is_empty());
+            let results = out.into_results();
+            assert_eq!(results, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        let out = run_indexed(&[1, 2, 3], 0, |_, &x| x);
+        assert_eq!(out.into_results(), vec![1, 2, 3]);
+        assert!(effective_workers(0, 100) >= 1);
+        assert_eq!(effective_workers(16, 3), 3);
+        assert_eq!(effective_workers(2, 0), 1);
+    }
+
+    #[test]
+    fn panicking_item_fails_alone_without_deadlock() {
+        let ran = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..20).collect();
+        let out = run_indexed(&items, 4, |_, &x| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            assert!(x != 7, "boom at {x}");
+            x
+        });
+        // All 20 items ran despite the panic at index 7…
+        assert_eq!(ran.load(Ordering::Relaxed), 20);
+        // …and only index 7 failed, with its message preserved.
+        assert_eq!(out.panics.len(), 1);
+        assert_eq!(out.panics[0].0, 7);
+        assert!(out.panics[0].1.contains("boom at 7"), "{:?}", out.panics);
+        assert!(out.results[7].is_none());
+        assert_eq!(out.results.iter().flatten().count(), 19);
+    }
+
+    #[test]
+    fn workers_steal_imbalanced_queues() {
+        // One slow item pinned to worker 0's deque; the other worker must
+        // steal the rest or this would take ~10 × 20 ms on worker 1 alone.
+        let items: Vec<u64> = (0..10).collect();
+        let out = run_indexed(&items, 2, |_, &x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            x
+        });
+        assert_eq!(out.into_results(), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool item 0 panicked")]
+    fn into_results_surfaces_failures() {
+        let out = run_indexed(&[0], 1, |_, _| -> usize { panic!("nope") });
+        let _ = out.into_results();
+    }
+}

@@ -1,0 +1,175 @@
+//! Scenario descriptors and sweep plans.
+//!
+//! A [`Scenario`] is everything needed to reproduce one simulation run:
+//! the cluster configuration (including policy, seed, fault plan, and
+//! audit flag — all inside [`SimConfig`]) plus the workload trace. Its
+//! [`content_hash`](Scenario::content_hash) addresses the on-disk result
+//! cache: equal scenarios hash equally across processes, and *any*
+//! difference — one more node, a different seed, a tweaked fault plan —
+//! produces a different key.
+
+use std::sync::Arc;
+
+use vr_simcore::hash::{hex128, Fnv128};
+use vr_workload::Trace;
+use vrecon::{RunReport, SimConfig, Simulation};
+
+/// Version salt folded into every scenario hash. Bump when the simulator's
+/// semantics change in a way `Debug` output does not capture, so stale
+/// cache entries stop matching.
+pub const SCENARIO_HASH_VERSION: u64 = 1;
+
+/// One fully specified simulation run.
+///
+/// Traces are shared via [`Arc`] because sweeps typically run the same
+/// trace under several policies; cloning a scenario is cheap.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label, e.g. `"SPEC-Trace-3/V-Reconfiguration"`. Not part of
+    /// the content hash — the same run under a different label is still
+    /// the same run.
+    pub label: String,
+    /// Full simulator configuration (cluster, policy, seed, faults, audit).
+    pub config: SimConfig,
+    /// The workload trace driving the run.
+    pub trace: Arc<Trace>,
+}
+
+impl Scenario {
+    /// Creates a scenario with a label of the form `"<trace>/<policy>"`.
+    pub fn new(config: SimConfig, trace: Arc<Trace>) -> Scenario {
+        let label = format!("{}/{}", trace.name, config.policy);
+        Scenario {
+            label,
+            config,
+            trace,
+        }
+    }
+
+    /// Replaces the display label (content hash is unaffected).
+    #[must_use]
+    pub fn labeled(mut self, label: impl Into<String>) -> Scenario {
+        self.label = label.into();
+        self
+    }
+
+    /// Stable 128-bit content hash of the scenario, as 32 hex characters.
+    ///
+    /// Hashes the `Debug` rendering of the config and trace (both derive
+    /// `Debug` recursively down to every tunable), each length-delimited,
+    /// under [`SCENARIO_HASH_VERSION`]. `Debug` output is stable for a
+    /// given build of this workspace, which is exactly the scope a result
+    /// cache wants: two processes running the same code agree, and a code
+    /// change that alters any configuration field naturally invalidates
+    /// affected entries.
+    pub fn content_hash(&self) -> String {
+        let mut h = Fnv128::new();
+        h.write_delimited(&SCENARIO_HASH_VERSION.to_le_bytes());
+        h.write_delimited(format!("{:?}", self.config).as_bytes());
+        h.write_delimited(format!("{:?}", self.trace).as_bytes());
+        hex128(h.finish())
+    }
+
+    /// Runs the scenario to completion (no caching — see
+    /// [`crate::Runner`] for the cached, parallel path).
+    pub fn run(&self) -> RunReport {
+        Simulation::new(self.config.clone()).run(&self.trace)
+    }
+}
+
+/// An ordered list of scenarios to execute.
+///
+/// Order is significant: sweep results are always reported in plan order
+/// regardless of parallel completion order.
+#[derive(Debug, Clone, Default)]
+pub struct SweepPlan {
+    /// The scenarios, in result order.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl SweepPlan {
+    /// An empty plan.
+    pub fn new() -> SweepPlan {
+        SweepPlan::default()
+    }
+
+    /// Appends a scenario and returns its index in the plan.
+    pub fn push(&mut self, scenario: Scenario) -> usize {
+        self.scenarios.push(scenario);
+        self.scenarios.len() - 1
+    }
+
+    /// Number of scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+impl FromIterator<Scenario> for SweepPlan {
+    fn from_iter<I: IntoIterator<Item = Scenario>>(iter: I) -> SweepPlan {
+        SweepPlan {
+            scenarios: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::params::ClusterParams;
+    use vr_cluster::units::Bytes;
+    use vr_faults::FaultPlan;
+    use vr_simcore::time::SimTime;
+    use vrecon::PolicyKind;
+
+    fn base() -> Scenario {
+        let mut cluster = ClusterParams::cluster2();
+        cluster.nodes.truncate(4);
+        let trace = vr_workload::synth::blocking_scenario(4, Bytes::from_mb(128));
+        Scenario::new(
+            SimConfig::new(cluster, PolicyKind::GLoadSharing).with_seed(7),
+            Arc::new(trace),
+        )
+    }
+
+    #[test]
+    fn hash_is_stable_and_label_independent() {
+        let a = base();
+        let b = base().labeled("renamed");
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash().len(), 32);
+    }
+
+    #[test]
+    fn hash_distinguishes_seed_policy_and_fault_plan() {
+        let a = base();
+        let mut seed = base();
+        seed.config.seed = 8;
+        let mut policy = base();
+        policy.config.policy = PolicyKind::VReconfiguration;
+        let mut faults = base();
+        faults.config.fault_plan =
+            Some(FaultPlan::default().with_crash(1, SimTime::from_secs(50), None));
+        let hashes = [
+            a.content_hash(),
+            seed.content_hash(),
+            policy.content_hash(),
+            faults.content_hash(),
+        ];
+        for i in 0..hashes.len() {
+            for j in i + 1..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "hash collision between {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_label_names_trace_and_policy() {
+        assert!(base().label.contains('/'));
+    }
+}

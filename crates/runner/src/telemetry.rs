@@ -1,0 +1,174 @@
+//! Live sweep telemetry.
+//!
+//! Workers publish [`SweepEvent`]s over an [`std::sync::mpsc`] channel as
+//! scenarios start and finish; a renderer thread turns them into progress
+//! lines on stderr (stdout stays reserved for the figure tables, which
+//! must be bit-identical across `--jobs` settings). Notes — one-shot
+//! warnings like a failed cache write or CSV export — ride the same
+//! channel so they are surfaced exactly once instead of once per row.
+
+use std::io::Write;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+/// One telemetry event from a sweep worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEvent {
+    /// A scenario began executing (or probing the cache).
+    Started {
+        /// Index in the sweep plan.
+        index: usize,
+        /// Scenario display label.
+        label: String,
+    },
+    /// A scenario finished.
+    Finished {
+        /// Index in the sweep plan.
+        index: usize,
+        /// Scenario display label.
+        label: String,
+        /// Wall time spent on this scenario (near zero for cache hits).
+        wall: Duration,
+        /// Whether the result came from the cache.
+        cache_hit: bool,
+        /// Simulator events replayed per wall-clock second (0 for hits).
+        events_per_sec: f64,
+    },
+    /// A scenario's worker panicked; only that scenario is lost.
+    Failed {
+        /// Index in the sweep plan.
+        index: usize,
+        /// Scenario display label.
+        label: String,
+        /// The panic message.
+        message: String,
+    },
+    /// A one-shot warning (cache write failure, export error, …).
+    Note(String),
+}
+
+/// Drains `events`, rendering progress lines to `out`, and returns every
+/// [`SweepEvent::Note`] seen, in arrival order.
+///
+/// Runs until the sending side hangs up; the runner drops its sender once
+/// the pool joins, which ends the loop. Rendering is plain line output —
+/// no cursor tricks — so it behaves in CI logs and when piped.
+pub fn render_progress(
+    events: Receiver<SweepEvent>,
+    total: usize,
+    mut out: impl Write,
+) -> Vec<String> {
+    let mut notes = Vec::new();
+    let mut done = 0usize;
+    for event in events {
+        match event {
+            SweepEvent::Started { .. } => {}
+            SweepEvent::Finished {
+                label,
+                wall,
+                cache_hit,
+                events_per_sec,
+                ..
+            } => {
+                done += 1;
+                let source = if cache_hit {
+                    "cached".to_owned()
+                } else {
+                    format!("{:.2}s, {:.0} ev/s", wall.as_secs_f64(), events_per_sec)
+                };
+                let _ = writeln!(out, "[{done}/{total}] {label} ({source})");
+            }
+            SweepEvent::Failed {
+                index,
+                label,
+                message,
+            } => {
+                done += 1;
+                let _ = writeln!(
+                    out,
+                    "[{done}/{total}] {label} FAILED (scenario {index}): {message}"
+                );
+            }
+            SweepEvent::Note(note) => {
+                let _ = writeln!(out, "note: {note}");
+                notes.push(note);
+            }
+        }
+    }
+    notes
+}
+
+/// Drains `events` without rendering, still collecting notes. Used when
+/// progress output is suppressed (`quiet` sweeps, tests).
+pub fn drain_progress(events: Receiver<SweepEvent>) -> Vec<String> {
+    let mut notes = Vec::new();
+    for event in events {
+        if let SweepEvent::Note(note) = event {
+            notes.push(note);
+        }
+    }
+    notes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn renderer_counts_progress_and_collects_notes() {
+        let (tx, rx) = channel();
+        tx.send(SweepEvent::Started {
+            index: 0,
+            label: "a".into(),
+        })
+        .unwrap();
+        tx.send(SweepEvent::Finished {
+            index: 0,
+            label: "a".into(),
+            wall: Duration::from_millis(1500),
+            cache_hit: false,
+            events_per_sec: 1000.0,
+        })
+        .unwrap();
+        tx.send(SweepEvent::Note("cache write failed".into()))
+            .unwrap();
+        tx.send(SweepEvent::Finished {
+            index: 1,
+            label: "b".into(),
+            wall: Duration::ZERO,
+            cache_hit: true,
+            events_per_sec: 0.0,
+        })
+        .unwrap();
+        tx.send(SweepEvent::Failed {
+            index: 2,
+            label: "c".into(),
+            message: "boom".into(),
+        })
+        .unwrap();
+        drop(tx);
+
+        let mut buf = Vec::new();
+        let notes = render_progress(rx, 3, &mut buf);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(notes, vec!["cache write failed".to_owned()]);
+        assert!(text.contains("[1/3] a (1.50s, 1000 ev/s)"), "{text}");
+        assert!(text.contains("note: cache write failed"), "{text}");
+        assert!(text.contains("[2/3] b (cached)"), "{text}");
+        assert!(text.contains("[3/3] c FAILED (scenario 2): boom"), "{text}");
+    }
+
+    #[test]
+    fn drain_collects_notes_silently() {
+        let (tx, rx) = channel();
+        tx.send(SweepEvent::Note("only this".into())).unwrap();
+        tx.send(SweepEvent::Started {
+            index: 0,
+            label: "x".into(),
+        })
+        .unwrap();
+        drop(tx);
+        assert_eq!(drain_progress(rx), vec!["only this".to_owned()]);
+    }
+}

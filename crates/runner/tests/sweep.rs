@@ -1,0 +1,109 @@
+//! End-to-end sweep guarantees: determinism under parallelism, cache
+//! correctness, and content-hash sensitivity.
+
+use std::sync::Arc;
+
+use vr_cluster::params::ClusterParams;
+use vr_cluster::units::Bytes;
+use vr_faults::FaultPlan;
+use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
+use vr_simcore::time::SimTime;
+use vrecon::{encode_report, PolicyKind, SimConfig};
+
+fn small_cluster() -> ClusterParams {
+    let mut cluster = ClusterParams::cluster2();
+    cluster.nodes.truncate(4);
+    cluster
+}
+
+fn plan() -> SweepPlan {
+    let trace = Arc::new(vr_workload::synth::blocking_scenario(4, Bytes::from_mb(64)));
+    let mut plan = SweepPlan::new();
+    for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+        for seed in [7u64, 11, 13] {
+            plan.push(Scenario::new(
+                SimConfig::new(small_cluster(), policy).with_seed(seed),
+                Arc::clone(&trace),
+            ));
+        }
+    }
+    plan
+}
+
+fn temp_cache() -> (std::path::PathBuf, ResultCache) {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "vr-runner-test-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    ));
+    (dir.clone(), ResultCache::at(dir))
+}
+
+/// A parallel sweep produces bit-identical reports to a sequential one.
+#[test]
+fn eight_workers_match_one_worker_bit_for_bit() {
+    let sequential = Runner::uncached(1).run(&plan()).expect_reports();
+    let parallel = Runner::uncached(8).run(&plan()).expect_reports();
+    assert_eq!(sequential.len(), parallel.len());
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        assert_eq!(seq, par);
+        // Not just structurally equal: the serialized bytes (what the cache
+        // and any downstream table rendering see) are identical too.
+        assert_eq!(encode_report(seq), encode_report(par));
+    }
+}
+
+/// A second identical sweep is served entirely from the cache and returns
+/// byte-identical reports.
+#[test]
+fn second_sweep_hits_cache_with_identical_output() {
+    let (dir, cache) = temp_cache();
+    let runner = |cache| {
+        Runner::new(SweepOptions {
+            jobs: 2,
+            cache,
+            progress: false,
+        })
+    };
+    let first = runner(cache).run(&plan());
+    assert_eq!(first.cache.hits, 0);
+    assert_eq!(first.cache.misses, plan().len() as u64);
+
+    let second = runner(ResultCache::at(dir.clone())).run(&plan());
+    assert_eq!(second.cache.hits, plan().len() as u64);
+    assert_eq!(second.cache.misses, 0);
+    let fresh = first.expect_reports();
+    let cached = second.expect_reports();
+    for (a, b) in fresh.iter().zip(&cached) {
+        assert_eq!(a, b);
+        assert_eq!(encode_report(a), encode_report(b));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The content hash reacts to every run-relevant input, so stale cache
+/// entries can never be served for a changed experiment.
+#[test]
+fn fault_plan_and_seed_change_the_content_hash() {
+    let trace = Arc::new(vr_workload::synth::blocking_scenario(4, Bytes::from_mb(64)));
+    let base = SimConfig::new(small_cluster(), PolicyKind::VReconfiguration).with_seed(7);
+    let scenario = |config| Scenario::new(config, Arc::clone(&trace));
+
+    let plain = scenario(base.clone()).content_hash();
+    let faulted = scenario(base.clone().with_faults(FaultPlan::none().with_crash(
+        1,
+        SimTime::from_secs(10),
+        None,
+    )))
+    .content_hash();
+    let reseeded = scenario(base.clone().with_seed(8)).content_hash();
+    assert_ne!(plain, faulted);
+    assert_ne!(plain, reseeded);
+    assert_ne!(faulted, reseeded);
+    // Relabeling is cosmetic and must NOT split the cache.
+    assert_eq!(
+        scenario(base.clone()).labeled("renamed").content_hash(),
+        plain
+    );
+}

@@ -1,0 +1,121 @@
+//! Stable content hashing for scenario descriptors and cache keys.
+//!
+//! The experiment runner addresses cached results by a content hash of the
+//! full scenario description (cluster + trace + policy + seed + fault
+//! plan). The hash must be stable across runs and processes — Rust's
+//! `DefaultHasher` is explicitly *not* (its keys are unspecified), so this
+//! module pins down FNV-1a in its 128-bit variant: tiny, dependency-free,
+//! deterministic everywhere, and wide enough that accidental collisions in
+//! a result cache are not a practical concern.
+//!
+//! ```
+//! use vr_simcore::hash::{fnv1a128, hex128};
+//!
+//! let h = fnv1a128(b"hello");
+//! assert_eq!(h, fnv1a128(b"hello"));
+//! assert_ne!(h, fnv1a128(b"hello!"));
+//! assert_eq!(hex128(h).len(), 32);
+//! ```
+
+/// FNV-1a 128-bit offset basis.
+const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Hashes `bytes` with FNV-1a (128-bit).
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut state = OFFSET;
+    for &b in bytes {
+        state ^= u128::from(b);
+        state = state.wrapping_mul(PRIME);
+    }
+    state
+}
+
+/// Incremental FNV-1a 128-bit hasher for multi-part keys.
+///
+/// Feeding parts separately is *not* equivalent to hashing their
+/// concatenation ambiguously: [`Fnv128::write_delimited`] inserts a length
+/// prefix so `("ab", "c")` and `("a", "bc")` hash differently.
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    state: u128,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// A fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv128 { state: OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorbs one field, prefixed by its length so field boundaries are
+    /// unambiguous.
+    pub fn write_delimited(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+/// Formats a 128-bit digest as 32 lowercase hex characters.
+pub fn hex128(digest: u128) -> String {
+    format!("{digest:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_fnv1a_vectors() {
+        // 128-bit FNV-1a of the empty input is the offset basis.
+        assert_eq!(fnv1a128(b""), OFFSET);
+        // One byte: (basis ^ b) * prime.
+        let expect = (OFFSET ^ u128::from(b'a')).wrapping_mul(PRIME);
+        assert_eq!(fnv1a128(b"a"), expect);
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let mut h = Fnv128::new();
+        h.write(b"hello ");
+        h.write(b"world");
+        assert_eq!(h.finish(), fnv1a128(b"hello world"));
+    }
+
+    #[test]
+    fn delimited_fields_are_unambiguous() {
+        let mut a = Fnv128::new();
+        a.write_delimited(b"ab");
+        a.write_delimited(b"c");
+        let mut b = Fnv128::new();
+        b.write_delimited(b"a");
+        b.write_delimited(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(hex128(0), "0".repeat(32));
+        assert_eq!(hex128(u128::MAX), "f".repeat(32));
+        assert_eq!(hex128(fnv1a128(b"x")).len(), 32);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`histogram`] — fixed-bucket histograms for heavy-tailed slowdown
 //!   distributions.
 //! * [`series`] — sampled time series for idle-memory / job-balance gauges.
+//! * [`jsonio`] — dependency-free JSON document model with lossless number
+//!   round-trips, backing the result cache and sweep telemetry files.
+//! * [`hash`] — stable FNV-1a 128-bit content hashing for cache keys.
 //!
 //! Determinism is the load-bearing property: identical seeds produce
 //! identical event orders, draws, and therefore identical simulation reports.
@@ -49,7 +52,9 @@
 
 pub mod engine;
 pub mod event;
+pub mod hash;
 pub mod histogram;
+pub mod jsonio;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -57,7 +62,9 @@ pub mod time;
 
 pub use engine::{Engine, RunStats, Scheduler, World};
 pub use event::{EventHandle, EventQueue};
+pub use hash::{fnv1a128, hex128, Fnv128};
 pub use histogram::{slowdown_histogram, Histogram};
+pub use jsonio::Json;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{percentile, reduction_pct, OnlineStats, Summary};
