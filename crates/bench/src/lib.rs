@@ -154,6 +154,7 @@ pub fn group_plan(group: Group) -> SweepPlan {
 pub fn pairs_from_results(results: Vec<Option<ScenarioResult>>) -> Vec<PolicyPair> {
     let mut reports: Vec<RunReport> = results
         .into_iter()
+        // vr-lint::allow(panic-in-lib, reason = "bench harness treats a failed sweep scenario as fatal; the panic carries the scenario error")
         .map(|slot| slot.expect("sweep scenario failed").report)
         .collect();
     assert!(
@@ -180,6 +181,7 @@ pub fn run_pair_on(runner: &Runner, group: Group, level: TraceLevel) -> PolicyPa
     let outcome = runner.run(&pair_plan(group, level));
     pairs_from_results(outcome.results)
         .pop()
+        // vr-lint::allow(panic-in-lib, reason = "pair_plan always yields exactly one pair; a miss is a harness bug worth aborting on")
         .expect("pair plan yields one pair")
 }
 

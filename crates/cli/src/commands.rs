@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
+use vr_lint::{find_workspace_root, lint_workspace};
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::{fmt_f, TextTable};
 use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
@@ -33,6 +34,7 @@ USAGE:
                  [--fault-plan FILE] [--audit]
   vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
   vrecon sweep   [spec] [app] [--seed N] [--trace-seed N] [--jobs N] [--no-cache]
+  vrecon lint    [--root DIR] [--format text|json]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
 
@@ -47,6 +49,10 @@ FAULT PLANS (--fault-plan): a text file, one directive per line —
   load-info-loss p=PROB        reservation-stall SECS      seed-salt N
 `--audit` switches on the invariant auditor; violations are printed (and
 fail the command) after the report.
+
+`lint` runs the vr-lint determinism & panic-safety analyzer over the
+workspace (the root is found by walking up from the current directory, or
+taken from `--root`) and fails when any diagnostic fires.
 ";
 
 fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
@@ -282,7 +288,7 @@ fn render_gantt(report: &RunReport, nodes: usize, width: usize) -> String {
         for c in row {
             out.push(match c {
                 0 => ' ',
-                1..=9 => char::from_digit(*c as u32, 10).expect("digit"),
+                1..=9 => char::from_digit(*c as u32, 10).unwrap_or('+'),
                 _ => '+',
             });
         }
@@ -515,8 +521,14 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
             "slowdown reduction",
         ]);
         for _ in TraceLevel::ALL {
-            let gls = &results.next().expect("plan covers every cell").report;
-            let vr = &results.next().expect("plan covers every cell").report;
+            let gls = &results
+                .next()
+                .ok_or_else(|| ArgError("sweep produced fewer results than planned".into()))?
+                .report;
+            let vr = &results
+                .next()
+                .ok_or_else(|| ArgError("sweep produced fewer results than planned".into()))?
+                .report;
             let exec = MetricComparison::new(gls.total_execution_secs(), vr.total_execution_secs());
             let queue = MetricComparison::new(gls.total_queue_secs(), vr.total_queue_secs());
             let slow = MetricComparison::new(gls.avg_slowdown(), vr.avg_slowdown());
@@ -542,6 +554,34 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `vrecon lint`: run the static analyzer over the workspace.
+///
+/// Succeeds (with a summary line) only when no diagnostic fires; any
+/// finding renders rustc-style and fails the command.
+pub fn lint(args: &Args) -> Result<String, ArgError> {
+    let root = match args.opt("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("cannot read current directory: {e}")))?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError("no [workspace] Cargo.toml above the current directory; use --root".into())
+            })?
+        }
+    };
+    let report = lint_workspace(&root).map_err(ArgError)?;
+    let rendered = match args.opt_or("format", "text") {
+        "json" => report.render_json(),
+        "text" => report.render_text(),
+        other => return Err(ArgError(format!("--format must be text|json, got {other}"))),
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(ArgError(rendered))
+    }
+}
+
 /// Dispatches a subcommand.
 pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
     match subcommand {
@@ -550,6 +590,7 @@ pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
         "run" => run(args),
         "compare" => compare(args),
         "sweep" => sweep(args),
+        "lint" => lint(args),
         other => Err(ArgError(format!("unknown subcommand {other}\n\n{USAGE}"))),
     }
 }
@@ -578,6 +619,14 @@ mod tests {
         );
         assert_eq!(parse_policy("suspend").unwrap(), PolicyKind::SuspendLargest);
         assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn lint_subcommand_reports_clean_workspace() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let out = dispatch("lint", &args(&["--root", root])).unwrap();
+        assert!(out.contains("0 diagnostic(s)"), "unexpected output: {out}");
+        assert!(dispatch("lint", &args(&["--root", root, "--format", "yaml"])).is_err());
     }
 
     #[test]

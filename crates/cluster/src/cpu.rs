@@ -55,6 +55,7 @@ impl CpuParams {
         }
         let q = self.quantum.as_secs_f64();
         let cs = self.context_switch.as_secs_f64();
+        // vr-lint::allow(float-eq, reason = "exact zero-guard: both durations are non-negative, so the sum is zero only when preemption costs are disabled outright")
         if q + cs == 0.0 {
             1.0
         } else {

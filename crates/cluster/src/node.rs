@@ -488,6 +488,7 @@ impl Workstation {
                 .protection
                 .apply(&mut stalls, &working_sets, &remaining);
         }
+        // vr-lint::allow(float-eq, reason = "sentinel check: 1.0 is the exact no-scaling default, assigned verbatim and never computed")
         if self.stall_scale != 1.0 {
             for s in &mut stalls {
                 *s *= self.stall_scale;

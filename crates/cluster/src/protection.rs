@@ -55,6 +55,7 @@ impl ThrashingProtection {
             ThrashingProtection::ProtectShortestRemaining => remaining_secs
                 .iter()
                 .enumerate()
+                // vr-lint::allow(panic-in-lib, reason = "comparator contract: remaining work is a finite simulated duration, never NaN")
                 .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("remaining work is never NaN"))
                 .map(|(i, _)| i),
         }
@@ -69,6 +70,7 @@ impl ThrashingProtection {
             return;
         };
         let moved = std::mem::take(&mut stalls[protected]);
+        // vr-lint::allow(float-eq, reason = "exact zero-guard: a taken stall of 0.0 means there is nothing to redistribute")
         if moved == 0.0 {
             return;
         }

@@ -137,7 +137,7 @@ proptest! {
         for (i, d) in descs.iter().enumerate() {
             node.try_admit(build_job(i as u64, d), SimTime::ZERO).unwrap();
         }
-        let mut last: std::collections::HashMap<JobId, f64> = Default::default();
+        let mut last: std::collections::BTreeMap<JobId, f64> = Default::default();
         let mut t = 0;
         for s in &steps {
             t += s;

@@ -24,7 +24,7 @@
 //!   counts plus currently active reservations, and the active count obeys
 //!   the configured cap.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vr_cluster::job::JobId;
 use vr_simcore::engine::EventHook;
@@ -53,7 +53,7 @@ pub struct InvariantAuditor {
     max_reserved: usize,
     /// Scheduler-log entries already processed by the lifecycle check.
     log_cursor: usize,
-    lives: HashMap<JobId, Life>,
+    lives: BTreeMap<JobId, Life>,
     violations: Vec<String>,
     truncated: bool,
 }
@@ -64,7 +64,7 @@ impl InvariantAuditor {
         InvariantAuditor {
             max_reserved: config.reservation.max_reserved(config.cluster.nodes.len()),
             log_cursor: 0,
-            lives: HashMap::new(),
+            lives: BTreeMap::new(),
             violations: Vec::new(),
             truncated: false,
         }

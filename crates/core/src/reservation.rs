@@ -12,7 +12,7 @@
 //! [`ReservationManager`] owns only the bookkeeping; the simulation driver
 //! flips the nodes' reservation flags and performs the migrations.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use serde::{Deserialize, Serialize};
 use vr_cluster::job::JobId;
@@ -41,7 +41,7 @@ pub struct Reservation {
     pub started: SimTime,
     /// Large jobs migrated in for special service (non-empty in
     /// [`ReservationPhase::Serving`]).
-    pub served: HashSet<JobId>,
+    pub served: BTreeSet<JobId>,
 }
 
 /// Counters over a run's reservation activity.
@@ -129,7 +129,7 @@ impl ReservationManager {
             node,
             phase: ReservationPhase::Reserving,
             started: now,
-            served: HashSet::new(),
+            served: BTreeSet::new(),
         });
         self.stats.started += 1;
     }
@@ -145,6 +145,7 @@ impl ReservationManager {
             .reservations
             .iter_mut()
             .find(|r| r.node == node)
+            // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: callers must reserve a node before recording service on it")
             .expect("record_service on an unreserved node");
         r.phase = ReservationPhase::Serving;
         r.served.insert(job);

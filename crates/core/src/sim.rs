@@ -41,7 +41,7 @@
 //!   qualifies, the blocking problem is detected and (under
 //!   V-Reconfiguration) the reconfiguration routine runs.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::loadinfo::LoadIndex;
@@ -154,9 +154,11 @@ impl Simulation {
     pub fn run(&self, trace: &Trace) -> RunReport {
         self.config
             .validate()
+            // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: run() rejects invalid configs up front")
             .unwrap_or_else(|e| panic!("invalid simulation config: {e}"));
         trace
             .validate()
+            // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: run() rejects invalid traces up front")
             .unwrap_or_else(|e| panic!("invalid trace {}: {e}", trace.name));
         let mut world = ClusterWorld::new(&self.config, trace.len());
         let mut engine = Engine::new();
@@ -213,7 +215,7 @@ pub(crate) struct ClusterWorld {
     index: LoadIndex,
     rng: SimRng,
     pub(crate) pending: VecDeque<PendingJob>,
-    pub(crate) in_transit: HashMap<JobId, Transit>,
+    pub(crate) in_transit: BTreeMap<JobId, Transit>,
     pub(crate) suspended: Vec<SuspendedJob>,
     pub(crate) completed: Vec<RunningJob>,
     gauges: ClusterGauges,
@@ -222,12 +224,12 @@ pub(crate) struct ClusterWorld {
     total_jobs: usize,
     pub(crate) arrived: usize,
     /// Jobs that have entered the pending queue at least once.
-    ever_blocked: std::collections::HashSet<JobId>,
+    ever_blocked: BTreeSet<JobId>,
     /// Times each job has been suspended (Suspend-Largest only). A job
     /// suspended [`MAX_SUSPENSIONS_PER_JOB`] times is pinned: repeatedly
     /// swapping the same peak-sized job in and out is a livelock, not a
     /// remedy.
-    suspend_counts: HashMap<JobId, u32>,
+    suspend_counts: BTreeMap<JobId, u32>,
     pub(crate) log: EventLog,
     /// Set once all jobs have completed; periodic events stop rescheduling.
     done: bool,
@@ -237,7 +239,7 @@ pub(crate) struct ClusterWorld {
     /// Nodes whose reservation release is stalled by fault injection: the
     /// manager has already dropped the reservation but the node's flag
     /// stays up until the matching [`Event::ReservationUnstall`] fires.
-    pub(crate) stalled: HashSet<NodeId>,
+    pub(crate) stalled: BTreeSet<NodeId>,
 }
 
 impl ClusterWorld {
@@ -250,7 +252,7 @@ impl ClusterWorld {
             index: LoadIndex::new(),
             rng: SimRng::seed_from(config.seed),
             pending: VecDeque::new(),
-            in_transit: HashMap::new(),
+            in_transit: BTreeMap::new(),
             suspended: Vec::new(),
             completed: Vec::new(),
             gauges: ClusterGauges::new(),
@@ -258,8 +260,8 @@ impl ClusterWorld {
             reservations: ReservationManager::new(config.reservation),
             total_jobs,
             arrived: 0,
-            ever_blocked: std::collections::HashSet::new(),
-            suspend_counts: HashMap::new(),
+            ever_blocked: BTreeSet::new(),
+            suspend_counts: BTreeMap::new(),
             log: EventLog::new(),
             done: total_jobs == 0,
             finished_at: SimTime::ZERO,
@@ -267,7 +269,7 @@ impl ClusterWorld {
                 .fault_plan
                 .clone()
                 .map(|plan| FaultInjector::new(plan, config.seed)),
-            stalled: HashSet::new(),
+            stalled: BTreeSet::new(),
         };
         world.index.refresh(world.nodes.iter(), SimTime::ZERO);
         world
@@ -884,6 +886,7 @@ impl ClusterWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let (max_retries, base_backoff) = {
+            // vr-lint::allow(panic-in-lib, reason = "internal invariant: TransitFail events are only scheduled while the fault injector exists")
             let injector = self.faults.as_ref().expect("failure without injector");
             (
                 injector.plan().max_migration_retries,
@@ -891,6 +894,7 @@ impl ClusterWorld {
             )
         };
         let (dst, attempts) = {
+            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
             let transit = self.in_transit.get_mut(&job_id).expect("transit present");
             transit.attempts += 1;
             (transit.dst, transit.attempts)
@@ -907,6 +911,7 @@ impl ClusterWorld {
             for _ in 0..(attempts - 1).min(16) {
                 backoff = backoff + backoff;
             }
+            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
             let transit = self.in_transit.get_mut(&job_id).expect("transit present");
             transit.job.breakdown.migration += backoff.as_secs_f64();
             if let Some(injector) = self.faults.as_mut() {
@@ -914,6 +919,7 @@ impl ClusterWorld {
             }
             sched.schedule_in(backoff, Event::TransitArrive { job: job_id });
         } else {
+            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
             let transit = self.in_transit.remove(&job_id).expect("transit present");
             if let Some(injector) = self.faults.as_mut() {
                 injector.counters.migrations_abandoned += 1;

@@ -4,7 +4,7 @@
 //! `started == released_after_service + released_unused + timed_out +
 //! active`.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use proptest::prelude::*;
 use vr_cluster::job::JobId;
@@ -103,7 +103,7 @@ fn check_invariants(mgr: &ReservationManager, cap: usize) {
     // The cap is never exceeded.
     prop_assert!(active as usize <= cap, "{active} reserved over cap {cap}");
     // No workstation appears twice (no double-reserve).
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     for r in mgr.reservations() {
         prop_assert!(seen.insert(r.node), "{} reserved twice", r.node);
         // A Serving reservation always has a non-empty served set.

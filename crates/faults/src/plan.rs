@@ -67,7 +67,9 @@ impl FaultPlan {
     /// Returns true if the plan can never inject anything.
     pub fn is_empty(&self) -> bool {
         self.node_crashes.is_empty()
+            // vr-lint::allow(float-eq, reason = "exact unset-sentinel check: probabilities default to literal 0.0")
             && self.migration_failure_prob == 0.0
+            // vr-lint::allow(float-eq, reason = "exact unset-sentinel check: probabilities default to literal 0.0")
             && self.load_info_loss_prob == 0.0
             && self.reservation_release_stall == SimSpan::ZERO
     }
@@ -147,6 +149,7 @@ impl FaultPlan {
                 message: msg,
             };
             let mut parts = line.split_whitespace();
+            // vr-lint::allow(panic-in-lib, reason = "split_whitespace on a line already checked non-blank always yields a first token")
             let keyword = parts.next().expect("non-empty line has a first token");
             let rest: Vec<&str> = parts.collect();
             match keyword {

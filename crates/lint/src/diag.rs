@@ -1,0 +1,167 @@
+//! Diagnostics: positions, rendering, machine-readable JSON output.
+
+use std::fmt;
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// The rule that fired (or `stale-allow` / `malformed-directive`).
+    pub rule: String,
+    /// Human-facing explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Stable ordering for reports: by file, position, rule.
+    pub fn sort_key(&self) -> (String, u32, u32, String) {
+        (self.file.clone(), self.line, self.col, self.rule.clone())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// The aggregated result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings (including stale allows), sorted by position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files analysed.
+    pub files_scanned: usize,
+    /// Number of well-formed `vr-lint::allow` directives seen.
+    pub allows: usize,
+    /// How many of those suppressed nothing (each also appears as a
+    /// `stale-allow` diagnostic).
+    pub stale_allows: usize,
+}
+
+impl LintReport {
+    /// `true` when nothing fired — the workspace passes.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// rustc-style one-line-per-finding text, with a trailing summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "vr-lint: {} file(s), {} allow directive(s) ({} stale), {} diagnostic(s)",
+            self.files_scanned,
+            self.allows,
+            self.stale_allows,
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Machine-readable JSON (stable field and array order).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&d.file),
+                d.line,
+                d.col,
+                json_escape(&d.rule),
+                json_escape(&d.message)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"allows\": {},\n  \"stale_allows\": {}\n}}",
+            self.files_scanned, self.allows, self.stale_allows
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            file: "crates/core/src/sim.rs".into(),
+            line: 44,
+            col: 5,
+            rule: "nondeterministic-collection".into(),
+            message: "use of `HashMap`".into(),
+        }
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        assert_eq!(
+            diag().to_string(),
+            "crates/core/src/sim.rs:44:5: error[nondeterministic-collection]: use of `HashMap`"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let report = LintReport {
+            diagnostics: vec![diag()],
+            files_scanned: 3,
+            allows: 2,
+            stale_allows: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"version\": 1"));
+        assert!(json.contains("\"line\": 44"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"stale_allows\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let report = LintReport::default();
+        assert!(report.is_clean());
+        assert!(report.render_json().contains("\"diagnostics\": []"));
+    }
+}

@@ -1,0 +1,433 @@
+//! `vr-lint` — a dependency-free determinism & panic-safety analyzer for
+//! the vrecon workspace.
+//!
+//! The reproduction's headline guarantee is that `(plan, seed)` determines
+//! the `RunReport` bit-for-bit. That contract used to rest on convention;
+//! this crate makes it machine-checked. A hand-rolled token-level lexer
+//! (the container is offline — no `syn`/`quote`; see the
+//! `vr_simcore::jsonio` precedent) feeds a small rule engine with
+//! per-crate scoping, rustc-style `file:line:col` diagnostics, JSON
+//! output, and `// vr-lint::allow(rule, reason = "...")` suppression
+//! directives with mandatory reasons and stale-allow reporting.
+//!
+//! Three entry points:
+//!
+//! * the `vr-lint` binary (`cargo run -p vr-lint -- --workspace`), used by
+//!   CI;
+//! * the `vrecon lint` subcommand;
+//! * the self-lint integration test in this crate, which makes tier-1
+//!   `cargo test -q` fail on any new hazard.
+//!
+//! See `ARCHITECTURE.md` ("Static analysis") for the rule table.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use diag::{Diagnostic, LintReport};
+pub use rules::{FileContext, Role, RULES};
+
+/// A parsed `vr-lint::allow` directive.
+#[derive(Debug)]
+struct Directive {
+    rule: String,
+    line: u32,
+    col: u32,
+    /// `Some(why)` when the directive is malformed.
+    error: Option<String>,
+    used: bool,
+}
+
+/// The marker that introduces a directive inside a `//` comment.
+const MARKER: &str = "vr-lint::";
+
+/// Parses directives out of a file's comments. A directive is a plain
+/// `//` comment whose (trimmed) text *starts with* `vr-lint::`; it must
+/// parse as `allow(<rule>, reason = "<text>")` with a known rule name and
+/// a non-empty reason, or it becomes a `malformed-directive` diagnostic —
+/// a suppression that silently does nothing is worse than a loud one.
+/// Doc comments (`///`, `//!`) lex with a leading `/` or `!` in their
+/// text, so prose that merely *mentions* the syntax never matches.
+fn parse_directives(comments: &[lexer::Comment]) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in comments {
+        let trimmed = c.text.trim_start();
+        if !trimmed.starts_with(MARKER) {
+            continue;
+        }
+        let rest = &trimmed[MARKER.len()..];
+        let mut directive = Directive {
+            rule: String::new(),
+            line: c.line,
+            col: c.col,
+            error: None,
+            used: false,
+        };
+        match parse_allow(rest) {
+            Ok((rule, _reason)) => {
+                if rules::rule_named(&rule).is_none() {
+                    directive.error = Some(format!("unknown rule `{rule}`"));
+                }
+                directive.rule = rule;
+            }
+            Err(why) => directive.error = Some(why),
+        }
+        out.push(directive);
+    }
+    out
+}
+
+/// Parses `allow(<rule>, reason = "<text>")`, returning `(rule, reason)`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let text = text.trim_start();
+    let body = text
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(...)` after `vr-lint::`".to_owned())?
+        .trim_start();
+    let body = body
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = body
+        .rfind(')')
+        .ok_or_else(|| "unclosed `allow(` directive".to_owned())?;
+    let body = &body[..close];
+    let (rule, rest) = body.split_once(',').ok_or_else(|| {
+        "expected `allow(rule, reason = \"...\")` — the reason is mandatory".to_owned()
+    })?;
+    let rule = rule.trim().to_owned();
+    if rule.is_empty() {
+        return Err("empty rule name".to_owned());
+    }
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "expected `reason = \"...\"` after the rule name".to_owned())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_owned())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_owned());
+    }
+    Ok((rule, reason.to_owned()))
+}
+
+/// The outcome of linting one source file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings, including stale/malformed directive reports.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Well-formed allow directives seen.
+    pub allows: usize,
+    /// Of those, how many suppressed nothing.
+    pub stale_allows: usize,
+}
+
+/// Lints one file's source text under an explicit context. `rel_path` is
+/// used both for diagnostics and for path-scoped rules, so pass the real
+/// workspace-relative path when there is one.
+pub fn lint_source(rel_path: &str, src: &str, ctx: &FileContext) -> FileOutcome {
+    let lexed = lexer::lex(src);
+    let regions = rules::test_regions(&lexed.tokens);
+    let mut directives = parse_directives(&lexed.comments);
+    let mut out = FileOutcome::default();
+
+    for rule in RULES {
+        if !(rule.applies)(&ctx.krate, rel_path) {
+            continue;
+        }
+        if rule.skip_test_code && ctx.role == Role::Test {
+            continue;
+        }
+        if rule.skip_bin_code && matches!(ctx.role, Role::Bin | Role::Example) {
+            continue;
+        }
+        let mut findings: Vec<(u32, u32, String)> = Vec::new();
+        (rule.run)(&lexed.tokens, &mut |line, col, message| {
+            findings.push((line, col, message));
+        });
+        for (line, col, message) in findings {
+            if rule.skip_test_code && rules::in_regions(&regions, line) {
+                continue;
+            }
+            // A directive suppresses findings of its rule on its own line
+            // and the line directly below it.
+            let suppressed = directives.iter_mut().any(|d| {
+                let hit = d.error.is_none()
+                    && d.rule == rule.name
+                    && (d.line == line || d.line + 1 == line);
+                if hit {
+                    d.used = true;
+                }
+                hit
+            });
+            if suppressed {
+                continue;
+            }
+            out.diagnostics.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line,
+                col,
+                rule: rule.name.to_owned(),
+                message,
+            });
+        }
+    }
+
+    for d in &directives {
+        match &d.error {
+            Some(why) => out.diagnostics.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: d.line,
+                col: d.col,
+                rule: "malformed-directive".to_owned(),
+                message: format!("{why}; write `vr-lint::allow(rule, reason = \"...\")`"),
+            }),
+            None => {
+                out.allows += 1;
+                if !d.used {
+                    out.stale_allows += 1;
+                    out.diagnostics.push(Diagnostic {
+                        file: rel_path.to_owned(),
+                        line: d.line,
+                        col: d.col,
+                        rule: "stale-allow".to_owned(),
+                        message: format!(
+                            "allow({}) suppressed nothing; remove the directive",
+                            d.rule
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.diagnostics.sort_by_key(|d| d.sort_key());
+    out
+}
+
+/// Classifies a workspace-relative path into its crate and role.
+pub fn classify(rel_path: &str) -> FileContext {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let krate = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_owned()
+    } else {
+        "repro".to_owned()
+    };
+    let file = parts.last().copied().unwrap_or("");
+    let role = if parts.contains(&"tests") || parts.contains(&"benches") {
+        Role::Test
+    } else if parts.contains(&"examples") {
+        Role::Example
+    } else if file == "main.rs" || file == "build.rs" || parts.contains(&"bin") {
+        Role::Bin
+    } else {
+        Role::Lib
+    };
+    FileContext { krate, role }
+}
+
+/// Directories never descended into. `compat/` holds vendored stand-ins
+/// for absent registry crates (not project code); `fixtures/` holds this
+/// crate's seeded-violation test inputs.
+const SKIP_DIRS: &[&str] = &[
+    ".git",
+    ".vr-cache",
+    "compat",
+    "fixtures",
+    "golden",
+    "results",
+    "target",
+];
+
+/// Collects every `.rs` file under `root` that the analyzer owns, as
+/// `(absolute, workspace-relative)` pairs sorted by relative path.
+pub fn workspace_files(root: &Path) -> Result<Vec<(PathBuf, String)>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("walk error under {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("path {} outside root: {e}", path.display()))?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                files.push((path, rel));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, String> {
+    let mut report = LintReport::default();
+    for (abs, rel) in workspace_files(root)? {
+        let src = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        let ctx = classify(&rel);
+        let outcome = lint_source(&rel, &src, &ctx);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.allows += outcome.allows;
+        report.stale_allows += outcome.stale_allows;
+        report.files_scanned += 1;
+    }
+    report.diagnostics.sort_by_key(|d| d.sort_key());
+    Ok(report)
+}
+
+/// Walks upward from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]` — how `vrecon lint` finds the workspace root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_ctx(krate: &str) -> FileContext {
+        FileContext {
+            krate: krate.to_owned(),
+            role: Role::Lib,
+        }
+    }
+
+    #[test]
+    fn allow_directive_grammar() {
+        assert!(parse_allow(r#"allow(float-eq, reason = "exact guard")"#).is_ok());
+        assert!(parse_allow(r#"allow( float-eq , reason = "x" )"#).is_ok());
+        assert!(parse_allow(r#"allow(float-eq)"#).is_err());
+        assert!(parse_allow(r#"allow(float-eq, reason = "")"#).is_err());
+        assert!(parse_allow(r#"allow(float-eq, reason = unquoted)"#).is_err());
+        assert!(parse_allow(r#"deny(float-eq)"#).is_err());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line() {
+        let src = "\
+// vr-lint::allow(nondeterministic-collection, reason = \"membership only\")
+use std::collections::HashMap;
+use std::collections::HashSet;
+";
+        let out = lint_source("crates/core/src/x.rs", src, &lib_ctx("core"));
+        // Line 2 suppressed, line 3 not.
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].line, 3);
+        assert_eq!(out.allows, 1);
+        assert_eq!(out.stale_allows, 0);
+    }
+
+    #[test]
+    fn trailing_allow_on_same_line() {
+        let src = "use std::collections::HashSet; // vr-lint::allow(nondeterministic-collection, reason = \"never iterated\")\n";
+        let out = lint_source("crates/simcore/src/x.rs", src, &lib_ctx("simcore"));
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let src = "// vr-lint::allow(wall-clock, reason = \"no longer true\")\nfn f() {}\n";
+        let out = lint_source("crates/core/src/x.rs", src, &lib_ctx("core"));
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "stale-allow");
+        assert_eq!(out.stale_allows, 1);
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_directives() {
+        let src = "// vr-lint::allow(nope-rule, reason = \"x\")\n// vr-lint::allow(float-eq)\n";
+        let out = lint_source("crates/core/src/x.rs", src, &lib_ctx("core"));
+        assert_eq!(out.diagnostics.len(), 2);
+        assert!(out
+            .diagnostics
+            .iter()
+            .all(|d| d.rule == "malformed-directive"));
+    }
+
+    #[test]
+    fn crate_scoping_gates_rules() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            lint_source("crates/core/src/x.rs", src, &lib_ctx("core"))
+                .diagnostics
+                .len(),
+            1
+        );
+        // The analysis crate is outside the deterministic set.
+        assert!(
+            lint_source("crates/analysis/src/x.rs", src, &lib_ctx("analysis"))
+                .diagnostics
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn panic_rule_exempts_tests_and_bins() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(
+            lint_source("crates/core/src/x.rs", src, &lib_ctx("core"))
+                .diagnostics
+                .len(),
+            1
+        );
+        for role in [Role::Test, Role::Bin, Role::Example] {
+            let ctx = FileContext {
+                krate: "core".to_owned(),
+                role,
+            };
+            assert!(lint_source("crates/core/src/x.rs", src, &ctx)
+                .diagnostics
+                .is_empty());
+        }
+        // ... and in-file #[cfg(test)] modules.
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/core/src/x.rs", src, &lib_ctx("core"))
+            .diagnostics
+            .is_empty());
+    }
+
+    #[test]
+    fn classify_paths() {
+        let c = classify("crates/core/src/sim.rs");
+        assert_eq!(c.krate, "core");
+        assert_eq!(c.role, Role::Lib);
+        assert_eq!(classify("crates/core/tests/proptests.rs").role, Role::Test);
+        assert_eq!(
+            classify("crates/bench/src/bin/experiments.rs").role,
+            Role::Bin
+        );
+        assert_eq!(classify("crates/cli/src/main.rs").role, Role::Bin);
+        assert_eq!(classify("examples/quickstart.rs").role, Role::Example);
+        assert_eq!(classify("src/lib.rs").krate, "repro");
+        assert_eq!(classify("tests/determinism.rs").role, Role::Test);
+    }
+}

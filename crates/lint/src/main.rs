@@ -1,0 +1,155 @@
+//! The `vr-lint` binary: lints the workspace (default) or explicit files.
+//!
+//! ```sh
+//! vr-lint --workspace --format json       # what CI runs
+//! vr-lint crates/core/src/sim.rs          # one file, context from path
+//! vr-lint fixture.rs --assume-crate core --assume-role lib
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vr_lint::{classify, find_workspace_root, lint_source, lint_workspace};
+use vr_lint::{FileContext, LintReport, Role, RULES};
+
+const USAGE: &str = "\
+vr-lint — determinism & panic-safety analyzer for the vrecon workspace
+
+USAGE:
+  vr-lint [--workspace] [--root DIR] [--format text|json]
+  vr-lint PATHS... [--format text|json] [--assume-crate NAME] [--assume-role lib|bin|test|example]
+
+With no PATHS the whole workspace is linted (the root is found by walking
+up from the current directory to a Cargo.toml with [workspace], or taken
+from --root). Explicit PATHS are linted with their crate/role inferred
+from the path unless --assume-crate / --assume-role override it.
+
+RULES:
+";
+
+fn usage() -> String {
+    let mut out = USAGE.to_owned();
+    for rule in RULES {
+        out.push_str(&format!("  {:28} {}\n", rule.name, rule.summary));
+    }
+    out
+}
+
+struct Options {
+    root: Option<PathBuf>,
+    paths: Vec<String>,
+    json: bool,
+    assume_crate: Option<String>,
+    assume_role: Option<Role>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        paths: Vec::new(),
+        json: false,
+        assume_crate: None,
+        assume_role: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                let v = iter.next().ok_or("--root requires a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => match iter.next().map(String::as_str) {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format must be text|json, got {other:?}")),
+            },
+            "--assume-crate" => {
+                let v = iter.next().ok_or("--assume-crate requires a value")?;
+                opts.assume_crate = Some(v.clone());
+            }
+            "--assume-role" => {
+                opts.assume_role = Some(match iter.next().map(String::as_str) {
+                    Some("lib") => Role::Lib,
+                    Some("bin") => Role::Bin,
+                    Some("test") => Role::Test,
+                    Some("example") => Role::Example,
+                    other => {
+                        return Err(format!(
+                            "--assume-role must be lib|bin|test|example, got {other:?}"
+                        ))
+                    }
+                });
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            path => opts.paths.push(path.to_owned()),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: &Options) -> Result<LintReport, String> {
+    if opts.paths.is_empty() {
+        let root = match &opts.root {
+            Some(r) => r.clone(),
+            None => {
+                let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+                find_workspace_root(&cwd)
+                    .ok_or("no [workspace] Cargo.toml above the current directory; use --root")?
+            }
+        };
+        return lint_workspace(&root);
+    }
+    let mut report = LintReport::default();
+    for path in &opts.paths {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let inferred = classify(path);
+        let ctx = FileContext {
+            krate: opts.assume_crate.clone().unwrap_or(inferred.krate),
+            role: opts.assume_role.unwrap_or(inferred.role),
+        };
+        let outcome = lint_source(path, &src, &ctx);
+        report.diagnostics.extend(outcome.diagnostics);
+        report.allows += outcome.allows;
+        report.stale_allows += outcome.stale_allows;
+        report.files_scanned += 1;
+    }
+    report.diagnostics.sort_by_key(|d| d.sort_key());
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.render_json());
+            } else {
+                println!("{}", report.render_text());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

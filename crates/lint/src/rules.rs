@@ -1,0 +1,410 @@
+//! The rule set and its per-crate scoping.
+//!
+//! Each rule targets a hazard this codebase has actually had (or is one
+//! refactor away from having). The scoping tables below are the project's
+//! determinism contract in machine-checkable form: the simulation crates
+//! must be bit-reproducible from `(plan, seed)`, so anything that injects
+//! host state — hash iteration order, wall clocks, environment variables —
+//! is banned there and only allowed in the orchestration layer.
+
+use crate::lexer::{Tok, TokKind};
+
+/// Crates whose output must be a pure function of `(plan, seed)`. The
+/// cross-`--jobs` byte-equality tests and the golden figures rest on this.
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "cluster", "core", "faults", "metrics", "simcore", "workload",
+];
+
+/// Crates allowed to read wall clocks (orchestration / reporting layer).
+const WALL_CLOCK_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
+
+/// Crates allowed to read the process environment (config / CLI layer).
+const ENV_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
+
+/// Memory-accounting modules where a narrowing `as` cast can silently
+/// truncate a byte count; everything there is `u64`/`f64`.
+pub const MEMORY_ACCOUNTING_MODULES: &[&str] = &[
+    "crates/cluster/src/memory.rs",
+    "crates/cluster/src/netram.rs",
+    "crates/cluster/src/units.rs",
+];
+
+/// What kind of file a path is, for rule exemptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Ordinary library code — every rule applies.
+    Lib,
+    /// A binary entry point (`main.rs`, `src/bin/*`, `build.rs`).
+    Bin,
+    /// Integration tests and benches (`tests/`, `benches/`).
+    Test,
+    /// `examples/`.
+    Example,
+}
+
+/// Where a file sits in the workspace, for rule scoping.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Crate directory name under `crates/` (`core`, `simcore`, ...) or
+    /// `repro` for the umbrella crate's own `src/`, `tests/`, `examples/`.
+    pub krate: String,
+    pub role: Role,
+}
+
+/// A rule's finding sink: `(line, col, message)`.
+pub type Emit<'a> = &'a mut dyn FnMut(u32, u32, String);
+
+/// One lint rule.
+pub struct Rule {
+    /// Kebab-case name, used in diagnostics and allow directives.
+    pub name: &'static str,
+    /// One-line description for docs and `--help`.
+    pub summary: &'static str,
+    /// Skip findings in test code (`tests/`, `benches/`, `#[cfg(test)]`).
+    pub skip_test_code: bool,
+    /// Skip findings in binary entry points and examples.
+    pub skip_bin_code: bool,
+    /// Whether the rule is active for a file (crate + path scoping).
+    pub applies: fn(krate: &str, rel_path: &str) -> bool,
+    /// Scans the token stream, emitting `(line, col, message)` findings.
+    pub run: fn(&[Tok], Emit<'_>),
+}
+
+/// The rule table. Order is the order findings are reported in within a
+/// position tie, so keep it alphabetical.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "env-read",
+        summary: "process environment reads outside the config/CLI layer",
+        skip_test_code: false,
+        skip_bin_code: false,
+        applies: |krate, _| !ENV_ALLOWED.contains(&krate),
+        run: run_env_read,
+    },
+    Rule {
+        name: "float-eq",
+        summary: "== / != against a float literal",
+        skip_test_code: true,
+        skip_bin_code: false,
+        applies: |_, _| true,
+        run: run_float_eq,
+    },
+    Rule {
+        name: "narrowing-as-cast",
+        summary: "narrowing integer `as` cast in memory-accounting modules",
+        skip_test_code: true,
+        skip_bin_code: false,
+        applies: |_, rel| MEMORY_ACCOUNTING_MODULES.contains(&rel),
+        run: run_narrowing_as_cast,
+    },
+    Rule {
+        name: "nondeterministic-collection",
+        summary: "HashMap/HashSet in the deterministic simulation crates",
+        skip_test_code: false,
+        skip_bin_code: false,
+        applies: |krate, _| DETERMINISTIC_CRATES.contains(&krate),
+        run: run_nondeterministic_collection,
+    },
+    Rule {
+        name: "panic-in-lib",
+        summary: "unwrap/expect/panic!/todo! in library code",
+        skip_test_code: true,
+        skip_bin_code: true,
+        applies: |_, _| true,
+        run: run_panic_in_lib,
+    },
+    Rule {
+        name: "wall-clock",
+        summary: "Instant/SystemTime outside the orchestration layer",
+        skip_test_code: false,
+        skip_bin_code: false,
+        applies: |krate, _| !WALL_CLOCK_ALLOWED.contains(&krate),
+        run: run_wall_clock,
+    },
+];
+
+/// Looks a rule up by name (for validating allow directives).
+pub fn rule_named(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn run_nondeterministic_collection(tokens: &[Tok], emit: Emit<'_>) {
+    for t in tokens {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            emit(
+                t.line,
+                t.col,
+                format!(
+                    "`{}` iteration order is nondeterministic; use \
+                     `BTreeMap`/`BTreeSet` or an index-keyed `Vec` in \
+                     deterministic simulation crates",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn run_wall_clock(tokens: &[Tok], emit: Emit<'_>) {
+    for t in tokens {
+        if t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            emit(
+                t.line,
+                t.col,
+                format!(
+                    "`{}` reads the host clock; simulation code must use \
+                     `SimTime` so runs are a pure function of (plan, seed)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn run_env_read(tokens: &[Tok], emit: Emit<'_>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Only runtime reads are hazards: `std::env::...` or `env::var(...)`
+        // through a re-export. The `env!`/`option_env!` macros resolve at
+        // compile time (CARGO_MANIFEST_DIR etc.) and cannot vary per run.
+        let flagged = t.text == "env" && {
+            let after_std = i >= 2 && tokens[i - 2].is_ident("std") && tokens[i - 1].is_punct("::");
+            let before_path = tokens.get(i + 1).is_some_and(|n| n.is_punct("::"));
+            after_std || before_path
+        };
+        if flagged {
+            emit(
+                t.line,
+                t.col,
+                "environment read outside the config/CLI layer makes runs \
+                 depend on host state; plumb the value through `SimConfig` \
+                 or CLI options instead"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+fn run_panic_in_lib(tokens: &[Tok], emit: Emit<'_>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let is_method_call = i >= 1
+                    && tokens[i - 1].is_punct(".")
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+                if is_method_call {
+                    emit(
+                        t.line,
+                        t.col,
+                        format!(
+                            "`.{}()` panics in library code; return a \
+                             `Result`/`Option` or document the invariant \
+                             with an allow directive",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            "panic" | "todo" | "unimplemented"
+                if tokens.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+            {
+                emit(
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}!` aborts the caller; library code should \
+                         surface an error value instead",
+                        t.text
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_float_eq(tokens: &[Tok], emit: Emit<'_>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let prev_float = i >= 1 && tokens[i - 1].kind == TokKind::Float;
+        // Allow one unary minus on the right-hand side: `x == -1.0`.
+        let rhs = match tokens.get(i + 1) {
+            Some(n) if n.is_punct("-") => tokens.get(i + 2),
+            other => other,
+        };
+        let next_float = rhs.is_some_and(|n| n.kind == TokKind::Float);
+        if prev_float || next_float {
+            emit(
+                t.line,
+                t.col,
+                format!(
+                    "`{}` against a float literal is exact bit equality; \
+                     compare with a tolerance, or allow with a reason if \
+                     the exact comparison is intentional",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn run_narrowing_as_cast(tokens: &[Tok], emit: Emit<'_>) {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident("as") {
+            if let Some(target) = tokens.get(i + 1) {
+                if target.kind == TokKind::Ident && NARROW.contains(&target.text.as_str()) {
+                    emit(
+                        t.line,
+                        t.col,
+                        format!(
+                            "`as {}` can silently truncate a byte count in \
+                             memory accounting; use `try_from` or widen the \
+                             target type",
+                            target.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Line ranges (1-based, inclusive) of `#[cfg(test)]` items, so rules with
+/// `skip_test_code` can exempt in-file test modules. Handles attributes
+/// stacked after the cfg and both `;`-terminated and brace-bodied items.
+pub fn test_regions(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_cfg_test_at(tokens, i) {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        let mut j = i + 7; // past `# [ cfg ( test ) ]`
+                           // Skip any further attributes.
+        while j < tokens.len() && tokens[j].is_punct("#") {
+            let mut depth = 0usize;
+            j += 1;
+            while j < tokens.len() {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Consume one item: it ends at a `;` at depth zero, or at the close
+        // of the first top-level `{ ... }` block.
+        let mut end_line = start_line;
+        let mut depth = 0i32;
+        let mut saw_block = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            end_line = t.line;
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => {
+                        depth += 1;
+                        if t.text == "{" {
+                            saw_block = true;
+                        }
+                    }
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 && saw_block && t.text == "}" {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j;
+    }
+    regions
+}
+
+fn is_cfg_test_at(tokens: &[Tok], i: usize) -> bool {
+    tokens.len() > i + 6
+        && tokens[i].is_punct("#")
+        && tokens[i + 1].is_punct("[")
+        && tokens[i + 2].is_ident("cfg")
+        && tokens[i + 3].is_punct("(")
+        && tokens[i + 4].is_ident("test")
+        && tokens[i + 5].is_punct(")")
+        && tokens[i + 6].is_punct("]")
+}
+
+/// `true` if `line` falls inside any of `regions`.
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions(src: &str) -> Vec<(u32, u32)> {
+        test_regions(&lex(src).tokens)
+    }
+
+    #[test]
+    fn cfg_test_mod_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() {}\n}\nfn after() {}";
+        assert_eq!(regions(src), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement() {
+        let src = "#[cfg(test)]\nuse super::*;\nfn live() {}";
+        assert_eq!(regions(src), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn stacked_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n  body();\n}\nfn live() {}";
+        assert_eq!(regions(src), vec![(1, 5)]);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_mod() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { if x { y(); } }\n}\nfn live() {}";
+        assert_eq!(regions(src), vec![(1, 4)]);
+        assert!(in_regions(&regions(src), 3));
+        assert!(!in_regions(&regions(src), 5));
+    }
+
+    #[test]
+    fn semicolon_inside_array_type_does_not_end_item() {
+        let src = "#[cfg(test)]\nconst X: [u8; 4] = [0; 4];\nfn live() {}";
+        assert_eq!(regions(src), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_ignored() {
+        assert!(regions("#[cfg(unix)]\nfn f() {}").is_empty());
+        assert!(regions("#[cfg(feature = \"test\")]\nfn f() {}").is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+// vr-lint::allow(nondeterministic-collection, reason = "fixture: a live allow that suppresses the use below")
+use std::collections::HashMap;
+
+// vr-lint::allow(wall-clock, reason = "fixture: nothing here reads a clock, so this allow is stale")
+pub fn nothing() {}
+
+// vr-lint::allow(bogus-rule, reason = "fixture: this rule does not exist")
+pub fn also_nothing() {}
+
+// vr-lint::allow(float-eq)
+pub fn still_nothing() {}
+
+pub type Table = HashMap<u8, u8>;

@@ -1,0 +1,3 @@
+pub fn user() -> Option<String> {
+    std::env::var("USER").ok()
+}

@@ -1,0 +1,11 @@
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn is_neg_one(x: f64) -> bool {
+    x != -1.0
+}
+
+pub fn int_eq_is_fine(n: u64) -> bool {
+    n == 17
+}

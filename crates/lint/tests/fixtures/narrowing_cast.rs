@@ -1,0 +1,7 @@
+pub fn to_mb(bytes: u64) -> u32 {
+    (bytes / (1 << 20)) as u32
+}
+
+pub fn widening_is_fine(pages: u32) -> u64 {
+    pages as u64
+}

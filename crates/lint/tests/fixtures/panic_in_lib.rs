@@ -1,0 +1,20 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    *xs.first().expect("xs is non-empty")
+}
+
+pub fn unreachable_branch() {
+    panic!("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        super::first(&[]);
+        unreachable!();
+    }
+}

@@ -1,0 +1,162 @@
+//! Golden-diagnostic tests: every rule fires on its seeded fixture at the
+//! exact `file:line:col`, suppression is line-local, and the binary exits
+//! nonzero on findings.
+
+use std::process::Command;
+
+use vr_lint::{lint_source, FileContext, Role};
+
+fn core_lib() -> FileContext {
+    FileContext {
+        krate: "core".to_owned(),
+        role: Role::Lib,
+    }
+}
+
+/// `(line, col, rule)` triples of a fixture's diagnostics, in report order.
+fn positions(rel_path: &str, src: &str, ctx: &FileContext) -> Vec<(u32, u32, String)> {
+    lint_source(rel_path, src, ctx)
+        .diagnostics
+        .into_iter()
+        .map(|d| {
+            assert_eq!(d.file, rel_path, "diagnostics carry the linted path");
+            (d.line, d.col, d.rule)
+        })
+        .collect()
+}
+
+#[test]
+fn nondeterministic_collection_fires_with_exact_positions() {
+    let src = include_str!("fixtures/nondet_collection.rs");
+    let got = positions("fixtures/nondet_collection.rs", src, &core_lib());
+    let rule = "nondeterministic-collection".to_owned();
+    assert_eq!(got, vec![(1, 23, rule.clone()), (4, 17, rule)]);
+}
+
+#[test]
+fn wall_clock_fires_with_exact_positions() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let got = positions("fixtures/wall_clock.rs", src, &core_lib());
+    let rule = "wall-clock".to_owned();
+    assert_eq!(got, vec![(1, 16, rule.clone()), (4, 17, rule)]);
+}
+
+#[test]
+fn env_read_fires_with_exact_positions() {
+    let src = include_str!("fixtures/env_read.rs");
+    let got = positions("fixtures/env_read.rs", src, &core_lib());
+    assert_eq!(got, vec![(2, 10, "env-read".to_owned())]);
+}
+
+#[test]
+fn panic_in_lib_fires_and_exempts_the_test_module() {
+    let src = include_str!("fixtures/panic_in_lib.rs");
+    let got = positions("fixtures/panic_in_lib.rs", src, &core_lib());
+    let rule = "panic-in-lib".to_owned();
+    assert_eq!(
+        got,
+        vec![(2, 17, rule.clone()), (6, 17, rule.clone()), (10, 5, rule)]
+    );
+}
+
+#[test]
+fn panic_in_lib_is_silent_for_test_role() {
+    let src = include_str!("fixtures/panic_in_lib.rs");
+    let ctx = FileContext {
+        krate: "core".to_owned(),
+        role: Role::Test,
+    };
+    assert!(positions("fixtures/panic_in_lib.rs", src, &ctx).is_empty());
+}
+
+#[test]
+fn float_eq_fires_on_floats_only() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let got = positions("fixtures/float_eq.rs", src, &core_lib());
+    let rule = "float-eq".to_owned();
+    assert_eq!(got, vec![(2, 7, rule.clone()), (6, 7, rule)]);
+}
+
+#[test]
+fn narrowing_cast_fires_only_in_memory_accounting_paths() {
+    let src = include_str!("fixtures/narrowing_cast.rs");
+    let ctx = FileContext {
+        krate: "cluster".to_owned(),
+        role: Role::Lib,
+    };
+    // Scoped in: the accounting module, narrowing cast only.
+    let got = positions("crates/cluster/src/memory.rs", src, &ctx);
+    assert_eq!(got, vec![(2, 25, "narrowing-as-cast".to_owned())]);
+    // Scoped out: any other path in the same crate.
+    assert!(positions("crates/cluster/src/compaction.rs", src, &ctx).is_empty());
+}
+
+#[test]
+fn allow_directives_suppress_locally_and_report_stale_or_malformed() {
+    let src = include_str!("fixtures/allows.rs");
+    let outcome = lint_source("fixtures/allows.rs", src, &core_lib());
+    assert_eq!(outcome.allows, 2, "two well-formed directives");
+    assert_eq!(
+        outcome.stale_allows, 1,
+        "the wall-clock allow covers nothing"
+    );
+    let got: Vec<(u32, u32, String)> = outcome
+        .diagnostics
+        .iter()
+        .map(|d| (d.line, d.col, d.rule.clone()))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            (4, 1, "stale-allow".to_owned()),
+            (7, 1, "malformed-directive".to_owned()),
+            (10, 1, "malformed-directive".to_owned()),
+            // Suppression reaches only the next line: the HashMap alias
+            // further down still fires.
+            (13, 18, "nondeterministic-collection".to_owned()),
+        ]
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_with_json_diagnostics() {
+    let fixture = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/nondet_collection.rs"
+    );
+    let output = Command::new(env!("CARGO_BIN_EXE_vr-lint"))
+        .args([
+            fixture,
+            "--assume-crate",
+            "core",
+            "--assume-role",
+            "lib",
+            "--format",
+            "json",
+        ])
+        .output()
+        .expect("vr-lint binary runs");
+    assert_eq!(output.status.code(), Some(1), "diagnostics mean exit 1");
+    let stdout = String::from_utf8(output.stdout).expect("json output is UTF-8");
+    assert!(stdout.contains("\"rule\": \"nondeterministic-collection\""));
+    assert!(stdout.contains("\"line\": 1"));
+    assert!(stdout.contains("\"version\": 1"));
+}
+
+#[test]
+fn binary_exits_zero_on_clean_input_and_two_on_bad_usage() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/env_read.rs");
+    // env-read does not apply to the CLI layer, so the same file is clean
+    // under an exempt crate.
+    let clean = Command::new(env!("CARGO_BIN_EXE_vr-lint"))
+        .args([fixture, "--assume-crate", "cli", "--assume-role", "lib"])
+        .output()
+        .expect("vr-lint binary runs");
+    assert_eq!(clean.status.code(), Some(0));
+
+    let usage = Command::new(env!("CARGO_BIN_EXE_vr-lint"))
+        .args(["--format", "yaml"])
+        .output()
+        .expect("vr-lint binary runs");
+    assert_eq!(usage.status.code(), Some(2), "bad usage means exit 2");
+}

@@ -1,0 +1,38 @@
+//! The workspace must pass its own analyzer: `cargo test` fails if anyone
+//! reintroduces a nondeterministic collection, a wall-clock read, or an
+//! unannotated panic site anywhere vr-lint scopes to.
+
+use std::path::Path;
+
+use vr_lint::lint_workspace;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}); did the walker miss the crates?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "vr-lint found {} diagnostic(s):\n{}",
+        report.diagnostics.len(),
+        report.render_text()
+    );
+}
+
+#[test]
+fn allow_directives_are_all_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.allows > 0,
+        "the shipped tree documents its invariants"
+    );
+    assert_eq!(
+        report.stale_allows, 0,
+        "stale allow directives must be deleted, not accumulated"
+    );
+}

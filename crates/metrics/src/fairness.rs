@@ -28,6 +28,7 @@ pub fn jain_index(values: &[f64]) -> f64 {
         sum += v;
         sum_sq += v * v;
     }
+    // vr-lint::allow(float-eq, reason = "exact zero-guard before division: a zero sum of squares means every share is exactly zero")
     if sum_sq == 0.0 {
         return 1.0; // all zeros: equally (non-)served
     }
@@ -58,6 +59,7 @@ pub fn worst_to_mean(values: &[f64]) -> f64 {
         max = max.max(*v);
     }
     let mean = sum / values.len() as f64;
+    // vr-lint::allow(float-eq, reason = "exact zero-guard before dividing by the mean")
     if mean == 0.0 {
         1.0
     } else {

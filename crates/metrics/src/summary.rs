@@ -51,6 +51,7 @@ impl WorkloadSummary {
             remote += u64::from(job.remote_submitted);
         }
         let summary = Summary::of(slowdowns.iter().copied());
+        // vr-lint::allow(panic-in-lib, reason = "comparator contract: slowdowns are ratios of positive durations, never NaN")
         slowdowns.sort_by(|a, b| a.partial_cmp(b).expect("slowdowns are never NaN"));
         let (median, p95) = if slowdowns.is_empty() {
             (0.0, 0.0)

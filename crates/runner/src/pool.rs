@@ -38,10 +38,12 @@ impl<R> PoolOutcome<R> {
     /// item failed. Convenience for callers that treat any panic as fatal.
     pub fn into_results(self) -> Vec<R> {
         if let Some((index, message)) = self.panics.first() {
+            // vr-lint::allow(panic-in-lib, reason = "into_results is the documented panic-on-failure convenience; fallible callers read panics directly")
             panic!("pool item {index} panicked: {message}");
         }
         self.results
             .into_iter()
+            // vr-lint::allow(panic-in-lib, reason = "guarded by the panics check above: every slot was filled by a worker")
             .map(|slot| slot.expect("no panic recorded, so every slot is filled"))
             .collect()
     }
@@ -89,6 +91,7 @@ where
                 while let Some(index) = claim(deques, me) {
                     let result = catch_unwind(AssertUnwindSafe(|| work(index, &items[index])))
                         .map_err(|payload| panic_message(payload.as_ref()));
+                    // vr-lint::allow(panic-in-lib, reason = "worker panics are caught by catch_unwind before the lock is taken, so poisoning is unreachable")
                     *slots[index].lock().expect("result slot poisoned") = Some(result);
                 }
             });
@@ -100,7 +103,9 @@ where
     for (index, slot) in slots.into_iter().enumerate() {
         match slot
             .into_inner()
+            // vr-lint::allow(panic-in-lib, reason = "worker panics are caught by catch_unwind before the lock is taken, so poisoning is unreachable")
             .expect("result slot poisoned")
+            // vr-lint::allow(panic-in-lib, reason = "claim() hands out each index exactly once, so every slot is filled")
             .expect("every index was claimed exactly once")
         {
             Ok(r) => results.push(Some(r)),
@@ -116,11 +121,13 @@ where
 /// Pops the next index: front of our own deque, else steal from the back
 /// of the first non-empty sibling. `None` once every deque is empty.
 fn claim(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    // vr-lint::allow(panic-in-lib, reason = "worker panics are caught by catch_unwind before the lock is taken, so poisoning is unreachable")
     if let Some(index) = deques[me].lock().expect("deque poisoned").pop_front() {
         return Some(index);
     }
     for offset in 1..deques.len() {
         let victim = (me + offset) % deques.len();
+        // vr-lint::allow(panic-in-lib, reason = "worker panics are caught by catch_unwind before the lock is taken, so poisoning is unreachable")
         if let Some(index) = deques[victim].lock().expect("deque poisoned").pop_back() {
             return Some(index);
         }

@@ -104,10 +104,12 @@ impl SweepOutcome {
     /// Convenience for bench binaries whose scenarios must all succeed.
     pub fn expect_reports(self) -> Vec<RunReport> {
         if let Some((index, message)) = self.failures.first() {
+            // vr-lint::allow(panic-in-lib, reason = "expect_reports is the documented panic-on-failure convenience for bench binaries")
             panic!("scenario {index} failed: {message}");
         }
         self.results
             .into_iter()
+            // vr-lint::allow(panic-in-lib, reason = "guarded by the failures check above: every scenario produced a report")
             .map(|slot| slot.expect("no failures recorded").report)
             .collect()
     }
@@ -197,6 +199,7 @@ impl Runner {
             });
         }
         drop(tx);
+        // vr-lint::allow(panic-in-lib, reason = "the telemetry renderer only panics if stderr writes fail; propagating the panic is the only sane handling")
         let notes = renderer.join().expect("telemetry renderer panicked");
 
         let busy = pooled

@@ -24,6 +24,7 @@
 //! ```
 
 use std::cmp::{Ordering, Reverse};
+// vr-lint::allow(nondeterministic-collection, reason = "pending/cancelled are membership-only seq sets; nothing ever iterates them, so hash order cannot leak into event order")
 use std::collections::{BinaryHeap, HashSet};
 
 use crate::time::SimTime;
@@ -67,8 +68,10 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     /// Seqs scheduled but neither fired nor cancelled.
+    // vr-lint::allow(nondeterministic-collection, reason = "queried by `contains`/`remove` only; event ordering comes from the heap's (time, seq) keys")
     pending: HashSet<u64>,
     /// Seqs cancelled but still physically present in the heap.
+    // vr-lint::allow(nondeterministic-collection, reason = "queried by `contains`/`remove` only; event ordering comes from the heap's (time, seq) keys")
     cancelled: HashSet<u64>,
     next_seq: u64,
 }
@@ -84,7 +87,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            // vr-lint::allow(nondeterministic-collection, reason = "constructing the membership-only seq set documented on the struct field")
             pending: HashSet::new(),
+            // vr-lint::allow(nondeterministic-collection, reason = "constructing the membership-only seq set documented on the struct field")
             cancelled: HashSet::new(),
             next_seq: 0,
         }

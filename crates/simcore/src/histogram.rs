@@ -75,6 +75,7 @@ impl Histogram {
     pub fn record(&mut self, value: f64) {
         assert!(!value.is_nan(), "histogram observed NaN");
         let lo = self.edges[0];
+        // vr-lint::allow(panic-in-lib, reason = "the constructor rejects empty edge lists")
         let hi = *self.edges.last().expect("edges are non-empty");
         if value < lo {
             self.underflow += 1;
@@ -84,6 +85,7 @@ impl Histogram {
             // Binary search for the bucket whose range contains the value.
             let idx = match self
                 .edges
+                // vr-lint::allow(panic-in-lib, reason = "the constructor rejects NaN edges and record() asserts the value is not NaN")
                 .binary_search_by(|e| e.partial_cmp(&value).expect("edges are not NaN"))
             {
                 Ok(i) => i.min(self.counts.len() - 1),

@@ -305,6 +305,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
+    // vr-lint::allow(panic-in-lib, reason = "the scan loop above only accepts ASCII digit, sign, and exponent bytes")
     let token = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII number token");
     if token.is_empty() || token == "-" {
         return Err(err(start, "expected a value"));

@@ -219,6 +219,7 @@ impl SimRng {
             (0.0..1.0).contains(&spread),
             "jitter spread must be in [0, 1), got {spread}"
         );
+        // vr-lint::allow(float-eq, reason = "exact zero fast-path: spread 0.0 disables jitter by contract")
         if spread == 0.0 {
             return value;
         }

@@ -82,7 +82,9 @@ impl TimeSeries {
             let dt = (w[1].0 - w[0].0).as_secs_f64();
             area += w[0].1 * dt;
         }
+        // vr-lint::allow(panic-in-lib, reason = "the windows(2) accumulation above proves points is non-empty here")
         let total = (self.points.last().unwrap().0 - self.points[0].0).as_secs_f64();
+        // vr-lint::allow(float-eq, reason = "exact zero-guard before division by total elapsed time")
         if total == 0.0 {
             self.sample_average()
         } else {
@@ -105,6 +107,7 @@ impl TimeSeries {
         let Some(&(start, _)) = self.points.first() else {
             return out;
         };
+        // vr-lint::allow(panic-in-lib, reason = "guarded by the let-else on first() above")
         let end = self.points.last().unwrap().0;
         let mut t = start;
         let mut idx = 0;

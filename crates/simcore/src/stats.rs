@@ -216,6 +216,7 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// This is the metric the paper reports throughout §4 ("reduced the execution
 /// times by 29.3%"). Returns 0 when `base` is 0.
 pub fn reduction_pct(base: f64, improved: f64) -> f64 {
+    // vr-lint::allow(float-eq, reason = "documented contract: returns 0 when base is exactly 0")
     if base == 0.0 {
         0.0
     } else {

@@ -194,6 +194,7 @@ impl Add<SimSpan> for SimTime {
         SimTime(
             self.0
                 .checked_add(rhs.0)
+                // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: simulated-time overflow is a fatal logic error")
                 .expect("SimTime overflow: instant + span exceeds u64 microseconds"),
         )
     }
@@ -246,6 +247,7 @@ impl Add for SimSpan {
         SimSpan(
             self.0
                 .checked_add(rhs.0)
+                // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: simulated-time overflow is a fatal logic error")
                 .expect("SimSpan overflow: span + span exceeds u64 microseconds"),
         )
     }
@@ -277,6 +279,7 @@ impl SubAssign for SimSpan {
 impl Mul<u64> for SimSpan {
     type Output = SimSpan;
     fn mul(self, rhs: u64) -> SimSpan {
+        // vr-lint::allow(panic-in-lib, reason = "documented # Panics contract: simulated-time overflow is a fatal logic error")
         SimSpan(self.0.checked_mul(rhs).expect("SimSpan overflow in Mul"))
     }
 }

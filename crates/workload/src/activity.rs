@@ -120,6 +120,7 @@ impl ActivityRecord {
             .iter()
             .map(|s| s.memory)
             .max()
+            // vr-lint::allow(panic-in-lib, reason = "documented invariant: parsed records always hold at least one sample")
             .expect("peak_memory of an empty record")
     }
 
@@ -152,6 +153,7 @@ impl ActivityRecord {
         }
         phases.push((SimSpan::MAX, current));
         let memory = MemoryProfile::from_phases(phases)
+            // vr-lint::allow(panic-in-lib, reason = "the boundaries were coalesced strictly increasing just above")
             .expect("coalesced boundaries are strictly increasing");
         Ok(JobSpec {
             id,

@@ -61,6 +61,7 @@ impl ProgramSpec {
                 (at(0.15), peak.mul_f64(0.60)),
                 (SimSpan::MAX, peak),
             ])
+            // vr-lint::allow(panic-in-lib, reason = "phase boundaries are literal fractions in ascending order")
             .expect("ramp boundaries are strictly increasing"),
             PhaseShape::RampDecay => MemoryProfile::from_phases(vec![
                 (at(0.05), peak.mul_f64(0.25)),
@@ -68,6 +69,7 @@ impl ProgramSpec {
                 (at(0.85), peak),
                 (SimSpan::MAX, peak.mul_f64(0.40)),
             ])
+            // vr-lint::allow(panic-in-lib, reason = "phase boundaries are literal fractions in ascending order")
             .expect("ramp-decay boundaries are strictly increasing"),
         }
     }

@@ -218,6 +218,7 @@ pub fn blocking_scenario(nodes: usize, node_memory: Bytes) -> Trace {
             (SimSpan::from_secs(20), Bytes::from_mb_f64(giant_start)),
             (SimSpan::MAX, Bytes::from_mb_f64(giant_peak)),
         ])
+        // vr-lint::allow(panic-in-lib, reason = "phase boundaries are literal spans in ascending order")
         .expect("static boundaries are increasing");
         push(
             60.0 + g as f64 * 7.0,

@@ -1,0 +1,32 @@
+//! Tier-1 self-lint: the workspace must pass its own vr-lint analyzer.
+//!
+//! This is the enforcement point for the determinism contract — a plain
+//! `cargo test -q` fails if anyone reintroduces a `HashMap` in a
+//! simulation crate, a wall-clock or environment read outside the
+//! orchestration layer, or an unannotated panic site. The rule set and
+//! scoping live in `crates/lint`; see ARCHITECTURE.md "Static analysis".
+
+use std::path::Path;
+
+use vr_lint::lint_workspace;
+
+#[test]
+fn workspace_passes_vr_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}); did the walker miss the crates?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.stale_allows, 0,
+        "stale allow directives must be deleted, not accumulated"
+    );
+    assert!(
+        report.is_clean(),
+        "vr-lint found {} diagnostic(s):\n{}",
+        report.diagnostics.len(),
+        report.render_text()
+    );
+}
