@@ -58,7 +58,9 @@ fn blocking_trace() -> Arc<Trace> {
 /// Runs one section's scenarios as a sweep, returning reports in order.
 fn sweep(runner: &Runner, scenarios: Vec<Scenario>) -> Vec<RunReport> {
     let plan: SweepPlan = scenarios.into_iter().collect();
-    runner.run(&plan).expect_reports()
+    let outcome = runner.run(&plan);
+    vr_bench::warn_truncated(outcome.results.iter().flatten());
+    outcome.expect_reports()
 }
 
 fn base_config(policy: PolicyKind) -> SimConfig {

@@ -88,6 +88,7 @@ fn main() {
     plan.scenarios.extend(group_plan(Group::App).scenarios);
     let runner = bench_args.runner(true);
     let mut outcome = runner.run(&plan);
+    vr_bench::warn_truncated(outcome.results.iter().flatten());
 
     let bench_out = std::env::var("VR_BENCH_OUT").unwrap_or_else(|_| "BENCH_sweep.json".into());
     if let Err(e) = vr_runner::write_bench_json(Path::new(&bench_out), &outcome) {

@@ -103,6 +103,7 @@ fn main() {
         }
     }
     let outcome = bench_args.runner(true).run(&plan);
+    vr_bench::warn_truncated(outcome.results.iter().flatten());
     let mut reports = outcome.expect_reports().into_iter();
 
     let mut table = TextTable::new(vec![

@@ -247,6 +247,27 @@ impl BenchArgs {
     }
 }
 
+/// Prints a loud stderr warning for every horizon-truncated result in a
+/// sweep (`run_stats.drained == false`: the run hit `max_sim_time` with
+/// events still queued, so its measurements are truncated, not converged).
+/// Returns the number of truncated runs so callers can flag the artifact.
+pub fn warn_truncated<'a, I: IntoIterator<Item = &'a ScenarioResult>>(results: I) -> usize {
+    let mut truncated = 0;
+    for result in results {
+        if !result.report.run_stats.drained {
+            truncated += 1;
+            eprintln!(
+                "WARNING: horizon-truncated run [{}]: stopped at max-sim-time ({:.0}s) with \
+                 events still queued after {} events — measurements are truncated, not converged",
+                result.label,
+                result.report.run_stats.final_time.as_secs_f64(),
+                result.report.run_stats.events_processed,
+            );
+        }
+    }
+    truncated
+}
+
 fn die(message: &str) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);

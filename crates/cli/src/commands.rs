@@ -31,9 +31,13 @@ USAGE:
   vrecon inspect <TRACE_FILE>
   vrecon run     <TRACE_FILE> --cluster <cluster1|cluster2> --policy <POLICY>
                  [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
-                 [--fault-plan FILE] [--audit]
+                 [--fault-plan FILE] [--audit] [--max-sim-time SECS]
+                 [--trace-out FILE] [--trace-format chrome|jsonl]
   vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
   vrecon sweep   [spec] [app] [--seed N] [--trace-seed N] [--jobs N] [--no-cache]
+  vrecon trace   <spec|app> [--level <1..5>] [--policy <POLICY>] [--seed N]
+                 [--trace-seed N] [--nodes N] [--max-sim-time SECS]
+                 [--format chrome|jsonl] [--out FILE] [--profile-out FILE]
   vrecon lint    [--root DIR] [--format text|json]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
@@ -49,6 +53,18 @@ FAULT PLANS (--fault-plan): a text file, one directive per line —
   load-info-loss p=PROB        reservation-stall SECS      seed-salt N
 `--audit` switches on the invariant auditor; violations are printed (and
 fail the command) after the report.
+
+`trace` replays one workload-group scenario with the structured tracer
+chained and exports the trace: `chrome` (default) is Chrome trace-event
+JSON loadable in chrome://tracing or Perfetto, `jsonl` is compact
+JSON-lines. `--profile-out` additionally writes profiling counters
+(events/sec, per-kind counts, inter-event histogram). `run --trace-out`
+does the same for an on-disk trace file. Trace bytes are deterministic:
+same plan + seed ⇒ byte-identical files.
+
+A run that stops at the `--max-sim-time` horizon with events still queued
+is flagged with a loud `WARNING:` — its measurements are truncated, not
+converged.
 
 `lint` runs the vr-lint determinism & panic-safety analyzer over the
 workspace (the root is found by walking up from the current directory, or
@@ -319,13 +335,34 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
         config = config.with_faults(plan);
     }
     config = config.with_audit(args.flag("audit"));
+    if let Some(horizon) = parse_max_sim_time(args)? {
+        config = config.with_max_sim_time(horizon);
+    }
     config
         .validate()
         .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
     let faulted = config.fault_plan.as_ref().is_some_and(|p| !p.is_empty());
     let nodes = cluster_size;
-    let report = Simulation::new(config).run(&trace);
+    let simulation = Simulation::new(config);
+    let (report, trace_note) = match args.opt("trace-out") {
+        Some(path) => {
+            let (report, data) = simulation.run_traced(&trace);
+            let format = parse_trace_format(args.opt_or("trace-format", "chrome"))?;
+            write_trace_export(path, format, &data)?;
+            let note = format!(
+                "\ntrace: {} records, {} spans -> {path} ({})",
+                data.records.len(),
+                data.spans.len(),
+                format.label(),
+            );
+            (report, Some(note))
+        }
+        None => (simulation.run(&trace), None),
+    };
     let mut out = render_report(&report, args.flag("csv"));
+    if let Some(note) = trace_note {
+        out.push_str(&note);
+    }
     if faulted {
         let c = &report.faults;
         out.push_str(&format!(
@@ -368,7 +405,78 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
             out.push('\n');
         }
     }
+    if let Some(warning) = truncation_warning(&report) {
+        // Loud on both streams: stderr so piped stdout doesn't hide it,
+        // stdout so the flag lives next to the numbers it disqualifies.
+        eprintln!("{warning}");
+        out.push('\n');
+        out.push_str(&warning);
+    }
     Ok(out)
+}
+
+/// `--max-sim-time SECS` as a span, if given.
+fn parse_max_sim_time(args: &Args) -> Result<Option<vr_simcore::time::SimSpan>, ArgError> {
+    match args.opt_parse::<f64>("max-sim-time")? {
+        Some(secs) if secs > 0.0 => Ok(Some(vr_simcore::time::SimSpan::from_secs_f64(secs))),
+        Some(secs) => Err(ArgError(format!(
+            "--max-sim-time must be positive, got {secs}"
+        ))),
+        None => Ok(None),
+    }
+}
+
+/// The loud flag every report consumer must show for horizon-truncated
+/// runs: without it, a truncated run's figures look like a drained run's.
+fn truncation_warning(report: &RunReport) -> Option<String> {
+    (!report.run_stats.drained).then(|| {
+        format!(
+            "WARNING: horizon-truncated run: stopped at max-sim-time ({:.0}s) with events \
+             still queued after {} events ({} jobs unfinished) — measurements are truncated, \
+             not converged",
+            report.run_stats.final_time.as_secs_f64(),
+            report.run_stats.events_processed,
+            report.unfinished_jobs,
+        )
+    })
+}
+
+/// Trace export format selector shared by `run --trace-out` and `trace`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Chrome,
+    Jsonl,
+}
+
+impl TraceFormat {
+    fn label(self) -> &'static str {
+        match self {
+            TraceFormat::Chrome => "chrome",
+            TraceFormat::Jsonl => "jsonl",
+        }
+    }
+}
+
+fn parse_trace_format(raw: &str) -> Result<TraceFormat, ArgError> {
+    match raw {
+        "chrome" => Ok(TraceFormat::Chrome),
+        "jsonl" => Ok(TraceFormat::Jsonl),
+        other => Err(ArgError(format!(
+            "trace format must be chrome|jsonl, got {other}"
+        ))),
+    }
+}
+
+fn write_trace_export(
+    path: &str,
+    format: TraceFormat,
+    data: &vr_trace::TraceData,
+) -> Result<(), ArgError> {
+    let payload = match format {
+        TraceFormat::Chrome => vr_trace::chrome_trace(data),
+        TraceFormat::Jsonl => vr_trace::jsonl(data),
+    };
+    std::fs::write(path, payload).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
 }
 
 /// `vrecon compare` — G-Loadsharing vs V-Reconfiguration on one trace.
@@ -502,6 +610,15 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     if let Some((index, message)) = outcome.failures.first() {
         return Err(ArgError(format!("scenario {index} failed: {message}")));
     }
+    for result in outcome.results.iter().flatten() {
+        if !result.report.run_stats.drained {
+            eprintln!(
+                "WARNING: horizon-truncated run [{}]: stopped at max-sim-time with events \
+                 still queued — measurements are truncated, not converged",
+                result.label,
+            );
+        }
+    }
     let mut results = outcome.results.iter().flatten();
 
     let mut out = String::new();
@@ -554,6 +671,72 @@ pub fn sweep(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// `vrecon trace` — replay one workload-group scenario with the tracer
+/// chained and export the structured trace (plus, optionally, profiling
+/// counters). The trace bytes are a pure function of the scenario — two
+/// identical invocations write byte-identical files.
+pub fn trace(args: &Args) -> Result<String, ArgError> {
+    let group = args.single_positional("workload group (spec|app)")?;
+    let (mut cluster, build) = sweep_group(group)?;
+    if let Some(n) = args.opt_parse::<usize>("nodes")? {
+        if n == 0 || n > cluster.size() {
+            return Err(ArgError(format!(
+                "--nodes must be 1..={}, got {n}",
+                cluster.size()
+            )));
+        }
+        cluster.nodes.truncate(n);
+    }
+    let level = parse_level(args.opt_or("level", "3"))?;
+    let policy = parse_policy(args.opt_or("policy", "vrecon"))?;
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
+    let trace_seed = args.opt_parse::<u64>("trace-seed")?.unwrap_or(42);
+    let workload = build(level, &mut SimRng::seed_from(trace_seed));
+    let mut config = SimConfig::new(cluster, policy).with_seed(seed);
+    if let Some(horizon) = parse_max_sim_time(args)? {
+        config = config.with_max_sim_time(horizon);
+    }
+    config
+        .validate()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+
+    let started = std::time::Instant::now();
+    let (report, data) = Simulation::new(config).run_traced(&workload);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let format = parse_trace_format(args.opt_or("format", "chrome"))?;
+    let out_path = args.opt("out").unwrap_or(match format {
+        TraceFormat::Chrome => "vr-trace.json",
+        TraceFormat::Jsonl => "vr-trace.jsonl",
+    });
+    write_trace_export(out_path, format, &data)?;
+
+    let mut out = format!(
+        "traced {} under {}: {} engine events, {} records, {} spans -> {out_path} ({})",
+        workload.name,
+        report.policy,
+        report.run_stats.events_processed,
+        data.records.len(),
+        data.spans.len(),
+        format.label(),
+    );
+    if let Some(profile_path) = args.opt("profile-out") {
+        // events/sec needs a wall clock, which the deterministic trace
+        // crate refuses to read — the CLI times the run and injects it.
+        let mut text = data.profile.to_json(Some(wall_secs)).render();
+        text.push('\n');
+        std::fs::write(profile_path, text)
+            .map_err(|e| ArgError(format!("cannot write {profile_path}: {e}")))?;
+        out.push_str(&format!("; profile -> {profile_path}"));
+    }
+    if let Some(warning) = truncation_warning(&report) {
+        eprintln!("{warning}");
+        out.push('\n');
+        out.push_str(&warning);
+    }
+    Ok(out)
+}
+
 /// `vrecon lint`: run the static analyzer over the workspace.
 ///
 /// Succeeds (with a summary line) only when no diagnostic fires; any
@@ -590,6 +773,7 @@ pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
         "run" => run(args),
         "compare" => compare(args),
         "sweep" => sweep(args),
+        "trace" => trace(args),
         "lint" => lint(args),
         other => Err(ArgError(format!("unknown subcommand {other}\n\n{USAGE}"))),
     }
@@ -719,6 +903,126 @@ mod tests {
         // Mixing positional groups with --group is ambiguous.
         let err = sweep(&args(&["spec", "--group", "app"])).unwrap_err();
         assert!(err.0.contains("not both"), "{}", err.0);
+    }
+
+    #[test]
+    fn trace_subcommand_writes_deterministic_parseable_traces() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("t.json");
+        let chrome_str = chrome.to_str().unwrap();
+        let profile = dir.join("p.json");
+        let profile_str = profile.to_str().unwrap();
+        let base = [
+            "app",
+            "--level",
+            "1",
+            "--nodes",
+            "8",
+            "--out",
+            chrome_str,
+            "--profile-out",
+            profile_str,
+        ];
+        let msg = trace(&args(&base)).unwrap();
+        assert!(msg.contains("spans ->"), "{msg}");
+        let first = std::fs::read(&chrome).unwrap();
+        let doc = vr_simcore::jsonio::Json::parse(std::str::from_utf8(&first).unwrap()).unwrap();
+        assert!(
+            doc.get("traceEvents")
+                .and_then(vr_simcore::jsonio::Json::as_arr)
+                .is_some_and(|events| !events.is_empty()),
+            "chrome trace has events"
+        );
+        let prof =
+            vr_simcore::jsonio::Json::parse(&std::fs::read_to_string(&profile).unwrap()).unwrap();
+        assert!(prof.get("events_per_sec").is_some(), "profile has rate");
+        // Byte-identity across reruns (the determinism contract).
+        trace(&args(&base)).unwrap();
+        assert_eq!(first, std::fs::read(&chrome).unwrap());
+        // JSONL export: every line parses.
+        let jsonl_path = dir.join("t.jsonl");
+        let jsonl_str = jsonl_path.to_str().unwrap();
+        trace(&args(&[
+            "app", "--level", "1", "--nodes", "8", "--format", "jsonl", "--out", jsonl_str,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&jsonl_path).unwrap();
+        assert!(text.lines().count() > 1);
+        for line in text.lines() {
+            vr_simcore::jsonio::Json::parse(line).unwrap();
+        }
+        assert!(trace(&args(&["app", "--format", "yaml"])).is_err());
+        assert!(trace(&args(&["weird"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_runs_warn_loudly() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vrt");
+        let path_str = path.to_str().unwrap();
+        gen(&args(&[
+            "--group", "app", "--level", "1", "--scale", "0.02", "--out", path_str,
+        ]))
+        .unwrap();
+        // A 1-second horizon cannot drain this trace: the warning fires.
+        let msg = run(&args(&[
+            path_str,
+            "--policy",
+            "gls",
+            "--nodes",
+            "8",
+            "--max-sim-time",
+            "1",
+        ]))
+        .unwrap();
+        assert!(
+            msg.contains("WARNING: horizon-truncated run"),
+            "missing warning: {msg}"
+        );
+        // A drained run stays clean.
+        let msg = run(&args(&[path_str, "--policy", "gls", "--nodes", "8"])).unwrap();
+        assert!(!msg.contains("WARNING"), "unexpected warning: {msg}");
+        assert!(run(&args(&[path_str, "--max-sim-time", "0"])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_trace_out_writes_trace_next_to_report() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-traceout-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.vrt");
+        let path_str = path.to_str().unwrap();
+        gen(&args(&[
+            "--group", "app", "--level", "1", "--scale", "0.02", "--out", path_str,
+        ]))
+        .unwrap();
+        let trace_path = dir.join("out.jsonl");
+        let trace_str = trace_path.to_str().unwrap();
+        let msg = run(&args(&[
+            path_str,
+            "--policy",
+            "gls",
+            "--nodes",
+            "8",
+            "--trace-out",
+            trace_str,
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert!(msg.contains("trace:"), "{msg}");
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let header = vr_simcore::jsonio::Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            header
+                .get("kind")
+                .and_then(vr_simcore::jsonio::Json::as_str),
+            Some("vr-trace")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -173,6 +173,14 @@ impl SimConfig {
         self
     }
 
+    /// Overrides the safety horizon. A run stopping at this horizon with
+    /// events still queued reports `run_stats.drained == false` — its
+    /// measurements are truncated and consumers must flag it.
+    pub fn with_max_sim_time(mut self, horizon: SimSpan) -> Self {
+        self.max_sim_time = horizon;
+        self
+    }
+
     /// Checks the configuration for nonsensical values.
     ///
     /// # Errors

@@ -58,9 +58,11 @@ pub enum SchedulerEventKind {
     Requeued,
 }
 
-impl fmt::Display for SchedulerEventKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl SchedulerEventKind {
+    /// The stable string token for this kind — the `Display` form, the
+    /// JSON encoding, and the trace-record `kind`, all from one table.
+    pub fn token(self) -> &'static str {
+        match self {
             SchedulerEventKind::Submitted => "submitted",
             SchedulerEventKind::Placed => "placed",
             SchedulerEventKind::Blocked => "blocked",
@@ -78,8 +80,13 @@ impl fmt::Display for SchedulerEventKind {
             SchedulerEventKind::NodeRestarted => "node-restarted",
             SchedulerEventKind::MigrationFailed => "migration-failed",
             SchedulerEventKind::Requeued => "requeued",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for SchedulerEventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
     }
 }
 

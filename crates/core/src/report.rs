@@ -6,6 +6,7 @@ use vr_cluster::node::NodeCounters;
 use vr_faults::FaultCounters;
 use vr_metrics::sampler::ClusterGauges;
 use vr_metrics::summary::WorkloadSummary;
+use vr_simcore::engine::RunStats;
 use vr_simcore::time::SimTime;
 
 use crate::events::EventLog;
@@ -65,6 +66,11 @@ pub struct RunReport {
     pub events: EventLog,
     /// When the last job completed (the makespan).
     pub finished_at: SimTime,
+    /// Engine counters for the run. `run_stats.drained == false` means the
+    /// run hit the `max_sim_time` horizon with events still queued — its
+    /// measurements are truncated, not converged, and every consumer
+    /// (CLI, experiment binaries) must flag it loudly.
+    pub run_stats: RunStats,
     /// Jobs that had not completed when the safety horizon was hit.
     pub unfinished_jobs: usize,
     /// Injected faults and the scheduler's recovery actions (all zeros when
@@ -236,6 +242,7 @@ mod tests {
             }],
             events: Default::default(),
             finished_at: SimTime::from_secs(100),
+            run_stats: Default::default(),
             unfinished_jobs: 0,
             faults: Default::default(),
             audit_violations: Vec::new(),

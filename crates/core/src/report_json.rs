@@ -26,6 +26,7 @@ use vr_cluster::units::Bytes;
 use vr_faults::FaultCounters;
 use vr_metrics::sampler::ClusterGauges;
 use vr_metrics::summary::WorkloadSummary;
+use vr_simcore::engine::RunStats;
 use vr_simcore::jsonio::Json;
 use vr_simcore::stats::Summary;
 use vr_simcore::time::{SimSpan, SimTime};
@@ -38,7 +39,10 @@ use crate::reservation::ReservationStats;
 
 /// Version tag of the encoding; bump when [`RunReport`]'s shape changes so
 /// stale cache entries are rejected instead of misread.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added `run_stats` (engine counters: events processed, final time,
+/// drained flag) so horizon-truncated runs are detectable from the report.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Encodes a report as a compact JSON string.
 pub fn encode_report(report: &RunReport) -> String {
@@ -73,6 +77,7 @@ fn report_to_json(r: &RunReport) -> Json {
         ),
         ("events", events_to_json(&r.events)),
         ("finished_at", Json::U64(r.finished_at.as_micros())),
+        ("run_stats", run_stats_to_json(&r.run_stats)),
         ("unfinished_jobs", Json::U64(r.unfinished_jobs as u64)),
         ("faults", faults_to_json(&r.faults)),
         (
@@ -107,6 +112,7 @@ fn report_from_json(doc: &Json) -> Result<RunReport, String> {
             .collect::<Result<_, _>>()?,
         events: events_from_json(field(doc, "events")?)?,
         finished_at: SimTime::from_micros(u64_field(doc, "finished_at")?),
+        run_stats: run_stats_from_json(field(doc, "run_stats")?)?,
         unfinished_jobs: usize_field(doc, "unfinished_jobs")?,
         faults: faults_from_json(field(doc, "faults")?)?,
         audit_violations: arr_field(doc, "audit_violations")?
@@ -595,6 +601,24 @@ fn faults_from_json(doc: &Json) -> Result<FaultCounters, String> {
     })
 }
 
+fn run_stats_to_json(s: &RunStats) -> Json {
+    Json::obj([
+        ("events_processed", Json::U64(s.events_processed)),
+        ("final_time", Json::U64(s.final_time.as_micros())),
+        ("drained", Json::Bool(s.drained)),
+    ])
+}
+
+fn run_stats_from_json(doc: &Json) -> Result<RunStats, String> {
+    Ok(RunStats {
+        events_processed: u64_field(doc, "events_processed")?,
+        final_time: SimTime::from_micros(u64_field(doc, "final_time")?),
+        drained: field(doc, "drained")?
+            .as_bool()
+            .ok_or("drained is not a bool")?,
+    })
+}
+
 // ---- events --------------------------------------------------------------
 
 fn events_to_json(log: &EventLog) -> Json {
@@ -746,6 +770,11 @@ mod tests {
             }],
             events,
             finished_at: SimTime::from_secs_f64(145.875),
+            run_stats: RunStats {
+                events_processed: 42,
+                final_time: SimTime::from_secs_f64(145.875),
+                drained: false,
+            },
             unfinished_jobs: 0,
             faults: FaultCounters {
                 crashes: 1,
@@ -789,7 +818,7 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = encode_report(&sample_report());
-        text = text.replacen("\"schema\":1", "\"schema\":999", 1);
+        text = text.replacen("\"schema\":2", "\"schema\":999", 1);
         let err = decode_report(&text).unwrap_err();
         assert!(err.contains("schema"), "{err}");
     }

@@ -34,6 +34,8 @@
 //! assert_eq!(engine.now(), SimTime::from_secs(4));
 //! ```
 
+use serde::{Deserialize, Serialize};
+
 use crate::event::{EventHandle, EventQueue};
 use crate::time::{SimSpan, SimTime};
 
@@ -60,6 +62,79 @@ pub trait EventHook<W: World> {
 
 impl<W: World> EventHook<W> for () {
     fn after_event(&mut self, _world: &W, _now: SimTime) {}
+}
+
+impl<W: World, H: EventHook<W> + ?Sized> EventHook<W> for &mut H {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        (**self).after_event(world, now);
+    }
+}
+
+/// `None` is a no-op observer, so optional hooks (an auditor that is only
+/// sometimes enabled, a tracer that is only sometimes requested) compose
+/// without a combinatorial match over which ones are present.
+impl<W: World, H: EventHook<W>> EventHook<W> for Option<H> {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        if let Some(hook) = self {
+            hook.after_event(world, now);
+        }
+    }
+}
+
+impl<W: World, A: EventHook<W>, B: EventHook<W>> EventHook<W> for (A, B) {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        self.0.after_event(world, now);
+        self.1.after_event(world, now);
+    }
+}
+
+impl<W: World, A: EventHook<W>, B: EventHook<W>, C: EventHook<W>> EventHook<W> for (A, B, C) {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        self.0.after_event(world, now);
+        self.1.after_event(world, now);
+        self.2.after_event(world, now);
+    }
+}
+
+/// A runtime-sized chain of hooks behind one [`EventHook`] — the vec
+/// counterpart to the tuple impls, for observer sets only known at runtime.
+///
+/// Hooks run in insertion order after every dispatched event; each sees the
+/// world immutably, so earlier hooks cannot perturb what later hooks (or
+/// the simulation itself) observe.
+#[derive(Default)]
+pub struct HookChain<'h, W: World> {
+    hooks: Vec<&'h mut dyn EventHook<W>>,
+}
+
+impl<'h, W: World> HookChain<'h, W> {
+    /// An empty chain (a no-op observer until hooks are pushed).
+    pub fn new() -> Self {
+        HookChain { hooks: Vec::new() }
+    }
+
+    /// Appends a hook; it runs after every hook already in the chain.
+    pub fn push(&mut self, hook: &'h mut dyn EventHook<W>) {
+        self.hooks.push(hook);
+    }
+
+    /// Number of chained hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// `true` if no hooks are chained.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+impl<W: World> EventHook<W> for HookChain<'_, W> {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        for hook in &mut self.hooks {
+            hook.after_event(world, now);
+        }
+    }
 }
 
 /// Scheduling access handed to a [`World`] during event handling (and
@@ -93,8 +168,14 @@ impl<'a, E> Scheduler<'a, E> {
     }
 
     /// Schedules `event` after a relative delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.now + delay` overflows the clock — routed through
+    /// [`Scheduler::schedule_at`] so both entry points share the
+    /// cannot-schedule-into-the-past guard.
     pub fn schedule_in(&mut self, delay: SimSpan, event: E) -> EventHandle {
-        self.queue.schedule(self.now + delay, event)
+        self.schedule_at(self.now + delay, event)
     }
 
     /// Cancels a previously scheduled event. Returns `true` if it was still
@@ -110,7 +191,7 @@ impl<'a, E> Scheduler<'a, E> {
 }
 
 /// Counters describing one [`Engine::run_until`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RunStats {
     /// Events dispatched to the world.
     pub events_processed: u64,
@@ -352,6 +433,125 @@ mod tests {
             spy.seen,
             vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(2), 2)]
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn scheduling_in_cannot_wrap_into_the_past() {
+        // Mirror of `scheduling_into_the_past_panics` for the relative entry
+        // point: `SimSpan` is unsigned, so the only way `schedule_in` could
+        // produce a past time is u64 wraparound — which must panic loudly
+        // instead of silently scheduling an ancient event.
+        let mut world = Recorder::default();
+        let mut engine = Engine::new();
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_secs(5), Ev::Ping);
+        engine.run_until(&mut world, SimTime::MAX);
+        // Clock is now at 5s; now + MAX overflows and must panic.
+        engine.scheduler().schedule_in(SimSpan::MAX, Ev::Pong);
+    }
+
+    struct Spy {
+        name: &'static str,
+        seen: Vec<(&'static str, SimTime, usize)>,
+    }
+    impl EventHook<Recorder> for Spy {
+        fn after_event(&mut self, world: &Recorder, now: SimTime) {
+            self.seen.push((self.name, now, world.log.len()));
+        }
+    }
+
+    #[test]
+    fn tuple_hooks_run_in_order_and_see_identical_states() {
+        let mut world = Recorder {
+            respawn: true,
+            ..Recorder::default()
+        };
+        let mut engine = Engine::new();
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_secs(1), Ev::Ping);
+        let a = Spy {
+            name: "a",
+            seen: Vec::new(),
+        };
+        let b = Spy {
+            name: "b",
+            seen: Vec::new(),
+        };
+        let mut pair = (a, b);
+        let stats = engine.run_until_with(&mut world, SimTime::MAX, &mut pair);
+        assert_eq!(stats.events_processed, 2);
+        let states = |spy: &Spy| spy.seen.iter().map(|&(_, t, n)| (t, n)).collect::<Vec<_>>();
+        // Both hooks observed exactly the same post-reaction world states.
+        assert_eq!(states(&pair.0), states(&pair.1));
+        assert_eq!(
+            states(&pair.0),
+            vec![(SimTime::from_secs(1), 1), (SimTime::from_secs(2), 2)]
+        );
+    }
+
+    #[test]
+    fn optional_hooks_compose_without_perturbing_each_other() {
+        // (Some(auditor), None::<tracer>) behaves exactly like the auditor
+        // alone: the observer set is composable without a match ladder.
+        let run = |with_second: bool| {
+            let mut world = Recorder {
+                respawn: true,
+                ..Recorder::default()
+            };
+            let mut engine = Engine::new();
+            engine
+                .scheduler()
+                .schedule_at(SimTime::from_secs(1), Ev::Ping);
+            let first = Spy {
+                name: "first",
+                seen: Vec::new(),
+            };
+            let second = with_second.then(|| Spy {
+                name: "second",
+                seen: Vec::new(),
+            });
+            let mut hooks = (Some(first), second);
+            engine.run_until_with(&mut world, SimTime::MAX, &mut hooks);
+            (hooks.0.unwrap().seen, hooks.1.map(|s| s.seen))
+        };
+        let (solo, none) = run(false);
+        let (chained, second) = run(true);
+        assert_eq!(none, None);
+        // The first hook's observations are identical with and without a
+        // second observer chained behind it.
+        assert_eq!(solo, chained);
+        let second = second.unwrap();
+        assert_eq!(second.len(), chained.len());
+    }
+
+    #[test]
+    fn hook_chain_runs_all_hooks_in_insertion_order() {
+        let mut world = Recorder::default();
+        let mut engine = Engine::new();
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_secs(1), Ev::Ping);
+        let mut a = Spy {
+            name: "a",
+            seen: Vec::new(),
+        };
+        let mut b = Spy {
+            name: "b",
+            seen: Vec::new(),
+        };
+        {
+            let mut chain: HookChain<'_, Recorder> = HookChain::new();
+            assert!(chain.is_empty());
+            chain.push(&mut a);
+            chain.push(&mut b);
+            assert_eq!(chain.len(), 2);
+            engine.run_until_with(&mut world, SimTime::MAX, &mut chain);
+        }
+        assert_eq!(a.seen, vec![("a", SimTime::from_secs(1), 1)]);
+        assert_eq!(b.seen, vec![("b", SimTime::from_secs(1), 1)]);
     }
 
     #[test]

@@ -119,22 +119,41 @@ impl Histogram {
     }
 
     /// A compact multi-line ASCII rendering, one bucket per line, bars
-    /// scaled to `width` characters.
+    /// scaled to `width` characters. The `<min` / `>=max` flow lines get
+    /// bars on the same scale, so a heavy tail beyond the last edge is as
+    /// visible as any in-range bucket.
     pub fn render_ascii(&self, width: usize) -> String {
-        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let max = self
+            .counts
+            .iter()
+            .copied()
+            .chain([self.underflow, self.overflow])
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let bar = |count: u64| {
+            let len = (count as f64 / max as f64 * width as f64).round() as usize;
+            "#".repeat(len)
+        };
         let mut out = String::new();
         if self.underflow > 0 {
-            out.push_str(&format!("{:>10} | {}\n", "<min", self.underflow));
-        }
-        for (lo, hi, count) in self.buckets() {
-            let bar_len = (count as f64 / max as f64 * width as f64).round() as usize;
             out.push_str(&format!(
-                "{lo:>7.2}-{hi:<7.2} |{} {count}\n",
-                "#".repeat(bar_len)
+                "{:>15} |{} {}\n",
+                "<min",
+                bar(self.underflow),
+                self.underflow
             ));
         }
+        for (lo, hi, count) in self.buckets() {
+            out.push_str(&format!("{lo:>7.2}-{hi:<7.2} |{} {count}\n", bar(count)));
+        }
         if self.overflow > 0 {
-            out.push_str(&format!("{:>10} | {}\n", ">max", self.overflow));
+            out.push_str(&format!(
+                "{:>15} |{} {}\n",
+                ">=max",
+                bar(self.overflow),
+                self.overflow
+            ));
         }
         out
     }
@@ -206,7 +225,30 @@ mod tests {
         h.record(5.0);
         let s = h.render_ascii(10);
         assert!(s.contains("##"), "{s}");
-        assert!(s.contains(">max"), "{s}");
+        assert!(s.contains(">=max"), "{s}");
+    }
+
+    #[test]
+    fn ascii_render_snapshot() {
+        // Pins the exact layout: flow lines aligned with bucket labels,
+        // bars on flow lines, and the bar scale derived from the largest
+        // count anywhere — including a dominant overflow tail.
+        let mut h = Histogram::linear(0.0, 2.0, 2);
+        h.record(-1.0);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        for _ in 0..4 {
+            h.record(9.0); // heavy tail: overflow is the tallest bar
+        }
+        let s = h.render_ascii(8);
+        let expected = concat!(
+            "           <min |## 1\n",
+            "   0.00-1.00    |## 1\n",
+            "   1.00-2.00    |#### 2\n",
+            "          >=max |######## 4\n",
+        );
+        assert_eq!(s, expected, "got:\n{s}");
     }
 
     #[test]

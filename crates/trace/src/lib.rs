@@ -1,0 +1,69 @@
+//! Deterministic observability for the simulator: `vr-trace`.
+//!
+//! The engine's [`EventHook`] seam delivers the world immutably after every
+//! dispatched event. This crate rides that seam with a [`Tracer`] that
+//! records structured per-event records (kind, time, job, node), derives
+//! spans for job lifecycles and reservation episodes, and accumulates
+//! profiling counters — without ever perturbing the simulation it observes.
+//!
+//! Everything here is a pure function of the event stream: same plan + seed
+//! ⇒ byte-identical trace output. The crate is in vr-lint's deterministic
+//! set (ordered containers only, no wall clocks, no environment reads);
+//! wall-clock rates such as events/sec are computed by the orchestration
+//! layer and passed *in* (see [`TraceProfile::to_json`]).
+//!
+//! Exporters:
+//! - [`chrome_trace`] — Chrome trace-event JSON (`chrome://tracing`,
+//!   Perfetto). Spans become `ph:"X"` complete events, records become
+//!   `ph:"i"` instants.
+//! - [`jsonl`] — compact JSON-lines via `vr_simcore::jsonio`: a header
+//!   line, then one line per record and per span.
+//!
+//! [`EventHook`]: vr_simcore::engine::EventHook
+
+mod export;
+mod profile;
+mod span;
+mod tracer;
+
+use vr_simcore::time::SimTime;
+
+pub use export::{chrome_trace, chrome_trace_json, jsonl};
+pub use profile::TraceProfile;
+pub use span::{derive_spans, TraceSpan};
+pub use tracer::{TraceData, Tracer};
+
+/// Version stamped into every exported trace (header line / top-level
+/// `schema` field). Bump on any change to record, span, or profile layout.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// One structured trace record: what happened, when, to whom.
+///
+/// `kind` is a `&'static str` token (e.g. `"submitted"`, `"placed"`,
+/// `"reservation-began"`) so records stay allocation-free and per-kind
+/// counters key on pointer-stable strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Static event-kind token.
+    pub kind: &'static str,
+    /// Job involved, if any.
+    pub job: Option<u64>,
+    /// Node involved, if any.
+    pub node: Option<u64>,
+}
+
+/// A world that can expose its event history as [`TraceRecord`]s.
+///
+/// The tracer uses a cursor over `0..record_count()` — the same pattern the
+/// invariant auditor uses over the event log — so each record is read
+/// exactly once, in order, without the trace crate depending on the
+/// world's concrete log type.
+pub trait TraceSource {
+    /// Number of records emitted so far (monotonically non-decreasing).
+    fn record_count(&self) -> usize;
+    /// The `i`-th record, for `i < record_count()`. Records at increasing
+    /// indices must have non-decreasing times.
+    fn record_at(&self, i: usize) -> TraceRecord;
+}

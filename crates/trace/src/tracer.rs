@@ -1,0 +1,149 @@
+//! The [`Tracer`] hook: drains world records after every engine event.
+
+use vr_simcore::engine::{EventHook, World};
+use vr_simcore::time::SimTime;
+
+use crate::span::{derive_spans, TraceSpan};
+use crate::{TraceProfile, TraceRecord, TraceSource};
+
+/// An [`EventHook`] that accumulates a structured trace of the run.
+///
+/// After each engine event it reads the records the world appended since
+/// the previous event (cursor pattern — the world is never mutated) and
+/// updates the profiling counters. Call [`Tracer::finish`] when the run
+/// ends to derive spans and obtain the exportable [`TraceData`].
+#[derive(Debug, Default)]
+pub struct Tracer {
+    cursor: usize,
+    records: Vec<TraceRecord>,
+    profile: TraceProfile,
+    last_event_time: Option<SimTime>,
+}
+
+impl Tracer {
+    /// A tracer with no records yet.
+    pub fn new() -> Self {
+        Tracer {
+            cursor: 0,
+            records: Vec::new(),
+            profile: TraceProfile::new(),
+            last_event_time: None,
+        }
+    }
+
+    /// Records drained so far.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Consumes the tracer, deriving spans and packaging the trace.
+    /// `final_time` (the engine clock when the run stopped) closes any
+    /// still-open spans.
+    pub fn finish(self, final_time: SimTime) -> TraceData {
+        let spans = derive_spans(&self.records, final_time);
+        TraceData {
+            final_time,
+            records: self.records,
+            spans,
+            profile: self.profile,
+        }
+    }
+}
+
+impl<W: World + TraceSource> EventHook<W> for Tracer {
+    fn after_event(&mut self, world: &W, now: SimTime) {
+        self.profile.engine_events += 1;
+        if let Some(prev) = self.last_event_time {
+            let gap = now.saturating_since(prev);
+            self.profile.gap_micros.record(gap.as_micros() as f64);
+        }
+        self.last_event_time = Some(now);
+        let count = world.record_count();
+        while self.cursor < count {
+            let record = world.record_at(self.cursor);
+            *self.profile.kind_counts.entry(record.kind).or_insert(0) += 1;
+            self.records.push(record);
+            self.cursor += 1;
+        }
+    }
+}
+
+/// The finished trace of one run: records, derived spans, and profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceData {
+    /// Engine clock when the run stopped (closes open spans).
+    pub final_time: SimTime,
+    /// Every structured record, in emission order.
+    pub records: Vec<TraceRecord>,
+    /// Derived intervals, canonically ordered.
+    pub spans: Vec<TraceSpan>,
+    /// Profiling counters for the run.
+    pub profile: TraceProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use vr_simcore::engine::{Engine, Scheduler};
+
+    use super::*;
+
+    /// A toy world whose only reaction to an event is appending a record.
+    #[derive(Default)]
+    struct Toy {
+        log: Vec<TraceRecord>,
+    }
+
+    impl World for Toy {
+        type Event = &'static str;
+        fn handle(&mut self, sched: &mut Scheduler<'_, &'static str>, kind: &'static str) {
+            let time = sched.now();
+            self.log.push(TraceRecord {
+                time,
+                kind,
+                job: Some(1),
+                node: None,
+            });
+            if kind == "submitted" {
+                sched.schedule_in(vr_simcore::time::SimSpan::from_secs(3), "completed");
+            }
+        }
+    }
+
+    impl TraceSource for Toy {
+        fn record_count(&self) -> usize {
+            self.log.len()
+        }
+        fn record_at(&self, i: usize) -> TraceRecord {
+            self.log[i]
+        }
+    }
+
+    #[test]
+    fn tracer_drains_records_and_counts_events() {
+        let mut world = Toy::default();
+        let mut engine = Engine::new();
+        engine
+            .scheduler()
+            .schedule_at(SimTime::from_secs(1), "submitted");
+        let mut tracer = Tracer::new();
+        let stats = engine.run_until_with(&mut world, SimTime::MAX, &mut tracer);
+        let data = tracer.finish(engine.now());
+        assert_eq!(data.profile.engine_events, stats.events_processed);
+        assert_eq!(data.records.len(), 2);
+        assert_eq!(data.records[0].kind, "submitted");
+        assert_eq!(data.records[1].kind, "completed");
+        // One engine-event gap of 3 s was observed.
+        assert_eq!(data.profile.gap_micros.count(), 1);
+        // The derived job span covers submit → complete.
+        assert_eq!(
+            data.spans,
+            vec![TraceSpan {
+                name: "job",
+                start: SimTime::from_secs(1),
+                end: SimTime::from_secs(4),
+                job: Some(1),
+                node: None,
+            }]
+        );
+    }
+}

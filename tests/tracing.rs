@@ -1,0 +1,132 @@
+//! The observability layer's contracts, end to end:
+//!
+//! * horizon-truncated runs are detectable from `RunReport.run_stats`
+//!   (the regression test for the silently-discarded `RunStats` bug);
+//! * chaining observers (auditor, tracer) never perturbs the simulation —
+//!   the report is bit-identical with and without them;
+//! * trace bytes are a pure function of (plan, seed): byte-identical
+//!   across reruns, across concurrent execution, and report bytes are
+//!   byte-identical across `--jobs` worker counts on the runner.
+
+use std::sync::Arc;
+
+use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
+use vr_trace::{chrome_trace, jsonl, TraceData};
+use vrecon::report_json::encode_report;
+use vrecon_repro::prelude::*;
+
+fn small_cluster() -> ClusterParams {
+    let mut c = ClusterParams::cluster2();
+    c.nodes.truncate(8);
+    c
+}
+
+fn config(policy: PolicyKind) -> SimConfig {
+    SimConfig::new(small_cluster(), policy).with_seed(123)
+}
+
+fn blocking_trace() -> Trace {
+    synth::blocking_scenario(8, Bytes::from_mb(128))
+}
+
+#[test]
+fn truncated_runs_are_flagged_in_run_stats() {
+    let trace = blocking_trace();
+    // A one-second horizon cannot drain this workload.
+    let truncated = Simulation::new(
+        config(PolicyKind::VReconfiguration).with_max_sim_time(SimSpan::from_secs(1)),
+    )
+    .run(&trace);
+    assert!(!truncated.run_stats.drained, "run must report truncation");
+    assert!(truncated.run_stats.final_time <= SimTime::from_secs(1));
+    assert!(truncated.unfinished_jobs > 0);
+
+    // The default horizon drains it, and the stats say so.
+    let drained = Simulation::new(config(PolicyKind::VReconfiguration)).run(&trace);
+    assert!(drained.run_stats.drained);
+    assert!(drained.run_stats.events_processed > truncated.run_stats.events_processed);
+    let last_logged = drained.events.entries().last().map(|e| e.time);
+    assert!(Some(drained.run_stats.final_time) >= last_logged);
+}
+
+#[test]
+fn observers_do_not_perturb_the_simulation() {
+    let trace = blocking_trace();
+    for audit in [false, true] {
+        let plain =
+            Simulation::new(config(PolicyKind::VReconfiguration).with_audit(audit)).run(&trace);
+        let (traced, data) =
+            Simulation::new(config(PolicyKind::VReconfiguration).with_audit(audit))
+                .run_traced(&trace);
+        // Bit-identical report — the tracer saw everything, changed nothing.
+        assert_eq!(plain, traced, "audit={audit}");
+        assert!(plain.audit_violations.is_empty());
+        // The tracer mirrored the full event log.
+        assert_eq!(data.records.len(), plain.events.len());
+        assert_eq!(data.profile.engine_events, plain.run_stats.events_processed);
+        assert!(!data.spans.is_empty());
+    }
+}
+
+fn run_traced_once() -> (String, String) {
+    let trace = blocking_trace();
+    let (_, data): (RunReport, TraceData) =
+        Simulation::new(config(PolicyKind::VReconfiguration)).run_traced(&trace);
+    (chrome_trace(&data), jsonl(&data))
+}
+
+#[test]
+fn trace_bytes_are_deterministic_across_runs_and_threads() {
+    let (chrome_a, jsonl_a) = run_traced_once();
+    let (chrome_b, jsonl_b) = run_traced_once();
+    assert_eq!(chrome_a, chrome_b);
+    assert_eq!(jsonl_a, jsonl_b);
+
+    // Eight concurrent traced runs of the same scenario all produce the
+    // serial bytes: nothing host-dependent leaks into the trace.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(run_traced_once)).collect();
+        for handle in handles {
+            let (chrome, lines) = handle.join().expect("traced run panicked");
+            assert_eq!(chrome, chrome_a);
+            assert_eq!(lines, jsonl_a);
+        }
+    });
+}
+
+#[test]
+fn report_bytes_identical_across_runner_worker_counts() {
+    let trace = Arc::new(blocking_trace());
+    let plan = || -> SweepPlan {
+        [
+            PolicyKind::GLoadSharing,
+            PolicyKind::VReconfiguration,
+            PolicyKind::SuspendLargest,
+        ]
+        .into_iter()
+        .map(|policy| Scenario::new(config(policy), Arc::clone(&trace)))
+        .collect()
+    };
+    let run_with = |jobs: usize| -> Vec<String> {
+        let runner = Runner::new(SweepOptions {
+            jobs,
+            cache: ResultCache::disabled(),
+            progress: false,
+        });
+        let outcome = runner.run(&plan());
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        outcome
+            .results
+            .iter()
+            .flatten()
+            .map(|r| encode_report(&r.report))
+            .collect()
+    };
+    let serial = run_with(1);
+    let parallel = run_with(8);
+    assert_eq!(serial, parallel);
+    // The encoding carries the run stats (schema v2), so this equality
+    // also pins events_processed/drained across worker counts.
+    assert!(serial[0].contains("\"run_stats\":"));
+    assert!(serial[0].contains("\"drained\":true"));
+}
