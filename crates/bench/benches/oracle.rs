@@ -1,0 +1,43 @@
+//! Engine vs reference oracle: quantifies what the production event queue,
+//! load index, and incremental bookkeeping buy over the naive O(n²)
+//! re-scan that `vr-check` uses for differential testing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vr_check::{run_oracle, OracleSkew};
+use vr_cluster::params::ClusterParams;
+use vr_simcore::rng::SimRng;
+use vr_workload::trace::{spec_trace_scaled, TraceLevel};
+use vrecon::config::SimConfig;
+use vrecon::policy::PolicyKind;
+use vrecon::sim::Simulation;
+
+fn setup() -> (SimConfig, vr_workload::trace::Trace) {
+    let trace = spec_trace_scaled(TraceLevel::Normal, &mut SimRng::seed_from(42), 0.05);
+    let mut cluster = ClusterParams::cluster1();
+    cluster.nodes.truncate(8);
+    let config = SimConfig::new(cluster, PolicyKind::VReconfiguration).with_seed(7);
+    (config, trace)
+}
+
+fn engine_vs_oracle(c: &mut Criterion) {
+    let (config, trace) = setup();
+    let mut group = c.benchmark_group("engine_vs_oracle");
+    group.sample_size(10);
+    group.bench_function("engine_spec_normal_8_nodes", |b| {
+        b.iter(|| {
+            let report = Simulation::new(config.clone()).run(&trace);
+            black_box(report.finished_at)
+        })
+    });
+    group.bench_function("oracle_spec_normal_8_nodes", |b| {
+        b.iter(|| {
+            let report = run_oracle(&config, &trace, OracleSkew::None).unwrap();
+            black_box(report.finished_at)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_vs_oracle);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! # vr-check — independent correctness checking for the simulator
+//!
+//! Three layers of defence against a *plausibly wrong* simulator:
+//!
+//! * [`oracle`] — a deliberately naive re-implementation of the paper's
+//!   memory/queueing model ([`run_oracle`]): no event queue, no load index,
+//!   no reservation state machine — every structure is a linear-scanned
+//!   `Vec`. Differential comparison against the engine's
+//!   [`vrecon::RunReport`] (via [`vrecon::compare_reports`]) catches bugs
+//!   that live in the engine's clever data structures.
+//! * [`props`] — metamorphic properties: transformations of a scenario with
+//!   a provable effect on the report (arrival-burst permutation invariance,
+//!   CPU-speed scaling, zero-fault-plan equivalence, reconfiguration
+//!   blocking counts). These catch bugs that both implementations share.
+//! * [`fuzz`] — a deterministic scenario fuzzer with greedy shrinking
+//!   ([`run_fuzz`]): seeded random scenarios are run through engine,
+//!   oracle, and invariant auditor; any divergence is shrunk to a minimal
+//!   replayable reproducer spec.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fuzz;
+pub mod oracle;
+pub mod props;
+
+pub use fuzz::{run_fuzz, CheckScenario, FuzzOptions, FuzzOutcome};
+pub use oracle::{run_oracle, OracleSkew};

@@ -4,6 +4,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, IsTerminal, Write};
 use std::sync::Arc;
 
+use vr_check::{run_fuzz, FuzzOptions, OracleSkew};
 use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
 use vr_lint::{find_workspace_root, lint_workspace};
@@ -39,6 +40,8 @@ USAGE:
                  [--trace-seed N] [--nodes N] [--max-sim-time SECS]
                  [--format chrome|jsonl] [--out FILE] [--profile-out FILE]
   vrecon lint    [--root DIR] [--format text|json]
+  vrecon fuzz    [--iters N] [--seed N] [--jobs N] [--failures-dir DIR]
+                 [--broken-oracle]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
 
@@ -69,6 +72,14 @@ converged.
 `lint` runs the vr-lint determinism & panic-safety analyzer over the
 workspace (the root is found by walking up from the current directory, or
 taken from `--root`) and fails when any diagnostic fires.
+
+`fuzz` generates `--iters` seeded random scenarios and runs each through
+the engine, a naive reference oracle, and the invariant auditor. Any
+divergence is shrunk to a minimal reproducer and written under
+`--failures-dir` (default `fuzz-failures/`); the command fails if any
+scenario diverged. Output is byte-identical for any `--jobs` value.
+`--broken-oracle` deliberately skews the oracle's completion timestamps by
+one microsecond to prove the harness detects and shrinks a real mismatch.
 ";
 
 fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
@@ -765,6 +776,52 @@ pub fn lint(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// `vrecon fuzz` — differential fuzzing of engine vs oracle vs auditor.
+///
+/// Succeeds (summary on stdout) when every scenario agrees; on divergence
+/// the shrunk reproducers are written under `--failures-dir` and the
+/// command fails with the summary.
+pub fn fuzz(args: &Args) -> Result<String, ArgError> {
+    let opts = FuzzOptions {
+        iters: args.opt_parse::<u64>("iters")?.unwrap_or(100),
+        seed: args.opt_parse::<u64>("seed")?.unwrap_or(1),
+        jobs: args.opt_parse::<usize>("jobs")?.unwrap_or(0),
+        skew: if args.flag("broken-oracle") {
+            OracleSkew::CompletionOffByOne
+        } else {
+            OracleSkew::None
+        },
+    };
+    let failures_dir = args.opt_or("failures-dir", "fuzz-failures");
+    let outcome = run_fuzz(&opts);
+    let mut output = outcome.summary();
+    if !outcome.failures.is_empty() {
+        std::fs::create_dir_all(failures_dir)
+            .map_err(|e| ArgError(format!("cannot create {failures_dir}: {e}")))?;
+        for failure in &outcome.failures {
+            let path = format!(
+                "{failures_dir}/fuzz-{}-{}.txt",
+                opts.seed, failure.iteration
+            );
+            let mut text = failure.scenario.render();
+            text.push_str("# divergence:\n");
+            for line in failure.detail.lines() {
+                text.push_str("#   ");
+                text.push_str(line);
+                text.push('\n');
+            }
+            std::fs::write(&path, text)
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            output.push_str(&format!("  wrote {path}\n"));
+        }
+    }
+    if outcome.is_clean() {
+        Ok(output)
+    } else {
+        Err(ArgError(output))
+    }
+}
+
 /// Dispatches a subcommand.
 pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
     match subcommand {
@@ -775,6 +832,7 @@ pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
         "sweep" => sweep(args),
         "trace" => trace(args),
         "lint" => lint(args),
+        "fuzz" => fuzz(args),
         other => Err(ArgError(format!("unknown subcommand {other}\n\n{USAGE}"))),
     }
 }
@@ -787,9 +845,51 @@ mod tests {
     fn args(tokens: &[&str]) -> Args {
         Args::parse(
             tokens.iter().copied(),
-            &["netram", "csv", "log", "audit", "no-cache"],
+            &["netram", "csv", "log", "audit", "no-cache", "broken-oracle"],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn fuzz_subcommand_is_clean_and_deterministic() {
+        let one = dispatch(
+            "fuzz",
+            &args(&["--iters", "3", "--seed", "1", "--jobs", "1"]),
+        )
+        .unwrap();
+        let four = dispatch(
+            "fuzz",
+            &args(&["--iters", "3", "--seed", "1", "--jobs", "4"]),
+        )
+        .unwrap();
+        assert_eq!(one, four);
+        assert!(one.contains("divergences=0"), "{one}");
+    }
+
+    #[test]
+    fn fuzz_broken_oracle_fails_and_writes_reproducers() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-fuzz-{}", std::process::id()));
+        let dir_str = dir.to_str().unwrap();
+        let err = dispatch(
+            "fuzz",
+            &args(&[
+                "--iters",
+                "2",
+                "--seed",
+                "1",
+                "--jobs",
+                "2",
+                "--failures-dir",
+                dir_str,
+                "--broken-oracle",
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.0.contains("divergences="), "{err}");
+        assert!(!err.0.contains("divergences=0"), "{err}");
+        let written: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(!written.is_empty(), "no reproducer files written");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -18,7 +18,16 @@ use args::Args;
 use commands::{dispatch, USAGE};
 
 /// Options that are flags (take no value).
-const FLAGS: &[&str] = &["netram", "csv", "log", "gantt", "audit", "no-cache", "help"];
+const FLAGS: &[&str] = &[
+    "netram",
+    "csv",
+    "log",
+    "gantt",
+    "audit",
+    "no-cache",
+    "broken-oracle",
+    "help",
+];
 
 /// Prints to stdout, treating a broken pipe (e.g. `vrecon ... | head`) as a
 /// clean exit instead of a panic.

@@ -1,0 +1,407 @@
+//! Differential comparison of two [`RunReport`]s.
+//!
+//! The `vr-check` crate re-implements the memory/queueing model as a
+//! deliberately naive oracle and needs a principled way to ask "did the
+//! engine and the oracle measure the same run?". A bare `PartialEq` is the
+//! wrong tool for that question:
+//!
+//! * floating-point accumulators (time breakdowns, gauge values, delivered
+//!   CPU) may differ in the last ulps when two implementations sum the same
+//!   series in a different association, so those fields need a tolerance;
+//! * integer-valued fields (event counts, ids, completion timestamps in
+//!   integer microseconds) must match **exactly** — any slack there would
+//!   hide real scheduling divergences;
+//! * some fields are intentionally out of scope for the oracle (the full
+//!   event log, engine `run_stats`, audit output) and must be ignored.
+//!
+//! [`compare_reports`] encodes that field-by-field contract and returns a
+//! [`ReportDiff`] listing every mismatch with enough detail to start
+//! debugging from the rendered text alone.
+
+use crate::report::RunReport;
+use vr_simcore::series::TimeSeries;
+
+/// One mismatching field between two reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDiff {
+    /// Dotted path of the mismatching field, e.g. `jobs[3].breakdown.cpu`.
+    pub field: String,
+    /// Human-readable `engine vs oracle` detail.
+    pub detail: String,
+}
+
+/// The outcome of comparing two reports: empty means they agree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReportDiff {
+    /// Every mismatching field, in declaration order of the report.
+    pub diffs: Vec<FieldDiff>,
+}
+
+impl ReportDiff {
+    /// `true` if the reports agreed on every compared field.
+    pub fn is_match(&self) -> bool {
+        self.diffs.is_empty()
+    }
+
+    /// Number of mismatching fields.
+    pub fn len(&self) -> usize {
+        self.diffs.len()
+    }
+
+    /// `true` if there are no mismatches (same as [`is_match`]).
+    ///
+    /// [`is_match`]: ReportDiff::is_match
+    pub fn is_empty(&self) -> bool {
+        self.diffs.is_empty()
+    }
+
+    /// Renders all mismatches as one line per field.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for diff in &self.diffs {
+            out.push_str(&diff.field);
+            out.push_str(": ");
+            out.push_str(&diff.detail);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Collects mismatches while walking the two reports.
+struct Differ {
+    diffs: Vec<FieldDiff>,
+    tol: f64,
+}
+
+impl Differ {
+    fn push(&mut self, field: String, detail: String) {
+        self.diffs.push(FieldDiff { field, detail });
+    }
+
+    fn exact<T: PartialEq + std::fmt::Debug>(&mut self, field: &str, a: &T, b: &T) {
+        if a != b {
+            self.push(field.to_owned(), format!("{a:?} vs {b:?}"));
+        }
+    }
+
+    /// Mixed absolute/relative tolerance: fields are seconds or megabytes,
+    /// so `tol * (1 + max(|a|,|b|))` absorbs both tiny-magnitude noise and
+    /// last-ulp drift on large accumulators.
+    fn approx(&mut self, field: &str, a: f64, b: f64) {
+        let scale = 1.0 + a.abs().max(b.abs());
+        if (a - b).abs() > self.tol * scale || a.is_nan() != b.is_nan() {
+            self.push(field.to_owned(), format!("{a:?} vs {b:?}"));
+        }
+    }
+
+    fn series(&mut self, field: &str, a: &TimeSeries, b: &TimeSeries) {
+        if a.len() != b.len() {
+            self.push(
+                format!("{field}.len"),
+                format!("{} vs {} samples", a.len(), b.len()),
+            );
+            return;
+        }
+        for (i, ((ta, va), (tb, vb))) in a.iter().zip(b.iter()).enumerate() {
+            self.exact(&format!("{field}[{i}].time"), &ta, &tb);
+            self.approx(&format!("{field}[{i}].value"), va, vb);
+        }
+    }
+}
+
+/// Compares an engine report against an oracle report field by field.
+///
+/// Exactly compared: trace name, policy, seed, job identity fields (id,
+/// completion time, migration count, remote-submission flag, state),
+/// scheduler counters, reservation stats, fault counters, integer node
+/// counters, gauge sample times, `finished_at`, and `unfinished_jobs`.
+///
+/// Compared within `tol` (mixed absolute/relative): per-job time
+/// breakdowns and progress, summary aggregates, floating-point node
+/// counters, and gauge values.
+///
+/// Ignored: the event log, engine `run_stats`, and audit violations —
+/// the oracle produces none of these by design.
+pub fn compare_reports(engine: &RunReport, oracle: &RunReport, tol: f64) -> ReportDiff {
+    let mut d = Differ {
+        diffs: Vec::new(),
+        tol,
+    };
+
+    d.exact("trace_name", &engine.trace_name, &oracle.trace_name);
+    d.exact("policy", &engine.policy, &oracle.policy);
+    d.exact("seed", &engine.seed, &oracle.seed);
+
+    d.exact("jobs.len", &engine.jobs.len(), &oracle.jobs.len());
+    for (i, (a, b)) in engine.jobs.iter().zip(oracle.jobs.iter()).enumerate() {
+        d.exact(&format!("jobs[{i}].id"), &a.id(), &b.id());
+        d.exact(
+            &format!("jobs[{i}].completed_at"),
+            &a.completed_at,
+            &b.completed_at,
+        );
+        d.exact(
+            &format!("jobs[{i}].migrations"),
+            &a.migrations,
+            &b.migrations,
+        );
+        d.exact(
+            &format!("jobs[{i}].remote_submitted"),
+            &a.remote_submitted,
+            &b.remote_submitted,
+        );
+        d.exact(&format!("jobs[{i}].state"), &a.state, &b.state);
+        d.approx(
+            &format!("jobs[{i}].progress_secs"),
+            a.progress_secs,
+            b.progress_secs,
+        );
+        d.approx(
+            &format!("jobs[{i}].breakdown.cpu"),
+            a.breakdown.cpu,
+            b.breakdown.cpu,
+        );
+        d.approx(
+            &format!("jobs[{i}].breakdown.page"),
+            a.breakdown.page,
+            b.breakdown.page,
+        );
+        d.approx(
+            &format!("jobs[{i}].breakdown.queue"),
+            a.breakdown.queue,
+            b.breakdown.queue,
+        );
+        d.approx(
+            &format!("jobs[{i}].breakdown.migration"),
+            a.breakdown.migration,
+            b.breakdown.migration,
+        );
+    }
+
+    d.exact("summary.jobs", &engine.summary.jobs, &oracle.summary.jobs);
+    d.exact(
+        "summary.migrations",
+        &engine.summary.migrations,
+        &oracle.summary.migrations,
+    );
+    d.exact(
+        "summary.remote_submissions",
+        &engine.summary.remote_submissions,
+        &oracle.summary.remote_submissions,
+    );
+    d.approx(
+        "summary.totals.cpu",
+        engine.summary.totals.cpu,
+        oracle.summary.totals.cpu,
+    );
+    d.approx(
+        "summary.totals.page",
+        engine.summary.totals.page,
+        oracle.summary.totals.page,
+    );
+    d.approx(
+        "summary.totals.queue",
+        engine.summary.totals.queue,
+        oracle.summary.totals.queue,
+    );
+    d.approx(
+        "summary.totals.migration",
+        engine.summary.totals.migration,
+        oracle.summary.totals.migration,
+    );
+    d.approx(
+        "summary.avg_slowdown",
+        engine.summary.avg_slowdown,
+        oracle.summary.avg_slowdown,
+    );
+    d.approx(
+        "summary.median_slowdown",
+        engine.summary.median_slowdown,
+        oracle.summary.median_slowdown,
+    );
+    d.approx(
+        "summary.p95_slowdown",
+        engine.summary.p95_slowdown,
+        oracle.summary.p95_slowdown,
+    );
+
+    d.series(
+        "gauges.idle_memory_mb",
+        &engine.gauges.idle_memory_mb,
+        &oracle.gauges.idle_memory_mb,
+    );
+    d.series(
+        "gauges.physical_idle_memory_mb",
+        &engine.gauges.physical_idle_memory_mb,
+        &oracle.gauges.physical_idle_memory_mb,
+    );
+    d.series(
+        "gauges.balance_skew",
+        &engine.gauges.balance_skew,
+        &oracle.gauges.balance_skew,
+    );
+    d.series(
+        "gauges.reserved_nodes",
+        &engine.gauges.reserved_nodes,
+        &oracle.gauges.reserved_nodes,
+    );
+    d.series(
+        "gauges.pending_jobs",
+        &engine.gauges.pending_jobs,
+        &oracle.gauges.pending_jobs,
+    );
+
+    d.exact("counters", &engine.counters, &oracle.counters);
+    d.exact("reservations", &engine.reservations, &oracle.reservations);
+    d.exact("faults", &engine.faults, &oracle.faults);
+
+    d.exact(
+        "node_counters.len",
+        &engine.node_counters.len(),
+        &oracle.node_counters.len(),
+    );
+    for (i, (a, b)) in engine
+        .node_counters
+        .iter()
+        .zip(oracle.node_counters.iter())
+        .enumerate()
+    {
+        d.exact(
+            &format!("node_counters[{i}].admitted"),
+            &a.admitted,
+            &b.admitted,
+        );
+        d.exact(
+            &format!("node_counters[{i}].completed"),
+            &a.completed,
+            &b.completed,
+        );
+        d.exact(
+            &format!("node_counters[{i}].migrated_out"),
+            &a.migrated_out,
+            &b.migrated_out,
+        );
+        d.approx(
+            &format!("node_counters[{i}].delivered_cpu"),
+            a.delivered_cpu,
+            b.delivered_cpu,
+        );
+        d.approx(
+            &format!("node_counters[{i}].page_stall"),
+            a.page_stall,
+            b.page_stall,
+        );
+        d.approx(&format!("node_counters[{i}].io_ops"), a.io_ops, b.io_ops);
+    }
+
+    d.exact("finished_at", &engine.finished_at, &oracle.finished_at);
+    d.exact(
+        "unfinished_jobs",
+        &engine.unfinished_jobs,
+        &oracle.unfinished_jobs,
+    );
+
+    ReportDiff { diffs: d.diffs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile, RunningJob};
+    use vr_cluster::units::Bytes;
+    use vr_simcore::time::{SimSpan, SimTime};
+
+    fn sample_report() -> RunReport {
+        let mut job = RunningJob::new(JobSpec {
+            id: JobId(0),
+            name: "j".to_owned(),
+            class: JobClass::CpuIntensive,
+            submit: SimTime::ZERO,
+            cpu_work: SimSpan::from_secs(10),
+            memory: MemoryProfile::constant(Bytes::from_mb(16)),
+            io_rate: 0.0,
+        });
+        job.breakdown.cpu = 10.0;
+        job.completed_at = Some(SimTime::from_secs(10));
+        let jobs = vec![job];
+        RunReport {
+            trace_name: "t".to_owned(),
+            policy: PolicyKind::GLoadSharing,
+            seed: 7,
+            summary: vr_metrics::summary::WorkloadSummary::of_jobs(jobs.iter()),
+            jobs,
+            gauges: Default::default(),
+            counters: Default::default(),
+            reservations: Default::default(),
+            node_counters: vec![Default::default()],
+            events: Default::default(),
+            finished_at: SimTime::from_secs(10),
+            run_stats: Default::default(),
+            unfinished_jobs: 0,
+            faults: Default::default(),
+            audit_violations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_match() {
+        let a = sample_report();
+        let diff = compare_reports(&a, &a.clone(), 1e-9);
+        assert!(diff.is_match(), "unexpected diffs:\n{}", diff.render());
+        assert!(diff.is_empty());
+        assert_eq!(diff.len(), 0);
+    }
+
+    #[test]
+    fn float_drift_within_tolerance_matches() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.jobs[0].breakdown.cpu += 1e-12;
+        b.summary.totals.cpu += 1e-12;
+        assert!(compare_reports(&a, &b, 1e-9).is_match());
+    }
+
+    #[test]
+    fn float_drift_beyond_tolerance_diffs() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.jobs[0].breakdown.cpu += 1e-3;
+        let diff = compare_reports(&a, &b, 1e-9);
+        assert!(!diff.is_match());
+        assert_eq!(diff.diffs[0].field, "jobs[0].breakdown.cpu");
+        assert!(diff.render().contains("jobs[0].breakdown.cpu"));
+    }
+
+    #[test]
+    fn integer_fields_have_no_slack() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.jobs[0].completed_at = Some(SimTime::from_micros(10_000_001));
+        assert!(!compare_reports(&a, &b, 1.0).is_match());
+
+        let mut c = a.clone();
+        c.counters.local_submissions = 1;
+        let diff = compare_reports(&a, &c, 1.0);
+        assert_eq!(diff.diffs[0].field, "counters");
+    }
+
+    #[test]
+    fn event_log_and_run_stats_are_ignored() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.run_stats.events_processed = 999;
+        b.audit_violations.push("ignored".to_owned());
+        assert!(compare_reports(&a, &b, 1e-9).is_match());
+    }
+
+    #[test]
+    fn job_count_mismatch_is_reported() {
+        let a = sample_report();
+        let mut b = a.clone();
+        b.jobs.clear();
+        let diff = compare_reports(&a, &b, 1e-9);
+        assert!(diff.render().contains("jobs.len"));
+    }
+}

@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod compare;
 pub mod config;
 pub mod events;
 pub mod policy;
@@ -54,6 +55,7 @@ pub mod reservation;
 pub mod sim;
 
 pub use audit::InvariantAuditor;
+pub use compare::{compare_reports, FieldDiff, ReportDiff};
 pub use config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
 pub use events::{EventLog, SchedulerEvent, SchedulerEventKind};
 pub use policy::{Placement, PolicyKind};

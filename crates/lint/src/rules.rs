@@ -12,7 +12,7 @@ use crate::lexer::{Tok, TokKind};
 /// Crates whose output must be a pure function of `(plan, seed)`. The
 /// cross-`--jobs` byte-equality tests and the golden figures rest on this.
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "cluster", "core", "faults", "metrics", "simcore", "trace", "workload",
+    "check", "cluster", "core", "faults", "metrics", "simcore", "trace", "workload",
 ];
 
 /// Crates allowed to read wall clocks (orchestration / reporting layer).

@@ -6,8 +6,10 @@
 //! same instant fire in the order they were scheduled.
 //!
 //! Cancellation is lazy: [`EventQueue::cancel`] marks the entry dead and the
-//! queue skips it on pop, so cancelling is O(1) and popping stays O(log n)
-//! amortized.
+//! queue skips it on pop, so cancelling is O(1) amortized and popping stays
+//! O(log n) amortized. When dead entries outnumber half the live ones the
+//! queue compacts, rebuilding the heap without them, so cancel-heavy
+//! workloads cannot grow the heap without bound.
 //!
 //! ```
 //! use vr_simcore::event::EventQueue;
@@ -112,10 +114,29 @@ impl<E> EventQueue<E> {
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
         if self.pending.remove(&handle.0) {
             self.cancelled.insert(handle.0);
+            self.maybe_compact();
             true
         } else {
             false
         }
+    }
+
+    /// Rebuilds the heap without cancelled entries once they outnumber half
+    /// the live ones.
+    ///
+    /// The O(n) rebuild is amortized: after a compaction the dead set is
+    /// empty, and since `2 · dead > live` gates the rebuild its cost is at
+    /// most ~3× the number of cancels performed since the previous one.
+    fn maybe_compact(&mut self) {
+        if self.cancelled.len() * 2 <= self.pending.len() {
+            return;
+        }
+        let kept: BinaryHeap<Reverse<Entry<E>>> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|Reverse(entry)| !self.cancelled.contains(&entry.seq))
+            .collect();
+        self.heap = kept;
+        self.cancelled.clear();
     }
 
     /// Removes and returns the earliest pending event.
@@ -125,6 +146,9 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.pending.remove(&entry.seq);
+            // Popping shrinks the live count, so the dead ratio can cross
+            // the compaction threshold here too, not just on cancel.
+            self.maybe_compact();
             return Some((entry.time, entry.event));
         }
         None
@@ -152,6 +176,16 @@ impl<E> EventQueue<E> {
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
+    }
+
+    /// The number of entries physically held by the backing heap, including
+    /// lazily-cancelled ones awaiting compaction.
+    ///
+    /// Always at least [`len`](Self::len); the compaction policy keeps the
+    /// excess bounded by `len() / 2`. Exposed so external checkers can assert
+    /// the queue does not grow without bound under heavy cancellation.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// Drops every pending event.
@@ -254,6 +288,57 @@ mod tests {
         assert!(!q.cancel(h));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some((t(2), "still pending")));
+    }
+
+    #[test]
+    fn heavy_cancellation_compacts_heap() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..1_000).map(|i| q.schedule(t(i), i)).collect();
+        for h in &handles[..900] {
+            assert!(q.cancel(*h));
+        }
+        assert_eq!(q.len(), 100);
+        // Compaction keeps dead heap entries bounded by half the live count;
+        // without it the heap would still hold all 1 000 entries.
+        assert!(
+            q.heap_len() - q.len() <= q.len() / 2,
+            "heap holds {} entries for {} live events",
+            q.heap_len(),
+            q.len()
+        );
+        // Survivors still pop in (time, seq) order.
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (900..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelling_everything_empties_the_heap() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..64).map(|i| q.schedule(t(i % 7), i)).collect();
+        for h in handles {
+            assert!(q.cancel(h));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.heap_len(), 0, "cancelled entries must not linger");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn compaction_preserves_handle_semantics() {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..10).map(|i| q.schedule(t(i), i)).collect();
+        for h in &handles[..8] {
+            assert!(q.cancel(*h));
+        }
+        // Cancelled handles stay dead after the compaction that just ran.
+        for h in &handles[..8] {
+            assert!(!q.cancel(*h));
+        }
+        // Live handles are still cancellable exactly once.
+        assert!(q.cancel(handles[8]));
+        assert!(!q.cancel(handles[8]));
+        assert_eq!(q.pop(), Some((t(9), 9)));
+        assert!(q.pop().is_none());
     }
 
     #[test]

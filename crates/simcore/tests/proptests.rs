@@ -53,6 +53,72 @@ proptest! {
         prop_assert_eq!(popped, kept);
     }
 
+    /// Model-based check: random interleavings of schedule/cancel/pop/peek
+    /// behave exactly like a naive sorted-`Vec` reference model, and the
+    /// compaction policy keeps dead heap entries bounded throughout.
+    #[test]
+    fn queue_matches_vec_model(ops in prop::collection::vec((0u8..4, 0u64..500u64), 1..300)) {
+        let mut q = EventQueue::new();
+        // Reference model: live events as (time, seq, payload), scanned
+        // linearly for the (time, seq) minimum. Handles ever issued are kept
+        // so cancel can target fired/cancelled ones too.
+        let mut model: Vec<(u64, u64, usize)> = Vec::new();
+        let mut issued = Vec::new();
+        let mut next_payload = 0usize;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let h = q.schedule(SimTime::from_micros(arg), next_payload);
+                    model.push((arg, issued.len() as u64, next_payload));
+                    issued.push(h);
+                    next_payload += 1;
+                }
+                1 => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let pick = arg as usize % issued.len();
+                    let seq = pick as u64;
+                    let live = model.iter().any(|&(_, s, _)| s == seq);
+                    prop_assert_eq!(q.cancel(issued[pick]), live);
+                    model.retain(|&(_, s, _)| s != seq);
+                }
+                2 => {
+                    let expected = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s, _))| (t, s))
+                        .map(|(i, _)| i);
+                    let expected = expected.map(|i| {
+                        let (t, _, p) = model.remove(i);
+                        (SimTime::from_micros(t), p)
+                    });
+                    prop_assert_eq!(q.pop(), expected);
+                }
+                _ => {
+                    let expected = model.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| {
+                        SimTime::from_micros(t)
+                    });
+                    prop_assert_eq!(q.peek_time(), expected);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.is_empty(), model.is_empty());
+            prop_assert!(
+                q.heap_len() <= model.len() + model.len() / 2 + 1,
+                "heap grew to {} entries for {} live events",
+                q.heap_len(),
+                model.len()
+            );
+        }
+        // Drain: whatever is left pops in exact (time, seq) order.
+        model.sort_by_key(|&(t, s, _)| (t, s));
+        let drained: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_micros(), p))).collect();
+        let expected: Vec<(u64, usize)> = model.iter().map(|&(t, _, p)| (t, p)).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
     /// Welford statistics agree with the naive two-pass computation.
     #[test]
     fn welford_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {

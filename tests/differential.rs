@@ -1,0 +1,88 @@
+//! Differential testing: the engine vs the naive reference oracle.
+//!
+//! `vr_check::run_oracle` re-implements the paper's model with linear scans
+//! and no clever data structures (no event heap, no load index, no
+//! reservation state machine). Here both implementations run the paper's
+//! workload-group scenarios and the reports must agree field-for-field —
+//! completion timestamps, per-job breakdowns, scheduler counters,
+//! reservation stats, gauges, fault counters — within exact-integer /
+//! tiny-float tolerance. A deliberately skewed oracle proves the differ
+//! actually fails on a mismatch.
+
+use vr_check::{run_oracle, OracleSkew};
+use vr_workload::trace::{spec_trace_scaled, TraceLevel};
+use vrecon_repro::prelude::*;
+
+const NODES: usize = 8;
+const TRACE_SEED: u64 = 42;
+const SCHED_SEED: u64 = 7;
+const LIFETIME_SCALE: f64 = 0.05;
+
+fn reduced_cluster() -> ClusterParams {
+    let mut cluster = ClusterParams::cluster1();
+    cluster.nodes.truncate(NODES);
+    cluster
+}
+
+fn check_level(level: TraceLevel, policy: PolicyKind) {
+    let trace = spec_trace_scaled(level, &mut SimRng::seed_from(TRACE_SEED), LIFETIME_SCALE);
+    let config = SimConfig::new(reduced_cluster(), policy).with_seed(SCHED_SEED);
+    let engine = Simulation::new(config.clone()).run(&trace);
+    let oracle = run_oracle(&config, &trace, OracleSkew::None)
+        .unwrap_or_else(|e| panic!("{level:?}/{policy}: oracle rejected scenario: {e}"));
+    let diff = compare_reports(&engine, &oracle, 1e-9);
+    assert!(
+        diff.is_match(),
+        "{level:?}/{policy}: engine and oracle diverged:\n{}",
+        diff.render()
+    );
+}
+
+#[test]
+fn engine_matches_oracle_fig1_light_load() {
+    check_level(TraceLevel::Light, PolicyKind::GLoadSharing);
+    check_level(TraceLevel::Light, PolicyKind::VReconfiguration);
+}
+
+#[test]
+fn engine_matches_oracle_fig1_normal_load() {
+    check_level(TraceLevel::Normal, PolicyKind::GLoadSharing);
+    check_level(TraceLevel::Normal, PolicyKind::VReconfiguration);
+}
+
+#[test]
+fn engine_matches_oracle_fig2_highly_intensive_load() {
+    check_level(TraceLevel::HighlyIntensive, PolicyKind::GLoadSharing);
+    check_level(TraceLevel::HighlyIntensive, PolicyKind::VReconfiguration);
+}
+
+/// The negative control: a differ that cannot fail proves nothing. With
+/// the oracle's completion timestamps skewed by one microsecond, the
+/// comparison must report a divergence on every completed job.
+#[test]
+fn skewed_oracle_is_detected() {
+    let trace = spec_trace_scaled(
+        TraceLevel::Light,
+        &mut SimRng::seed_from(TRACE_SEED),
+        LIFETIME_SCALE,
+    );
+    let config = SimConfig::new(reduced_cluster(), PolicyKind::GLoadSharing).with_seed(SCHED_SEED);
+    let engine = Simulation::new(config.clone()).run(&trace);
+    let skewed = run_oracle(&config, &trace, OracleSkew::CompletionOffByOne).unwrap();
+    let diff = compare_reports(&engine, &skewed, 1e-9);
+    assert!(
+        !diff.is_match(),
+        "the skewed oracle must diverge from the engine"
+    );
+    let completed = engine
+        .jobs
+        .iter()
+        .filter(|j| j.completed_at.is_some())
+        .count();
+    assert!(completed > 0, "scenario completed no jobs");
+    assert!(
+        diff.render().contains("completed_at"),
+        "divergence must name the skewed field:\n{}",
+        diff.render()
+    );
+}

@@ -2,12 +2,44 @@
 //! reduced (fast) configurations. The quantitative reproduction lives in
 //! the `vr-bench` binaries and `EXPERIMENTS.md`.
 
+use vr_check::props;
 use vrecon_repro::prelude::*;
 
 fn cluster(nodes: usize) -> ClusterParams {
     let mut c = ClusterParams::cluster2();
     c.nodes.truncate(nodes);
     c
+}
+
+fn cluster1(nodes: usize) -> ClusterParams {
+    let mut c = ClusterParams::cluster1();
+    c.nodes.truncate(nodes);
+    c
+}
+
+/// Bursts of physically identical jobs: `(submit_secs, count, work_secs,
+/// ws_mb)` per burst. Within a burst only the names differ, which is the
+/// precondition for the arrival-permutation property.
+fn burst_trace(bursts: &[(u64, usize, u64, u64)]) -> Trace {
+    let mut jobs = Vec::new();
+    for &(submit_s, count, work_s, ws_mb) in bursts {
+        for _ in 0..count {
+            let id = jobs.len() as u64;
+            jobs.push(JobSpec {
+                id: JobId(id),
+                name: format!("burst-{id}"),
+                class: JobClass::CpuIntensive,
+                submit: SimTime::from_secs(submit_s),
+                cpu_work: SimSpan::from_secs(work_s),
+                memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
+                io_rate: 0.0,
+            });
+        }
+    }
+    Trace {
+        name: "Synth-Bursts".into(),
+        jobs,
+    }
 }
 
 fn run(c: ClusterParams, policy: PolicyKind, trace: &Trace) -> RunReport {
@@ -233,4 +265,56 @@ fn claim_network_ram_helps_oversized_jobs() {
         netram < disk,
         "network RAM should help the oversized job: {netram:.2} vs {disk:.2}"
     );
+}
+
+/// Metamorphic check for workload group 1 (cluster 1, large-memory nodes):
+/// uniformly scaling every CPU's speed rescales the whole trajectory in
+/// time — completions move by exactly `1/factor` while CPU and page-stall
+/// breakdowns stay invariant. A modelling error that couples wall-clock
+/// time into progress space (or vice versa) breaks this relation.
+#[test]
+fn metamorphic_cpu_speed_scaling_group1() {
+    let trace = burst_trace(&[(0, 8, 240, 48)]);
+    let config = SimConfig::new(cluster1(4), PolicyKind::NoLoadSharing).with_seed(7);
+    for factor in [0.5, 2.0] {
+        props::cpu_speed_scaling(&config, &trace, factor)
+            .unwrap_or_else(|e| panic!("cluster1, factor {factor}: {e}"));
+    }
+}
+
+/// The same speed-scaling relation for workload group 2 (cluster 2,
+/// memory-constrained nodes) — here the jobs overflow user memory enough
+/// to page, so the invariance of the page-stall component is exercised,
+/// not just trivially zero.
+#[test]
+fn metamorphic_cpu_speed_scaling_group2() {
+    let trace = burst_trace(&[(0, 8, 240, 48)]);
+    let config = SimConfig::new(cluster(4), PolicyKind::NoLoadSharing).with_seed(7);
+    for factor in [0.5, 2.0] {
+        props::cpu_speed_scaling(&config, &trace, factor)
+            .unwrap_or_else(|e| panic!("cluster2, factor {factor}: {e}"));
+    }
+}
+
+/// Metamorphic check for workload group 1: permuting physically identical
+/// jobs within each arrival burst cannot change any compared report field
+/// under V-Reconfiguration — the scheduler may not key decisions off job
+/// identity, only off the resources a job demands.
+#[test]
+fn metamorphic_arrival_permutation_group1() {
+    let trace = burst_trace(&[(0, 6, 180, 96), (60, 6, 180, 96), (120, 6, 180, 96)]);
+    let config = SimConfig::new(cluster1(4), PolicyKind::VReconfiguration).with_seed(7);
+    props::arrival_burst_permutation_invariance(&config, &trace, 17)
+        .unwrap_or_else(|e| panic!("cluster1: {e}"));
+}
+
+/// The same permutation invariance on workload group 2, where 48 MB bursts
+/// against 128 MB nodes drive overload migrations and reservations — the
+/// reconfiguration machinery itself must also be identity-blind.
+#[test]
+fn metamorphic_arrival_permutation_group2() {
+    let trace = burst_trace(&[(0, 6, 180, 48), (60, 6, 180, 48), (120, 6, 180, 48)]);
+    let config = SimConfig::new(cluster(4), PolicyKind::VReconfiguration).with_seed(7);
+    props::arrival_burst_permutation_invariance(&config, &trace, 17)
+        .unwrap_or_else(|e| panic!("cluster2: {e}"));
 }
