@@ -1,13 +1,18 @@
-//! Engine vs reference oracle: quantifies what the production event queue,
-//! load index, and incremental bookkeeping buy over the naive O(n²)
-//! re-scan that `vr-check` uses for differential testing.
+//! Engine micro-bench suite: engine vs reference oracle (what the
+//! production event queue, load index, and incremental bookkeeping buy
+//! over the naive O(n²) re-scan `vr-check` uses for differential
+//! testing), plus per-level engine replays of the exact scenarios that
+//! back `BENCH_engine.json` (the `engine_bench` binary emits the JSON
+//! artifact; this bench keeps the same hot paths visible to
+//! `cargo bench`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vr_bench::{SIM_SEED, TRACE_SEED};
 use vr_check::{run_oracle, OracleSkew};
 use vr_cluster::params::ClusterParams;
 use vr_simcore::rng::SimRng;
-use vr_workload::trace::{spec_trace_scaled, TraceLevel};
+use vr_workload::trace::{spec_trace_scaled, TraceLevel, SPEC_LIFETIME_SCALE};
 use vrecon::config::SimConfig;
 use vrecon::policy::PolicyKind;
 use vrecon::sim::Simulation;
@@ -39,5 +44,36 @@ fn engine_vs_oracle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_vs_oracle);
+/// The five spec-trace replays measured by `engine_bench` / the
+/// `bench-gate` CI job, as plain Criterion benches: full 32-node cluster 1,
+/// V-Reconfiguration, CLI-default seeds.
+fn engine_per_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_per_level");
+    group.sample_size(10);
+    for (no, level) in [
+        (1, TraceLevel::Light),
+        (2, TraceLevel::Moderate),
+        (3, TraceLevel::Normal),
+        (4, TraceLevel::ModeratelyIntensive),
+        (5, TraceLevel::HighlyIntensive),
+    ] {
+        let trace = spec_trace_scaled(
+            level,
+            &mut SimRng::seed_from(TRACE_SEED),
+            SPEC_LIFETIME_SCALE,
+        );
+        let config = SimConfig::new(ClusterParams::cluster1(), PolicyKind::VReconfiguration)
+            .with_seed(SIM_SEED);
+        let sim = Simulation::new(config);
+        group.bench_function(format!("spec_level_{no}"), |b| {
+            b.iter(|| {
+                let report = sim.run(&trace);
+                black_box(report.run_stats.events_processed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_vs_oracle, engine_per_level);
 criterion_main!(benches);

@@ -363,9 +363,23 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
     let mut t = 0u64;
     let jobs: Vec<ScenarioJob> = (0..n_jobs)
         .map(|_| {
-            // Bursty arrivals: ~40% of jobs share the previous instant.
-            if rng.uniform() >= 0.4 {
+            // The arrival process is shaped to stress the calendar event
+            // queue: ~40% of jobs share the previous instant (event-dense
+            // bursts piling onto one calendar slot), ~10% follow within a
+            // sub-second jitter (adjacent-slot density), most of the rest
+            // spread over tens of seconds inside the calendar's wheel
+            // horizon, and an occasional far jump lands beyond it —
+            // exercising slot-colliding sorted inserts and the empty-span
+            // min-scan fallback (the bucket-overflow path).
+            let roll = rng.uniform();
+            if roll < 0.4 {
+                // same instant as the previous job
+            } else if roll < 0.5 {
+                t += 1 + rng.index(999_999) as u64;
+            } else if roll < 0.92 {
                 t += rng.index(30_000_000) as u64;
+            } else {
+                t += 1_100_000_000 + rng.index(500_000_000) as u64;
             }
             ScenarioJob {
                 submit_us: t,

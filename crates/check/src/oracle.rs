@@ -442,6 +442,11 @@ struct Oracle {
     finished_at: SimTime,
     faults: Option<FaultInjector>,
     stalled: Vec<u32>,
+    /// Nodes currently in the detected-blocking state, mirroring the
+    /// engine's edge-triggered `blocking_detections` counting: the counter
+    /// fires only when a node enters this list, and the node leaves it as
+    /// soon as an overload scan no longer finds it blocked.
+    blocked_nodes: Vec<u32>,
     /// The unsorted future-event list, popped by linear (time, seq) scan.
     events: Vec<(SimTime, u64, Ev)>,
     seq: u64,
@@ -517,6 +522,7 @@ pub fn run_oracle(
             .clone()
             .map(|plan| FaultInjector::new(plan, config.seed)),
         stalled: Vec::new(),
+        blocked_nodes: Vec::new(),
         events: Vec::new(),
         seq: 0,
     };
@@ -981,14 +987,17 @@ impl Oracle {
         for i in 0..self.nodes.len() {
             let src = i as u32;
             if self.nodes[i].reserved || !self.nodes[i].up {
+                self.blocked_nodes.retain(|n| *n != src);
                 continue;
             }
             let user = self.nodes[i].params.memory.user;
             let threshold = self.config.overload_bytes(user);
             if self.nodes[i].overflow() <= threshold {
+                self.blocked_nodes.retain(|n| *n != src);
                 continue;
             }
             let Some(victim) = self.nodes[i].most_memory_intensive() else {
+                self.blocked_nodes.retain(|n| *n != src);
                 continue;
             };
             let victim_id = victim.id();
@@ -1006,11 +1015,17 @@ impl Oracle {
                 .map(|e| e.node);
             match dest {
                 Some(dst) => {
+                    self.blocked_nodes.retain(|n| *n != src);
                     self.start_migration(src, victim_id, dst, false, now);
                     self.counters.overload_migrations += 1;
                 }
                 None => {
-                    self.counters.blocking_detections += 1;
+                    // Edge-triggered, mirroring the engine: count only when
+                    // the node newly enters the blocked state.
+                    if !self.blocked_nodes.contains(&src) {
+                        self.blocked_nodes.push(src);
+                        self.counters.blocking_detections += 1;
+                    }
                     if self.config.policy.reconfigures() {
                         self.reconfigure(src, now);
                     } else if self.config.policy.suspends_on_blocking()

@@ -171,6 +171,25 @@ impl MemoryProfile {
             .find(|b| *b > progress && *b != SimSpan::MAX)
     }
 
+    /// The phase containing `progress`, as `(phase end, working set)` —
+    /// `working_set_at` and its validity horizon in one walk. Boundaries are
+    /// strictly increasing, so the first phase with `progress` strictly
+    /// before its end is the active one; past the last boundary the final
+    /// phase extends forever.
+    pub fn phase_at(&self, progress: SimSpan) -> (SimSpan, Bytes) {
+        for phase in &self.phases {
+            if progress < phase.until_progress {
+                return (phase.until_progress, phase.working_set);
+            }
+        }
+        let last = self
+            .phases
+            .last()
+            // vr-lint::allow(panic-in-lib, reason = "MemoryProfile construction rejects empty phase lists")
+            .expect("profile is never empty");
+        (SimSpan::MAX, last.working_set)
+    }
+
     /// The largest working set over the whole profile (the "working set"
     /// column of the paper's Tables 1–2).
     pub fn max_working_set(&self) -> Bytes {
@@ -280,6 +299,22 @@ pub enum JobState {
     Completed,
 }
 
+/// Memo of the memory phase a job's progress currently sits in, as
+/// `(phase end, working set)`. Purely derived state: progress is monotonic
+/// and phases are piecewise-constant with strictly increasing ends, so a
+/// cached phase stays the correct answer for every later progress value
+/// below its end. Interior-mutable so `&self` readers can fill it; skipped
+/// by serde (re-derived on demand) and inert under `PartialEq` (it is not
+/// part of the job's value).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseMemo(std::cell::Cell<Option<(SimSpan, Bytes)>>);
+
+impl PartialEq for PhaseMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true // a cache never distinguishes two jobs
+    }
+}
+
 /// A job in flight: spec plus dynamic execution state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunningJob {
@@ -298,6 +333,9 @@ pub struct RunningJob {
     pub remote_submitted: bool,
     /// When the job finished, if it has.
     pub completed_at: Option<SimTime>,
+    /// Current-memory-phase memo (see [`PhaseMemo`]).
+    #[serde(skip)]
+    pub phase_memo: PhaseMemo,
 }
 
 impl RunningJob {
@@ -311,6 +349,7 @@ impl RunningJob {
             migrations: 0,
             remote_submitted: false,
             completed_at: None,
+            phase_memo: PhaseMemo::default(),
         }
     }
 
@@ -336,7 +375,28 @@ impl RunningJob {
 
     /// The working set the job demands right now.
     pub fn current_working_set(&self) -> Bytes {
-        self.spec.memory.working_set_at(self.progress())
+        self.current_phase().1
+    }
+
+    /// The first memory-phase boundary strictly after the current progress,
+    /// if any phase change remains. Equivalent to
+    /// `spec.memory.next_boundary_after(progress())`, served from the memo.
+    pub fn next_phase_boundary(&self) -> Option<SimSpan> {
+        let (until, _) = self.current_phase();
+        (until != SimSpan::MAX).then_some(until)
+    }
+
+    /// The memoised `(phase end, working set)` for the current progress.
+    fn current_phase(&self) -> (SimSpan, Bytes) {
+        let progress = self.progress();
+        if let Some((until, ws)) = self.phase_memo.0.get() {
+            if progress < until {
+                return (until, ws);
+            }
+        }
+        let phase = self.spec.memory.phase_at(progress);
+        self.phase_memo.0.set(Some(phase));
+        phase
     }
 
     /// The paper's slowdown metric for this job.

@@ -87,6 +87,15 @@ impl NodeLoad {
 pub struct LoadIndex {
     entries: Vec<NodeLoad>,
     refreshed_at: SimTime,
+    /// Cluster-wide idle-memory sum, recomputed once per refresh. Entries
+    /// are immutable between refreshes, so the cache cannot go stale; it is
+    /// re-derived (not serialized) because it is a pure function of
+    /// `entries`. Integer sum: order-independent, exactly equal to a walk.
+    #[serde(skip)]
+    cached_idle: Bytes,
+    /// Cluster-wide user-memory sum, cached like [`LoadIndex::cached_idle`].
+    #[serde(skip)]
+    cached_user_total: Bytes,
 }
 
 impl LoadIndex {
@@ -95,11 +104,23 @@ impl LoadIndex {
         LoadIndex::default()
     }
 
-    /// Replaces the index with fresh captures of every node.
+    /// Replaces the index with fresh captures of every node. In-place: the
+    /// entry buffer is reused across refreshes (this runs every exchange
+    /// tick), and the sort is O(n) for the usual already-ordered input.
     pub fn refresh<'a>(&mut self, nodes: impl IntoIterator<Item = &'a Workstation>, now: SimTime) {
-        self.entries = nodes.into_iter().map(NodeLoad::capture).collect();
+        self.entries.clear();
+        self.entries
+            .extend(nodes.into_iter().map(NodeLoad::capture));
         self.entries.sort_by_key(|e| e.node);
         self.refreshed_at = now;
+        self.recompute_sums();
+    }
+
+    /// Re-derives the cached cluster-wide sums from `entries`. Every path
+    /// that rebuilds `entries` must end here.
+    fn recompute_sums(&mut self) {
+        self.cached_idle = self.entries.iter().map(|e| e.idle_memory).sum();
+        self.cached_user_total = self.entries.iter().map(|e| e.user_memory).sum();
     }
 
     /// Refreshes the index but keeps the *old* entry for every node in
@@ -126,6 +147,7 @@ impl LoadIndex {
             .collect();
         self.entries.sort_by_key(|e| e.node);
         self.refreshed_at = now;
+        self.recompute_sums();
     }
 
     /// When the index was last refreshed.
@@ -159,7 +181,12 @@ impl LoadIndex {
     /// Total idle memory accumulated across the cluster — the precondition
     /// gauge for virtual reconfiguration (§2.1).
     pub fn accumulated_idle_memory(&self) -> Bytes {
-        self.entries.iter().map(|e| e.idle_memory).sum()
+        debug_assert_eq!(
+            self.cached_idle,
+            self.entries.iter().map(|e| e.idle_memory).sum::<Bytes>(),
+            "cached idle-memory sum out of sync with entries"
+        );
+        self.cached_idle
     }
 
     /// Average user memory per workstation (the reconfiguration threshold).
@@ -167,8 +194,7 @@ impl LoadIndex {
         if self.entries.is_empty() {
             return Bytes::ZERO;
         }
-        let total: Bytes = self.entries.iter().map(|e| e.user_memory).sum();
-        Bytes::new(total.as_u64() / self.entries.len() as u64)
+        Bytes::new(self.cached_user_total.as_u64() / self.entries.len() as u64)
     }
 
     /// The best destination for an ordinary submission or migration: a

@@ -111,6 +111,16 @@ const EPS: f64 = 1e-9;
 /// [`MemoryProfile::working_set_at`]: crate::job::MemoryProfile::working_set_at
 const BOUNDARY_EPS: f64 = 1e-6;
 
+/// Reusable buffers for the per-segment rate computation, so the
+/// integration hot path performs no allocation once warmed up.
+#[derive(Debug, Clone, Default)]
+struct RateScratch {
+    working_sets: Vec<Bytes>,
+    stalls: Vec<f64>,
+    rates: Vec<f64>,
+    remaining: Vec<f64>,
+}
+
 /// A simulated workstation with lazily advanced resident jobs.
 #[derive(Debug, Clone)]
 pub struct Workstation {
@@ -126,6 +136,14 @@ pub struct Workstation {
     /// Multiplier applied to page-fault stalls (1.0 = local disk; < 1.0
     /// when network RAM serves faults from remote memory).
     stall_scale: f64,
+    /// Cached sum of resident working sets, maintained incrementally on
+    /// admit/remove and re-derived after each advancement (working sets
+    /// drift across memory phases). Makes [`Workstation::memory_usage`]
+    /// O(1) instead of O(jobs).
+    demand: Bytes,
+    /// Rate-computation buffers, behind a `RefCell` so the `&self` paths
+    /// ([`Workstation::next_event_in`]) reuse them too.
+    scratch: std::cell::RefCell<RateScratch>,
 }
 
 impl Workstation {
@@ -142,6 +160,8 @@ impl Workstation {
             completed: Vec::new(),
             counters: NodeCounters::default(),
             stall_scale: 1.0,
+            demand: Bytes::ZERO,
+            scratch: std::cell::RefCell::new(RateScratch::default()),
         }
     }
 
@@ -170,8 +190,25 @@ impl Workstation {
         (self.jobs.len() as u32) < self.params.cpu.slots
     }
 
-    /// Current memory occupancy (as of the last advancement).
+    /// Current memory occupancy (as of the last advancement). O(1): reads
+    /// the incrementally maintained demand cache.
     pub fn memory_usage(&self) -> MemoryUsage {
+        debug_assert_eq!(
+            self.demand,
+            self.jobs.iter().map(|j| j.current_working_set()).sum(),
+            "cached demand out of sync with resident working sets"
+        );
+        MemoryUsage {
+            demand: self.demand,
+            user: self.params.memory.user,
+        }
+    }
+
+    /// Memory occupancy re-derived from the resident jobs, bypassing the
+    /// demand cache — the old full-rescan detector, kept as the reference
+    /// for [`memory_usage`](Workstation::memory_usage) in differential
+    /// tests (`DetectorMode::Rescan`).
+    pub fn memory_usage_rescan(&self) -> MemoryUsage {
         MemoryUsage {
             demand: self.jobs.iter().map(|j| j.current_working_set()).sum(),
             user: self.params.memory.user,
@@ -212,6 +249,7 @@ impl Workstation {
         self.up = false;
         self.reserved = false;
         self.epoch += 1;
+        self.demand = Bytes::ZERO;
         std::mem::take(&mut self.jobs)
     }
 
@@ -324,6 +362,7 @@ impl Workstation {
             return Err(Box::new(RejectedJob { job, reason }));
         }
         job.state = JobState::Running;
+        self.demand += job.current_working_set();
         self.jobs.push(job);
         self.counters.admitted += 1;
         self.epoch += 1;
@@ -363,6 +402,7 @@ impl Workstation {
             }));
         }
         job.state = JobState::Running;
+        self.demand += job.current_working_set();
         self.jobs.push(job);
         self.counters.admitted += 1;
         self.epoch += 1;
@@ -376,6 +416,7 @@ impl Workstation {
         self.advance_to(now);
         let idx = self.jobs.iter().position(|j| j.id() == id)?;
         let job = self.jobs.swap_remove(idx);
+        self.demand = self.demand.saturating_sub(job.current_working_set());
         self.counters.migrated_out += 1;
         self.epoch += 1;
         Some(job)
@@ -391,23 +432,61 @@ impl Workstation {
             return;
         }
         let mut remaining = (now - self.last_update).as_secs_f64();
+        let mut advanced = false;
         while remaining > EPS && !self.jobs.is_empty() {
-            let (rates, stalls) = self.current_rates();
+            advanced = true;
+            let mut scratch = self.scratch.borrow_mut();
             // Time until the earliest completion or phase boundary.
             let mut dt = remaining;
-            for (i, job) in self.jobs.iter().enumerate() {
-                if rates[i] <= 0.0 {
-                    continue;
+            if self.fused_rates_apply() {
+                // Fused fast path (paper-standard configuration): stall and
+                // rate reduce to job-independent scalars applied per working
+                // set, so one pass computes both buffers *and* folds the dt
+                // candidates — the arithmetic per value is identical term
+                // for term to [`Workstation::fill_rates`], only the loop
+                // structure differs.
+                let total: Bytes = self.jobs.iter().map(|j| j.current_working_set()).sum();
+                let curve = self.params.fault_model.stall_curve(
+                    total,
+                    self.jobs.len(),
+                    self.params.memory.user,
+                );
+                let share = self.params.cpu.progress_share(self.jobs.len());
+                scratch.stalls.clear();
+                scratch.rates.clear();
+                for job in &self.jobs {
+                    let s = curve.stall(job.current_working_set());
+                    let r = share / (1.0 + s);
+                    scratch.stalls.push(s);
+                    scratch.rates.push(r);
+                    if r > 0.0 {
+                        dt = dt.min(job.remaining_secs() / r);
+                        if let Some(boundary) = job.next_phase_boundary() {
+                            let gap = boundary.as_secs_f64() - job.progress_secs;
+                            if gap > BOUNDARY_EPS {
+                                dt = dt.min(gap / r);
+                            }
+                        }
+                    }
                 }
-                let to_completion = job.remaining_secs() / rates[i];
-                dt = dt.min(to_completion);
-                if let Some(boundary) = job.spec.memory.next_boundary_after(job.progress()) {
-                    let gap = boundary.as_secs_f64() - job.progress_secs;
-                    if gap > BOUNDARY_EPS {
-                        dt = dt.min(gap / rates[i]);
+            } else {
+                Self::fill_rates(&self.params, &self.jobs, self.stall_scale, &mut scratch);
+                let rates = &scratch.rates;
+                for (i, job) in self.jobs.iter().enumerate() {
+                    if rates[i] <= 0.0 {
+                        continue;
+                    }
+                    let to_completion = job.remaining_secs() / rates[i];
+                    dt = dt.min(to_completion);
+                    if let Some(boundary) = job.next_phase_boundary() {
+                        let gap = boundary.as_secs_f64() - job.progress_secs;
+                        if gap > BOUNDARY_EPS {
+                            dt = dt.min(gap / rates[i]);
+                        }
                     }
                 }
             }
+            let RateScratch { rates, stalls, .. } = &*scratch;
             let dt = dt.max(0.0);
             // Integrate the segment.
             for (i, job) in self.jobs.iter_mut().enumerate() {
@@ -420,6 +499,7 @@ impl Workstation {
                 self.counters.page_stall += slice.page;
                 self.counters.io_ops += slice.cpu * job.spec.io_rate;
             }
+            drop(scratch);
             remaining -= dt;
             // Collect completions at the segment end.
             let completion_time = now - SimSpan::from_secs_f64(remaining.max(0.0));
@@ -444,6 +524,12 @@ impl Workstation {
                 break;
             }
         }
+        if advanced {
+            // Progress may have crossed memory-phase boundaries (and
+            // completions left); re-derive the demand cache once per
+            // advancement instead of on every read.
+            self.demand = self.jobs.iter().map(|j| j.current_working_set()).sum();
+        }
         self.last_update = now;
     }
 
@@ -454,17 +540,44 @@ impl Workstation {
         if self.jobs.is_empty() {
             return None;
         }
-        let (rates, _) = self.current_rates();
         let mut earliest = f64::INFINITY;
-        for (i, job) in self.jobs.iter().enumerate() {
-            if rates[i] <= 0.0 {
-                continue;
+        if self.fused_rates_apply() {
+            // Allocation-free fused pass; see the twin in
+            // [`Workstation::advance_to`] for the equivalence argument.
+            let total: Bytes = self.jobs.iter().map(|j| j.current_working_set()).sum();
+            let curve = self.params.fault_model.stall_curve(
+                total,
+                self.jobs.len(),
+                self.params.memory.user,
+            );
+            let share = self.params.cpu.progress_share(self.jobs.len());
+            for job in &self.jobs {
+                let r = share / (1.0 + curve.stall(job.current_working_set()));
+                if r <= 0.0 {
+                    continue;
+                }
+                earliest = earliest.min(job.remaining_secs() / r);
+                if let Some(boundary) = job.next_phase_boundary() {
+                    let gap = boundary.as_secs_f64() - job.progress_secs;
+                    if gap > BOUNDARY_EPS {
+                        earliest = earliest.min(gap / r);
+                    }
+                }
             }
-            earliest = earliest.min(job.remaining_secs() / rates[i]);
-            if let Some(boundary) = job.spec.memory.next_boundary_after(job.progress()) {
-                let gap = boundary.as_secs_f64() - job.progress_secs;
-                if gap > BOUNDARY_EPS {
-                    earliest = earliest.min(gap / rates[i]);
+        } else {
+            let mut scratch = self.scratch.borrow_mut();
+            Self::fill_rates(&self.params, &self.jobs, self.stall_scale, &mut scratch);
+            let rates = &scratch.rates;
+            for (i, job) in self.jobs.iter().enumerate() {
+                if rates[i] <= 0.0 {
+                    continue;
+                }
+                earliest = earliest.min(job.remaining_secs() / rates[i]);
+                if let Some(boundary) = job.next_phase_boundary() {
+                    let gap = boundary.as_secs_f64() - job.progress_secs;
+                    if gap > BOUNDARY_EPS {
+                        earliest = earliest.min(gap / rates[i]);
+                    }
                 }
             }
         }
@@ -475,27 +588,55 @@ impl Workstation {
         }
     }
 
-    /// Current per-job progress rates and stall factors.
-    fn current_rates(&self) -> (Vec<f64>, Vec<f64>) {
-        let working_sets: Vec<Bytes> = self.jobs.iter().map(|j| j.current_working_set()).collect();
-        let mut stalls = self
-            .params
-            .fault_model
-            .stall_factors(&working_sets, self.params.memory.user);
-        if self.params.protection != ThrashingProtection::Off {
-            let remaining: Vec<f64> = self.jobs.iter().map(|j| j.remaining_secs()).collect();
-            self.params
-                .protection
-                .apply(&mut stalls, &working_sets, &remaining);
+    /// `true` when the fused single-pass rate computation applies: thrashing
+    /// protection off and no network-RAM stall scaling, so stall factors and
+    /// rates are pure per-job functions of one [`StallCurve`] and one CPU
+    /// share. Everything else falls back to [`Workstation::fill_rates`].
+    fn fused_rates_apply(&self) -> bool {
+        // vr-lint::allow(float-eq, reason = "sentinel check: 1.0 is the exact no-scaling default, assigned verbatim and never computed")
+        self.params.protection == ThrashingProtection::Off && self.stall_scale == 1.0
+    }
+
+    /// Fills `scratch.rates` / `scratch.stalls` for the given job set. An
+    /// associated function over disjoint fields (rather than `&self`) so
+    /// [`Workstation::advance_to`] can keep `jobs` mutably borrowed around
+    /// the scratch buffers. Arithmetic is identical to the historical
+    /// allocating implementation, term for term.
+    fn fill_rates(
+        params: &NodeParams,
+        jobs: &[RunningJob],
+        stall_scale: f64,
+        scratch: &mut RateScratch,
+    ) {
+        scratch.working_sets.clear();
+        scratch
+            .working_sets
+            .extend(jobs.iter().map(|j| j.current_working_set()));
+        params.fault_model.stall_factors_into(
+            &scratch.working_sets,
+            params.memory.user,
+            &mut scratch.stalls,
+        );
+        if params.protection != ThrashingProtection::Off {
+            scratch.remaining.clear();
+            scratch
+                .remaining
+                .extend(jobs.iter().map(|j| j.remaining_secs()));
+            params.protection.apply(
+                &mut scratch.stalls,
+                &scratch.working_sets,
+                &scratch.remaining,
+            );
         }
         // vr-lint::allow(float-eq, reason = "sentinel check: 1.0 is the exact no-scaling default, assigned verbatim and never computed")
-        if self.stall_scale != 1.0 {
-            for s in &mut stalls {
-                *s *= self.stall_scale;
+        if stall_scale != 1.0 {
+            for s in &mut scratch.stalls {
+                *s *= stall_scale;
             }
         }
-        let rates = self.params.cpu.progress_rates(&stalls);
-        (rates, stalls)
+        params
+            .cpu
+            .progress_rates_into(&scratch.stalls, &mut scratch.rates);
     }
 
     /// The resident job with the largest current memory demand, if any —

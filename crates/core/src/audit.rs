@@ -193,7 +193,7 @@ impl InvariantAuditor {
                     self.violation(now, format!("{id} is down but flagged reserved"));
                 }
             }
-            let managed = world.reservations.is_reserved(id) || world.stalled.contains(&id);
+            let managed = world.reservations.is_reserved(id) || world.is_stalled(id);
             if node.is_reserved() != managed {
                 self.violation(
                     now,

@@ -111,6 +111,25 @@ pub struct SimConfig {
     ///
     /// [`RunReport::audit_violations`]: crate::report::RunReport::audit_violations
     pub audit: bool,
+    /// How the overload/blocking detector derives per-node memory state.
+    /// Both modes are required to produce byte-identical reports (pinned by
+    /// differential tests); the knob exists so the incremental caches can
+    /// be checked against the historical full rescan.
+    #[serde(default)]
+    pub detector: DetectorMode,
+}
+
+/// Selects the mechanism behind blocking/idle-memory detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DetectorMode {
+    /// Re-derive each node's memory demand from its resident jobs at every
+    /// query — the original O(jobs)-per-read detector, kept as the
+    /// reference implementation.
+    Rescan,
+    /// Read the per-node demand caches maintained by delta on
+    /// place/complete/migrate events (O(1) per read).
+    #[default]
+    Incremental,
 }
 
 impl SimConfig {
@@ -130,6 +149,7 @@ impl SimConfig {
             max_sim_time: SimSpan::from_secs(200_000),
             fault_plan: None,
             audit: false,
+            detector: DetectorMode::default(),
         }
     }
 
@@ -150,6 +170,13 @@ impl SimConfig {
     /// Returns the config with a different seed (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given detector mode (see
+    /// [`DetectorMode`]); reports must not depend on the choice.
+    pub fn with_detector(mut self, detector: DetectorMode) -> Self {
+        self.detector = detector;
         self
     }
 

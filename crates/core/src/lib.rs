@@ -56,7 +56,7 @@ pub mod sim;
 
 pub use audit::InvariantAuditor;
 pub use compare::{compare_reports, FieldDiff, ReportDiff};
-pub use config::{PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
+pub use config::{DetectorMode, PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
 pub use events::{EventLog, SchedulerEvent, SchedulerEventKind};
 pub use policy::{Placement, PolicyKind};
 pub use report::{RunReport, SchedulerCounters};

@@ -27,7 +27,9 @@ pub struct SchedulerCounters {
     pub overload_migrations: u64,
     /// Migrations into reserved workstations (special service).
     pub reserved_migrations: u64,
-    /// Times the blocking problem was detected.
+    /// Blocking episodes detected: counted when a node newly enters the
+    /// blocked state (edge-triggered), not on every scan tick it stays
+    /// there.
     pub blocking_detections: u64,
     /// Placements bounced by a node because the load index was stale.
     pub stale_rejections: u64,

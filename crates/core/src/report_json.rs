@@ -313,6 +313,7 @@ fn job_from_json(doc: &Json) -> Result<RunningJob, String> {
                 other.as_u64().ok_or("completed_at is not an integer")?,
             )),
         },
+        phase_memo: Default::default(),
     })
 }
 

@@ -41,7 +41,7 @@
 //!   qualifies, the blocking problem is detected and (under
 //!   V-Reconfiguration) the reconfiguration routine runs.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::loadinfo::LoadIndex;
@@ -56,7 +56,7 @@ use vr_simcore::time::{SimSpan, SimTime};
 use vr_trace::{TraceData, TraceRecord, TraceSource, Tracer};
 use vr_workload::trace::Trace;
 
-use crate::config::{ReservingEnd, SimConfig};
+use crate::config::{DetectorMode, ReservingEnd, SimConfig};
 use crate::events::{EventLog, SchedulerEventKind};
 use crate::policy::{Placement, PolicyKind};
 use crate::report::{RunReport, SchedulerCounters};
@@ -256,7 +256,15 @@ pub(crate) struct ClusterWorld {
     index: LoadIndex,
     rng: SimRng,
     pub(crate) pending: VecDeque<PendingJob>,
-    pub(crate) in_transit: BTreeMap<JobId, Transit>,
+    /// Jobs on the wire (remote submissions and migrations). A small flat
+    /// arena searched linearly by job id — in-transit population is bounded
+    /// by slots × nodes, and the per-node aggregates in `inbound` answer
+    /// the hot-path queries without scanning it at all.
+    pub(crate) in_transit: Vec<Transit>,
+    /// Per-node inbound aggregates (total demand on the wire, transfer
+    /// count), maintained by delta in `transit_insert` / `transit_remove`
+    /// so destination filters are O(1) instead of O(transits).
+    inbound: Vec<InboundLoad>,
     pub(crate) suspended: Vec<SuspendedJob>,
     pub(crate) completed: Vec<RunningJob>,
     gauges: ClusterGauges,
@@ -264,13 +272,14 @@ pub(crate) struct ClusterWorld {
     pub(crate) reservations: ReservationManager,
     total_jobs: usize,
     pub(crate) arrived: usize,
-    /// Jobs that have entered the pending queue at least once.
-    ever_blocked: BTreeSet<JobId>,
-    /// Times each job has been suspended (Suspend-Largest only). A job
-    /// suspended [`MAX_SUSPENSIONS_PER_JOB`] times is pinned: repeatedly
-    /// swapping the same peak-sized job in and out is a livelock, not a
-    /// remedy.
-    suspend_counts: BTreeMap<JobId, u32>,
+    /// Jobs that have entered the pending queue at least once. Slab indexed
+    /// by job id (dense 0..total_jobs, guaranteed by `Trace::validate`).
+    ever_blocked: Vec<bool>,
+    /// Times each job has been suspended (Suspend-Largest only), slab
+    /// indexed by job id. A job suspended [`MAX_SUSPENSIONS_PER_JOB`] times
+    /// is pinned: repeatedly swapping the same peak-sized job in and out is
+    /// a livelock, not a remedy.
+    suspend_counts: Vec<u32>,
     pub(crate) log: EventLog,
     /// Set once all jobs have completed; periodic events stop rescheduling.
     done: bool,
@@ -280,12 +289,37 @@ pub(crate) struct ClusterWorld {
     /// Nodes whose reservation release is stalled by fault injection: the
     /// manager has already dropped the reservation but the node's flag
     /// stays up until the matching [`Event::ReservationUnstall`] fires.
-    pub(crate) stalled: BTreeSet<NodeId>,
+    /// Slab indexed by node id; read through [`ClusterWorld::is_stalled`].
+    stalled: Vec<bool>,
+    /// Per-node "currently in detected blocking state" bits, slab indexed
+    /// by node id. Blocking detection is *edge-triggered*: the counter and
+    /// log record fire when a bit rises, and the bit falls as soon as the
+    /// overload scan finds the node no longer blocked — so
+    /// `blocking_detections` counts blocking episodes (state changes), not
+    /// scan ticks.
+    blocked_nodes: Vec<bool>,
+}
+
+/// Aggregate load already on the wire toward one node.
+#[derive(Debug, Clone, Copy)]
+struct InboundLoad {
+    demand: Bytes,
+    count: u32,
+}
+
+/// The two largest committed-idle-memory values among eligible migration
+/// destinations (see [`ClusterWorld::dest_bound`]). `second` covers the
+/// case where the best node is the overloaded source itself.
+#[derive(Debug, Clone, Copy)]
+struct DestBound {
+    best: Option<(NodeId, Bytes)>,
+    second: Bytes,
 }
 
 impl ClusterWorld {
     fn new(config: &SimConfig, total_jobs: usize) -> Self {
         let nodes = config.cluster.build_nodes();
+        let node_count = nodes.len();
         let mut world = ClusterWorld {
             policy: config.policy,
             config: config.clone(),
@@ -293,7 +327,14 @@ impl ClusterWorld {
             index: LoadIndex::new(),
             rng: SimRng::seed_from(config.seed),
             pending: VecDeque::new(),
-            in_transit: BTreeMap::new(),
+            in_transit: Vec::new(),
+            inbound: vec![
+                InboundLoad {
+                    demand: Bytes::ZERO,
+                    count: 0
+                };
+                node_count
+            ],
             suspended: Vec::new(),
             completed: Vec::new(),
             gauges: ClusterGauges::new(),
@@ -301,8 +342,8 @@ impl ClusterWorld {
             reservations: ReservationManager::new(config.reservation),
             total_jobs,
             arrived: 0,
-            ever_blocked: BTreeSet::new(),
-            suspend_counts: BTreeMap::new(),
+            ever_blocked: vec![false; total_jobs],
+            suspend_counts: vec![0; total_jobs],
             log: EventLog::new(),
             done: total_jobs == 0,
             finished_at: SimTime::ZERO,
@@ -310,7 +351,8 @@ impl ClusterWorld {
                 .fault_plan
                 .clone()
                 .map(|plan| FaultInjector::new(plan, config.seed)),
-            stalled: BTreeSet::new(),
+            stalled: vec![false; node_count],
+            blocked_nodes: vec![false; node_count],
         };
         world.index.refresh(world.nodes.iter(), SimTime::ZERO);
         world
@@ -318,6 +360,39 @@ impl ClusterWorld {
 
     fn node(&mut self, id: NodeId) -> &mut Workstation {
         &mut self.nodes[id.0 as usize]
+    }
+
+    /// Puts a transfer on the wire, updating the destination's inbound
+    /// aggregates by delta. A job's working set is frozen while in transit
+    /// (progress only advances while resident), so the amount subtracted by
+    /// [`ClusterWorld::transit_remove`] equals the amount added here.
+    fn transit_insert(&mut self, transit: Transit) {
+        let slot = &mut self.inbound[transit.dst.0 as usize];
+        slot.demand += transit.job.current_working_set();
+        slot.count += 1;
+        self.in_transit.push(transit);
+    }
+
+    /// Takes a transfer off the wire, reversing its inbound aggregates.
+    fn transit_remove(&mut self, job: JobId) -> Option<Transit> {
+        let idx = self.in_transit.iter().position(|t| t.job.id() == job)?;
+        let transit = self.in_transit.swap_remove(idx);
+        let slot = &mut self.inbound[transit.dst.0 as usize];
+        slot.demand = slot
+            .demand
+            .saturating_sub(transit.job.current_working_set());
+        slot.count -= 1;
+        Some(transit)
+    }
+
+    /// `true` if `job` is currently on the wire.
+    fn transit_contains(&self, job: JobId) -> bool {
+        self.in_transit.iter().any(|t| t.job.id() == job)
+    }
+
+    /// `true` if `node`'s reservation release is stalled by fault injection.
+    pub(crate) fn is_stalled(&self, node: NodeId) -> bool {
+        self.stalled[node.0 as usize]
     }
 
     /// Advances every node to `now` and refreshes the load index.
@@ -381,7 +456,7 @@ impl ClusterWorld {
                 None,
                 Some(node_id),
             );
-        } else if self.stalled.insert(node_id) {
+        } else if !std::mem::replace(&mut self.stalled[node_id.0 as usize], true) {
             if let Some(injector) = self.faults.as_mut() {
                 injector.counters.stalled_releases += 1;
             }
@@ -508,15 +583,12 @@ impl ClusterWorld {
                     Some(id),
                     Some(node_id),
                 );
-                self.in_transit.insert(
-                    id,
-                    Transit {
-                        job,
-                        dst: node_id,
-                        to_reserved: false,
-                        attempts: 0,
-                    },
-                );
+                self.transit_insert(Transit {
+                    job,
+                    dst: node_id,
+                    to_reserved: false,
+                    attempts: 0,
+                });
                 sched.schedule_in(cost, Event::TransitArrive { job: id });
             }
             Placement::Blocked => {
@@ -529,7 +601,7 @@ impl ClusterWorld {
         job.state = JobState::Pending;
         self.log
             .record(now, SchedulerEventKind::Blocked, Some(job.id()), Some(home));
-        if self.ever_blocked.insert(job.id()) {
+        if !std::mem::replace(&mut self.ever_blocked[job.id().0 as usize], true) {
             self.counters.blocked_submissions += 1;
         }
         self.pending.push_back(PendingJob {
@@ -546,11 +618,20 @@ impl ClusterWorld {
     fn try_place_pending(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let fifo = self.config.pending_discipline == crate::config::PendingDiscipline::Fifo;
         let mut waiting = std::mem::take(&mut self.pending);
+        let mut first = true;
         while let Some(mut entry) = waiting.pop_front() {
             let decision = self
                 .policy
                 .place(&entry.job, entry.home, &self.index, &mut self.rng);
             if matches!(decision, Placement::Blocked) {
+                if fifo && first {
+                    // Head-of-line blocked with nothing else touched yet:
+                    // restore the original deque in O(1) instead of moving
+                    // every entry through a fresh one.
+                    waiting.push_front(entry);
+                    self.pending = waiting;
+                    return;
+                }
                 self.pending.push_back(entry);
                 if fifo {
                     self.pending.extend(waiting);
@@ -561,93 +642,172 @@ impl ClusterWorld {
                 entry.job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
                 self.place_job(entry.job, entry.home, now, sched, false);
             }
+            first = false;
+        }
+    }
+
+    /// One node's memory occupancy as seen by the overload/blocking
+    /// detector: the incremental cache or the full rescan, per the
+    /// configured [`DetectorMode`]. The two are always equal (asserted in
+    /// debug builds, pinned by differential tests).
+    fn detector_usage(&self, i: usize) -> vr_cluster::memory::MemoryUsage {
+        match self.config.detector {
+            DetectorMode::Rescan => self.nodes[i].memory_usage_rescan(),
+            DetectorMode::Incremental => self.nodes[i].memory_usage(),
         }
     }
 
     /// The overload scan of the exchange tick: fault-driven migrations and
     /// blocking detection (§2.1).
+    ///
+    /// Blocking is reported *edge-triggered*: the counter and the event-log
+    /// record fire when a node newly enters the blocked state, not on every
+    /// scan tick it stays there — detection work recorded is proportional
+    /// to state changes, not events. The remedies (reconfigure / suspend)
+    /// still run on every tick while the state persists, so scheduling
+    /// behaviour is unchanged.
     fn overload_scan(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         if !self.policy.migrates_on_overload() {
             return;
         }
+        // Largest and second-largest committed idle memory over nodes that
+        // could receive a migration. A destination for `src` exists iff the
+        // best such value *excluding src* covers the victim's working set,
+        // so most scan ticks answer "still blocked" in O(1) instead of
+        // walking the index per overloaded node. The bound is rebuilt after
+        // any action that changes committed capacity (migration started,
+        // reservation begun, job suspended) — all rare.
+        let mut bound = self.dest_bound();
         for i in 0..self.nodes.len() {
             let src = self.nodes[i].id();
             if self.nodes[i].is_reserved() || !self.nodes[i].is_up() {
+                self.blocked_nodes[i] = false;
                 continue;
             }
-            let usage = self.nodes[i].memory_usage();
+            let usage = self.detector_usage(i);
             let threshold = self.config.overload_bytes(usage.user);
             if usage.overflow() <= threshold {
+                self.blocked_nodes[i] = false;
                 continue;
             }
             // The node is seriously faulting; try to migrate its most
             // memory-intensive job away.
             let Some(victim) = self.nodes[i].most_memory_intensive_job() else {
+                self.blocked_nodes[i] = false;
                 continue;
             };
             let victim_id = victim.id();
             let victim_ws = victim.current_working_set();
-            let dest = self
-                .index
-                .iter()
-                .filter(|e| {
-                    e.node != src
-                        && e.accepts_submissions()
-                        && e.idle_memory.saturating_sub(self.in_transit_demand(e.node)) >= victim_ws
-                        && self.has_uncommitted_slot(e.node)
-                })
-                .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
-                .map(|e| e.node);
+            let feasible = match bound.best {
+                Some((node, ci)) if node != src => ci >= victim_ws,
+                Some(_) => bound.second >= victim_ws,
+                None => false,
+            };
+            // `feasible` is exact: it is the same predicate the full scan
+            // applies, collapsed to its maximum — false means the scan
+            // below would find nothing, true means it must find something.
+            let dest = if feasible {
+                self.index
+                    .iter()
+                    .filter(|e| {
+                        e.node != src
+                            && e.accepts_submissions()
+                            && e.idle_memory.saturating_sub(self.in_transit_demand(e.node))
+                                >= victim_ws
+                            && self.has_uncommitted_slot(e.node)
+                    })
+                    .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
+                    .map(|e| e.node)
+            } else {
+                None
+            };
             match dest {
                 Some(dst) => {
+                    self.blocked_nodes[i] = false;
                     self.start_migration(src, victim_id, dst, false, now, sched);
                     self.counters.overload_migrations += 1;
+                    bound = self.dest_bound();
                 }
                 None => {
                     // "The scheduler could not find a qualified destination
                     // to migrate jobs from this workstation": the job
                     // blocking problem.
-                    self.counters.blocking_detections += 1;
-                    self.log.record(
-                        now,
-                        SchedulerEventKind::BlockingDetected,
-                        Some(victim_id),
-                        Some(src),
-                    );
+                    if !self.blocked_nodes[i] {
+                        self.blocked_nodes[i] = true;
+                        self.counters.blocking_detections += 1;
+                        self.log.record(
+                            now,
+                            SchedulerEventKind::BlockingDetected,
+                            Some(victim_id),
+                            Some(src),
+                        );
+                    }
                     if self.policy.reconfigures() {
-                        self.reconfigure(src, now, sched);
+                        if self.reconfigure(src, victim_id, victim_ws, now, sched) {
+                            bound = self.dest_bound();
+                        }
                     } else if self.policy.suspends_on_blocking()
-                        && self.suspend_counts.get(&victim_id).copied().unwrap_or(0)
-                            < MAX_SUSPENSIONS_PER_JOB
+                        && self.suspend_counts[victim_id.0 as usize] < MAX_SUSPENSIONS_PER_JOB
                     {
                         self.suspend_job(src, victim_id, now, sched);
+                        bound = self.dest_bound();
                     }
                 }
             }
         }
     }
 
-    /// The reconfiguration routine (§2.1 framework).
-    fn reconfigure(&mut self, src: NodeId, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        let Some(victim) = self.nodes[src.0 as usize].most_memory_intensive_job() else {
-            return;
-        };
-        let victim_id = victim.id();
-        let victim_ws = victim.current_working_set();
+    /// The top two committed-idle-memory values over nodes eligible as
+    /// migration destinations (index says accepting, live state has an
+    /// uncommitted slot) — the O(1) feasibility bound for
+    /// [`ClusterWorld::overload_scan`].
+    fn dest_bound(&self) -> DestBound {
+        let mut best: Option<(NodeId, Bytes)> = None;
+        let mut second = Bytes::ZERO;
+        for e in self.index.iter() {
+            if !e.accepts_submissions() || !self.has_uncommitted_slot(e.node) {
+                continue;
+            }
+            let ci = e.idle_memory.saturating_sub(self.in_transit_demand(e.node));
+            match best {
+                Some((_, b)) if ci > b => {
+                    second = b;
+                    best = Some((e.node, ci));
+                }
+                Some(_) => second = second.max(ci),
+                None => best = Some((e.node, ci)),
+            }
+        }
+        DestBound { best, second }
+    }
+
+    /// The reconfiguration routine (§2.1 framework). `victim_id` /
+    /// `victim_ws` are the blocking victim already identified by the
+    /// overload scan (nothing has mutated in between). Returns `true` if it
+    /// acted — migrated the victim or began a reservation — so the caller
+    /// knows committed capacity changed.
+    fn reconfigure(
+        &mut self,
+        src: NodeId,
+        victim_id: JobId,
+        victim_ws: Bytes,
+        now: SimTime,
+        sched: &mut Scheduler<'_, Event>,
+    ) -> bool {
         // Step 1: an existing reserved workstation with enough resources.
         if let Some(dst) = self.serving_room_for(victim_ws) {
             self.reservations.record_service(dst, victim_id);
             self.start_migration(src, victim_id, dst, true, now, sched);
             self.counters.reserved_migrations += 1;
-            return;
+            return true;
         }
         // Step 2: begin a new reservation if the accumulated idle memory
         // justifies one and the cap allows it.
         if self.index.accumulated_idle_memory() <= self.index.average_user_memory() {
-            return; // §2.3: memory resources are genuinely exhausted.
+            return false; // §2.3: memory resources are genuinely exhausted.
         }
         if !self.reservations.can_reserve(self.nodes.len()) {
-            return; // §2.2 point 4: protect normal jobs.
+            return false; // §2.2 point 4: protect normal jobs.
         }
         let candidate = self
             .index
@@ -660,7 +820,7 @@ impl ClusterWorld {
                     && !self.reservations.is_reserved(e.node)
                     && e.node != src
                     && self.nodes[e.node.0 as usize].is_up()
-                    && !self.stalled.contains(&e.node)
+                    && !self.is_stalled(e.node)
             })
             .max_by_key(|e| {
                 (
@@ -681,24 +841,23 @@ impl ClusterWorld {
             );
             // The reserving period has begun; check_reservations() completes
             // it when the node drains (or has enough memory, per config).
+            return true;
         }
+        false
     }
 
     /// Memory demand already on the wire toward `node` (remote submissions
     /// and migrations whose image has not landed yet). Without this, two
     /// migrations launched within one exchange period would both see the
-    /// destination as empty and overcommit it.
+    /// destination as empty and overcommit it. O(1): reads the inbound
+    /// aggregate maintained by delta on transit insert/remove.
     fn in_transit_demand(&self, node: NodeId) -> Bytes {
-        self.in_transit
-            .values()
-            .filter(|t| t.dst == node)
-            .map(|t| t.job.current_working_set())
-            .sum()
+        self.inbound[node.0 as usize].demand
     }
 
     /// Jobs on the wire toward `node` (counted against its slots).
     fn in_transit_count(&self, node: NodeId) -> usize {
-        self.in_transit.values().filter(|t| t.dst == node).count()
+        self.inbound[node.0 as usize].count as usize
     }
 
     /// The memory `node` can actually still commit to: live idle memory
@@ -795,11 +954,11 @@ impl ClusterWorld {
     /// count as an ordinary destination.
     fn blocking_victim(&self, exclude_dst: NodeId) -> Option<(NodeId, JobId, Bytes)> {
         let mut worst: Option<(Bytes, NodeId, JobId, Bytes)> = None;
-        for node in &self.nodes {
+        for (i, node) in self.nodes.iter().enumerate() {
             if node.is_reserved() || !node.is_up() {
                 continue;
             }
-            let usage = node.memory_usage();
+            let usage = self.detector_usage(i);
             let threshold = self.config.overload_bytes(usage.user);
             if usage.overflow() <= threshold {
                 continue;
@@ -864,15 +1023,12 @@ impl ClusterWorld {
         job.breakdown.migration += cost.as_secs_f64();
         job.migrations += 1;
         job.state = JobState::Migrating;
-        self.in_transit.insert(
-            job_id,
-            Transit {
-                job,
-                dst,
-                to_reserved,
-                attempts: 0,
-            },
-        );
+        self.transit_insert(Transit {
+            job,
+            dst,
+            to_reserved,
+            attempts: 0,
+        });
         sched.schedule_in(cost, Event::TransitArrive { job: job_id });
     }
 
@@ -882,7 +1038,7 @@ impl ClusterWorld {
         now: SimTime,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        let Some(transit) = self.in_transit.remove(&job_id) else {
+        let Some(transit) = self.transit_remove(job_id) else {
             return; // already handled (should not happen)
         };
         let Transit {
@@ -935,8 +1091,12 @@ impl ClusterWorld {
             )
         };
         let (dst, attempts) = {
-            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
-            let transit = self.in_transit.get_mut(&job_id).expect("transit present");
+            let transit = self
+                .in_transit
+                .iter_mut()
+                .find(|t| t.job.id() == job_id)
+                // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
+                .expect("transit present");
             transit.attempts += 1;
             (transit.dst, transit.attempts)
         };
@@ -952,16 +1112,22 @@ impl ClusterWorld {
             for _ in 0..(attempts - 1).min(16) {
                 backoff = backoff + backoff;
             }
-            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
-            let transit = self.in_transit.get_mut(&job_id).expect("transit present");
+            let transit = self
+                .in_transit
+                .iter_mut()
+                .find(|t| t.job.id() == job_id)
+                // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
+                .expect("transit present");
             transit.job.breakdown.migration += backoff.as_secs_f64();
             if let Some(injector) = self.faults.as_mut() {
                 injector.counters.migration_retries += 1;
             }
             sched.schedule_in(backoff, Event::TransitArrive { job: job_id });
         } else {
-            // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
-            let transit = self.in_transit.remove(&job_id).expect("transit present");
+            let transit = self
+                .transit_remove(job_id)
+                // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
+                .expect("transit present");
             if let Some(injector) = self.faults.as_mut() {
                 injector.counters.migrations_abandoned += 1;
                 injector.counters.requeued_jobs += 1;
@@ -994,7 +1160,9 @@ impl ClusterWorld {
         self.log
             .record(now, SchedulerEventKind::NodeCrashed, None, Some(node_id));
         // A crash takes any reservation (active or stalled) down with it.
-        if self.reservations.release_unused(node_id) || self.stalled.remove(&node_id) {
+        if self.reservations.release_unused(node_id)
+            || std::mem::replace(&mut self.stalled[node_id.0 as usize], false)
+        {
             self.log.record(
                 now,
                 SchedulerEventKind::ReservationReleased,
@@ -1046,7 +1214,7 @@ impl ClusterWorld {
         now: SimTime,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.stalled.remove(&node_id) {
+        if !std::mem::replace(&mut self.stalled[node_id.0 as usize], false) {
             return; // cleared meanwhile (e.g. the node crashed)
         }
         if self.reservations.is_reserved(node_id) {
@@ -1087,7 +1255,7 @@ impl ClusterWorld {
             .swap_transfer_time(image);
         job.breakdown.migration += out_cost.as_secs_f64();
         job.state = JobState::Suspended;
-        *self.suspend_counts.entry(job.id()).or_insert(0) += 1;
+        self.suspend_counts[job.id().0 as usize] += 1;
         self.log.record(
             now,
             SchedulerEventKind::Suspended,
@@ -1133,7 +1301,7 @@ impl ClusterWorld {
                         .filter(|n| {
                             n.active_jobs() == 0
                                 && !n.is_reserved()
-                                && self.in_transit.values().all(|t| t.dst != n.id())
+                                && self.inbound[n.id().0 as usize].count == 0
                                 && n.can_admit(&entry.job).is_ok()
                         })
                         .max_by_key(|n| (n.idle_memory(), std::cmp::Reverse(n.id())))
@@ -1170,15 +1338,12 @@ impl ClusterWorld {
             );
             self.counters.resumes += 1;
             let id = entry.job.id();
-            self.in_transit.insert(
-                id,
-                Transit {
-                    job: entry.job,
-                    dst,
-                    to_reserved: false,
-                    attempts: 0,
-                },
-            );
+            self.transit_insert(Transit {
+                job: entry.job,
+                dst,
+                to_reserved: false,
+                attempts: 0,
+            });
             sched.schedule_in(in_cost, Event::TransitArrive { job: id });
         }
     }
@@ -1208,7 +1373,7 @@ impl ClusterWorld {
             job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
             jobs.push(job);
         }
-        for (_, transit) in std::mem::take(&mut self.in_transit) {
+        for transit in std::mem::take(&mut self.in_transit) {
             unfinished += 1;
             jobs.push(transit.job);
         }
@@ -1324,7 +1489,7 @@ impl World for ClusterWorld {
                 }
             }
             Event::TransitArrive { job } => {
-                if self.in_transit.contains_key(&job)
+                if self.transit_contains(job)
                     && self.faults.as_mut().is_some_and(|f| f.migration_fails())
                 {
                     self.handle_migration_failure(job, now, sched);

@@ -5,11 +5,23 @@
 //! simulation built on it — fully deterministic: two events scheduled for the
 //! same instant fire in the order they were scheduled.
 //!
+//! # Calendar layout
+//!
+//! The backing store is a calendar queue tuned to the simulator's
+//! short-horizon event mix (periodic exchange/sample ticks about one second
+//! apart, plus job arrivals spread over hours): time is divided into
+//! ~1-second slots, each slot hashing onto one of [`BUCKETS`] bucket deques
+//! kept sorted by `(time, seq)`. Scheduling is an O(1) append for the
+//! common monotone case (a binary-searched insert otherwise), and popping
+//! advances a slot cursor, so both ends of the queue cost O(1) amortized
+//! instead of the O(log n) of a binary heap — and no hashing or heap
+//! sifting happens per event.
+//!
 //! Cancellation is lazy: [`EventQueue::cancel`] marks the entry dead and the
-//! queue skips it on pop, so cancelling is O(1) amortized and popping stays
-//! O(log n) amortized. When dead entries outnumber half the live ones the
-//! queue compacts, rebuilding the heap without them, so cancel-heavy
-//! workloads cannot grow the heap without bound.
+//! queue skips it on pop, so cancelling is O(1) and popping stays O(1)
+//! amortized. When dead entries outnumber half the live ones the queue
+//! compacts, dropping them from every bucket, so cancel-heavy workloads
+//! cannot grow the physical store without bound.
 //!
 //! ```
 //! use vr_simcore::event::EventQueue;
@@ -25,11 +37,20 @@
 //! assert!(q.pop().is_none());
 //! ```
 
-use std::cmp::{Ordering, Reverse};
-// vr-lint::allow(nondeterministic-collection, reason = "pending/cancelled are membership-only seq sets; nothing ever iterates them, so hash order cannot leak into event order")
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::VecDeque;
 
 use crate::time::SimTime;
+
+/// Number of calendar buckets (power of two so the slot hash is a mask).
+const BUCKETS: usize = 1024;
+/// Slot width as a power-of-two microsecond shift: 2^20 µs ≈ 1.05 s, on
+/// the order of the simulator's periodic tick spacing.
+const SLOT_SHIFT: u32 = 20;
+
+/// Entry lifecycle, indexed by sequence number in `EventQueue::states`.
+const STATE_PENDING: u8 = 0;
+const STATE_CANCELLED: u8 = 1;
+const STATE_GONE: u8 = 2;
 
 /// Identifies a scheduled event so it can be cancelled later.
 ///
@@ -45,36 +66,24 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// A deterministic time-ordered queue of pending simulation events.
 ///
 /// See the [module documentation](self) for ordering and cancellation
 /// semantics.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs scheduled but neither fired nor cancelled.
-    // vr-lint::allow(nondeterministic-collection, reason = "queried by `contains`/`remove` only; event ordering comes from the heap's (time, seq) keys")
-    pending: HashSet<u64>,
-    /// Seqs cancelled but still physically present in the heap.
-    // vr-lint::allow(nondeterministic-collection, reason = "queried by `contains`/`remove` only; event ordering comes from the heap's (time, seq) keys")
-    cancelled: HashSet<u64>,
+    /// `BUCKETS` deques, each sorted ascending by `(time, seq)`. A slot's
+    /// entries all land in bucket `slot % BUCKETS`; colliding slots share a
+    /// bucket but the sort keeps earlier slots in front.
+    buckets: Vec<VecDeque<Entry<E>>>,
+    /// Lifecycle per sequence number ever issued (1 byte per event).
+    states: Vec<u8>,
+    /// Lower bound on the slot of the earliest live entry.
+    cursor_slot: u64,
+    /// Entries scheduled but neither fired nor cancelled.
+    live: usize,
+    /// Cancelled entries still physically present in a bucket.
+    dead: usize,
     next_seq: u64,
 }
 
@@ -87,14 +96,20 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut buckets = Vec::with_capacity(BUCKETS);
+        buckets.resize_with(BUCKETS, VecDeque::new);
         EventQueue {
-            heap: BinaryHeap::new(),
-            // vr-lint::allow(nondeterministic-collection, reason = "constructing the membership-only seq set documented on the struct field")
-            pending: HashSet::new(),
-            // vr-lint::allow(nondeterministic-collection, reason = "constructing the membership-only seq set documented on the struct field")
-            cancelled: HashSet::new(),
+            buckets,
+            states: Vec::new(),
+            cursor_slot: 0,
+            live: 0,
+            dead: 0,
             next_seq: 0,
         }
+    }
+
+    fn slot_of(time: SimTime) -> u64 {
+        time.as_micros() >> SLOT_SHIFT
     }
 
     /// Schedules `event` to fire at `time` and returns a handle that can
@@ -102,8 +117,22 @@ impl<E> EventQueue<E> {
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
-        self.pending.insert(seq);
+        self.states.push(STATE_PENDING);
+        let slot = Self::slot_of(time);
+        if self.live == 0 || slot < self.cursor_slot {
+            self.cursor_slot = slot;
+        }
+        self.live += 1;
+        let bucket = &mut self.buckets[(slot as usize) & (BUCKETS - 1)];
+        // New entries carry the largest seq yet, so whenever `time` is not
+        // earlier than the bucket tail the append keeps the sort — the
+        // overwhelmingly common case for monotone schedules.
+        if bucket.back().is_none_or(|e| e.time <= time) {
+            bucket.push_back(Entry { time, seq, event });
+        } else {
+            let at = bucket.partition_point(|e| e.time <= time);
+            bucket.insert(at, Entry { time, seq, event });
+        }
         EventHandle(seq)
     }
 
@@ -112,87 +141,145 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending, `false` if it had
     /// already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if self.pending.remove(&handle.0) {
-            self.cancelled.insert(handle.0);
-            self.maybe_compact();
-            true
-        } else {
-            false
+        match self.states.get_mut(handle.0 as usize) {
+            Some(state) if *state == STATE_PENDING => {
+                *state = STATE_CANCELLED;
+                self.live -= 1;
+                self.dead += 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
         }
     }
 
-    /// Rebuilds the heap without cancelled entries once they outnumber half
+    /// Drops cancelled entries from every bucket once they outnumber half
     /// the live ones.
     ///
-    /// The O(n) rebuild is amortized: after a compaction the dead set is
-    /// empty, and since `2 · dead > live` gates the rebuild its cost is at
+    /// The O(n) sweep is amortized: after a compaction the dead count is
+    /// zero, and since `2 · dead > live` gates the sweep its cost is at
     /// most ~3× the number of cancels performed since the previous one.
     fn maybe_compact(&mut self) {
-        if self.cancelled.len() * 2 <= self.pending.len() {
+        if self.dead * 2 <= self.live {
             return;
         }
-        let kept: BinaryHeap<Reverse<Entry<E>>> = std::mem::take(&mut self.heap)
-            .into_iter()
-            .filter(|Reverse(entry)| !self.cancelled.contains(&entry.seq))
-            .collect();
-        self.heap = kept;
-        self.cancelled.clear();
+        for bucket in &mut self.buckets {
+            bucket.retain(|e| {
+                let keep = self.states[e.seq as usize] == STATE_PENDING;
+                if !keep {
+                    self.states[e.seq as usize] = STATE_GONE;
+                }
+                keep
+            });
+        }
+        self.dead = 0;
+    }
+
+    /// Strips cancelled entries off the head of `bucket`, returning `true`
+    /// if a live head remains.
+    fn strip_cancelled_head(&mut self, bucket: usize) -> bool {
+        while let Some(head) = self.buckets[bucket].front() {
+            if self.states[head.seq as usize] == STATE_PENDING {
+                return true;
+            }
+            let seq = self.buckets[bucket]
+                .pop_front()
+                .map(|e| e.seq)
+                .unwrap_or_default();
+            self.states[seq as usize] = STATE_GONE;
+            self.dead -= 1;
+        }
+        false
+    }
+
+    /// Advances the slot cursor to the earliest live entry and returns its
+    /// bucket index. `None` when no live entries remain.
+    ///
+    /// Scans slot-by-slot from the cursor (each step is one bucket-head
+    /// check); if [`BUCKETS`] consecutive slots are empty the next event is
+    /// at least one full calendar rotation away, so it falls back to one
+    /// direct min-scan over the bucket heads and jumps the cursor there.
+    fn find_min_bucket(&mut self) -> Option<usize> {
+        if self.live == 0 {
+            return None;
+        }
+        for step in 0..BUCKETS as u64 {
+            let slot = self.cursor_slot + step;
+            let bucket = (slot as usize) & (BUCKETS - 1);
+            if self.strip_cancelled_head(bucket)
+                && Self::slot_of(self.buckets[bucket][0].time) == slot
+            {
+                self.cursor_slot = slot;
+                return Some(bucket);
+            }
+        }
+        // Sparse region: locate the global minimum directly. Bucket heads
+        // are per-bucket minima, so the least (time, seq) among them is the
+        // queue minimum.
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for bucket in 0..BUCKETS {
+            if !self.strip_cancelled_head(bucket) {
+                continue;
+            }
+            let head = &self.buckets[bucket][0];
+            let key = (head.time, head.seq);
+            if best.is_none_or(|(t, s, _)| key < (t, s)) {
+                best = Some((head.time, head.seq, bucket));
+            }
+        }
+        let (time, _, bucket) = best?;
+        self.cursor_slot = Self::slot_of(time);
+        Some(bucket)
     }
 
     /// Removes and returns the earliest pending event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
-            }
-            self.pending.remove(&entry.seq);
-            // Popping shrinks the live count, so the dead ratio can cross
-            // the compaction threshold here too, not just on cancel.
-            self.maybe_compact();
-            return Some((entry.time, entry.event));
-        }
-        None
+        let bucket = self.find_min_bucket()?;
+        let entry = self.buckets[bucket].pop_front()?;
+        self.states[entry.seq as usize] = STATE_GONE;
+        self.live -= 1;
+        // Popping shrinks the live count, so the dead ratio can cross the
+        // compaction threshold here too, not just on cancel.
+        self.maybe_compact();
+        Some((entry.time, entry.event))
     }
 
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
-            }
-        }
-        None
+        let bucket = self.find_min_bucket()?;
+        self.buckets[bucket].front().map(|e| e.time)
     }
 
     /// The number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
-    /// The number of entries physically held by the backing heap, including
+    /// The number of entries physically held by the backing store, including
     /// lazily-cancelled ones awaiting compaction.
     ///
     /// Always at least [`len`](Self::len); the compaction policy keeps the
     /// excess bounded by `len() / 2`. Exposed so external checkers can assert
     /// the queue does not grow without bound under heavy cancellation.
     pub fn heap_len(&self) -> usize {
-        self.heap.len()
+        self.live + self.dead
     }
 
     /// Drops every pending event.
     pub fn clear(&mut self) {
-        self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        for bucket in &mut self.buckets {
+            for entry in bucket.drain(..) {
+                self.states[entry.seq as usize] = STATE_GONE;
+            }
+        }
+        self.live = 0;
+        self.dead = 0;
+        self.cursor_slot = 0;
     }
 }
 
@@ -280,6 +367,15 @@ mod tests {
     }
 
     #[test]
+    fn cancel_after_clear_is_rejected() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1), 1);
+        q.clear();
+        assert!(!q.cancel(h));
+        assert_eq!(q.heap_len(), 0);
+    }
+
+    #[test]
     fn cancel_fired_handle_with_others_pending_is_rejected() {
         let mut q = EventQueue::new();
         let h = q.schedule(t(1), "fires");
@@ -299,10 +395,10 @@ mod tests {
         }
         assert_eq!(q.len(), 100);
         // Compaction keeps dead heap entries bounded by half the live count;
-        // without it the heap would still hold all 1 000 entries.
+        // without it the store would still hold all 1 000 entries.
         assert!(
             q.heap_len() - q.len() <= q.len() / 2,
-            "heap holds {} entries for {} live events",
+            "store holds {} entries for {} live events",
             q.heap_len(),
             q.len()
         );
@@ -353,5 +449,49 @@ mod tests {
         assert_eq!(q.pop(), Some((t(8), 3)));
         assert_eq!(q.pop(), Some((t(12), 4)));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn scheduling_earlier_than_the_cursor_rewinds_it() {
+        let mut q = EventQueue::new();
+        q.schedule(t(500), "late");
+        assert_eq!(q.pop(), Some((t(500), "late")));
+        // The cursor now sits at t=500s; an earlier schedule must still
+        // surface first.
+        q.schedule(t(1), "early");
+        q.schedule(t(700), "later");
+        assert_eq!(q.pop(), Some((t(1), "early")));
+        assert_eq!(q.pop(), Some((t(700), "later")));
+    }
+
+    #[test]
+    fn colliding_slots_one_rotation_apart_stay_ordered() {
+        // Two times whose slots differ by exactly BUCKETS land in the same
+        // bucket; the earlier rotation must pop first and the cursor scan
+        // must not mistake the later one for the current slot.
+        let mut q = EventQueue::new();
+        let width = 1u64 << SLOT_SHIFT;
+        let far = SimTime::from_micros(BUCKETS as u64 * width + 5);
+        let near = SimTime::from_micros(5);
+        q.schedule(far, "far");
+        q.schedule(near, "near");
+        assert_eq!(q.pop(), Some((near, "near")));
+        assert_eq!(q.pop(), Some((far, "far")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn sparse_far_future_jump_finds_the_minimum() {
+        // With nothing in the next BUCKETS slots the queue falls back to a
+        // direct min-scan; the jump must preserve (time, seq) order.
+        let mut q = EventQueue::new();
+        let width = 1u64 << SLOT_SHIFT;
+        let a = SimTime::from_micros(10 * BUCKETS as u64 * width + 3);
+        let b = SimTime::from_micros(17 * BUCKETS as u64 * width + 9);
+        q.schedule(b, "b");
+        q.schedule(a, "a");
+        assert_eq!(q.peek_time(), Some(a));
+        assert_eq!(q.pop(), Some((a, "a")));
+        assert_eq!(q.pop(), Some((b, "b")));
     }
 }

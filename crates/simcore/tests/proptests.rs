@@ -119,6 +119,92 @@ proptest! {
         prop_assert_eq!(drained, expected);
     }
 
+    /// Calendar-specific model check: scheduled times span many bucket
+    /// rotations of the calendar queue and repeat exactly, so one sequence
+    /// of operations drives equal-key FIFO ordering, same-bucket slot
+    /// collisions (times one full rotation apart), cursor rewinds
+    /// (scheduling earlier than the last pop), the sparse far-future jump,
+    /// and compaction — all against the naive sorted-Vec model.
+    #[test]
+    fn calendar_queue_matches_vec_model_across_rotations(
+        ops in prop::collection::vec((0u8..4, 0u64..u64::MAX), 1..400)
+    ) {
+        // Slot width and rotation period of the calendar layout (1024
+        // buckets of 2^20 µs); exercised as plain times here — the queue's
+        // observable contract stays pure (time, seq) ordering.
+        const W: u64 = 1 << 20;
+        const ROT: u64 = 1024 * W;
+        const TIMES: [u64; 12] = [
+            0,
+            5,
+            5, // exact duplicate: FIFO tie-break
+            W - 1,
+            W, // adjacent slots
+            3 * W + 7,
+            ROT + 5,     // same bucket as 5, one rotation later
+            ROT + 5,     // duplicate of the collision too
+            2 * ROT + 3 * W + 7, // same bucket as 3W+7, two rotations later
+            7 * ROT + 1, // sparse far future: forces the min-scan jump
+            19 * ROT + W + 9,
+            19 * ROT + W + 9,
+        ];
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64, usize)> = Vec::new();
+        let mut issued = Vec::new();
+        let mut next_payload = 0usize;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let time = TIMES[(arg % TIMES.len() as u64) as usize];
+                    let h = q.schedule(SimTime::from_micros(time), next_payload);
+                    model.push((time, issued.len() as u64, next_payload));
+                    issued.push(h);
+                    next_payload += 1;
+                }
+                1 => {
+                    if issued.is_empty() {
+                        continue;
+                    }
+                    let pick = (arg % issued.len() as u64) as usize;
+                    let seq = pick as u64;
+                    let live = model.iter().any(|&(_, s, _)| s == seq);
+                    prop_assert_eq!(q.cancel(issued[pick]), live);
+                    model.retain(|&(_, s, _)| s != seq);
+                }
+                2 => {
+                    let expected = model
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &(t, s, _))| (t, s))
+                        .map(|(i, _)| i);
+                    let expected = expected.map(|i| {
+                        let (t, _, p) = model.remove(i);
+                        (SimTime::from_micros(t), p)
+                    });
+                    prop_assert_eq!(q.pop(), expected);
+                }
+                _ => {
+                    let expected = model.iter().map(|&(t, s, _)| (t, s)).min().map(|(t, _)| {
+                        SimTime::from_micros(t)
+                    });
+                    prop_assert_eq!(q.peek_time(), expected);
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(
+                q.heap_len() <= model.len() + model.len() / 2 + 1,
+                "store grew to {} entries for {} live events",
+                q.heap_len(),
+                model.len()
+            );
+        }
+        model.sort_by_key(|&(t, s, _)| (t, s));
+        let drained: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop().map(|(t, p)| (t.as_micros(), p))).collect();
+        let expected: Vec<(u64, usize)> = model.iter().map(|&(t, _, p)| (t, p)).collect();
+        prop_assert_eq!(drained, expected);
+    }
+
     /// Welford statistics agree with the naive two-pass computation.
     #[test]
     fn welford_matches_naive(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {

@@ -22,7 +22,11 @@ pub struct TraceProfile {
     /// Trace records per event-kind token, in token order.
     pub kind_counts: BTreeMap<&'static str, u64>,
     /// Inter-event gaps in simulated microseconds, log-bucketed from 1 µs
-    /// to 1000 s (zero gaps land in the underflow bucket).
+    /// to 1000 s with a dedicated leading `[0, 1)` bucket. Simulated time is
+    /// integer microseconds, so every sub-microsecond gap is exactly zero —
+    /// same-instant events, the common case whenever the periodic tick
+    /// streams and a burst of arrivals share a timestamp — and those are
+    /// *measured* in the zero bucket rather than counted as underflow.
     pub gap_micros: Histogram,
 }
 
@@ -32,7 +36,7 @@ impl TraceProfile {
         TraceProfile {
             engine_events: 0,
             kind_counts: BTreeMap::new(),
-            gap_micros: Histogram::logarithmic(1.0, 1_000_000_000.0, 18),
+            gap_micros: Histogram::logarithmic_with_zero(1.0, 1_000_000_000.0, 18),
         }
     }
 
@@ -109,6 +113,30 @@ mod tests {
         let parsed = Json::parse(&a).expect("profile JSON parses");
         assert_eq!(parsed.get("engine_events").and_then(Json::as_u64), Some(3));
         assert!(parsed.get("wall_secs").is_none());
+    }
+
+    #[test]
+    fn zero_gaps_are_measured_not_underflowed() {
+        // Snapshot of the histogram JSON with same-instant events present:
+        // the zero gap lands in the dedicated [0, 1) bucket, underflow stays
+        // zero, and the encoding is byte-stable.
+        let mut p = TraceProfile::new();
+        p.engine_events = 4;
+        p.gap_micros.record(0.0); // same-instant pair
+        p.gap_micros.record(0.0);
+        p.gap_micros.record(1.0); // 1 µs
+        let json = p.to_json(None).render();
+        let hist = Json::parse(&json)
+            .expect("profile JSON parses")
+            .get("inter_event_micros")
+            .cloned()
+            .expect("histogram present");
+        assert_eq!(hist.get("underflow").and_then(Json::as_u64), Some(0));
+        assert_eq!(hist.get("overflow").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            hist.get("buckets").unwrap().render(),
+            "[[0.0,1.0,2],[1.0,3.162277660168379,1]]"
+        );
     }
 
     #[test]
