@@ -6,7 +6,10 @@
 //! shrunk — drop jobs, drop nodes, halve times, simplify the fault plan —
 //! to a minimal reproducer that still diverges, and rendered as a
 //! replayable text spec ([`CheckScenario::render`] /
-//! [`CheckScenario::parse`]).
+//! [`CheckScenario::parse`]). The spec is a stable, versioned format
+//! ([`WIRE_FORMAT_VERSION`]) — it is also the wire format of the
+//! `vrecon serve` what-if scheduling service, so render/parse/render must
+//! stay byte-identical across releases.
 //!
 //! Determinism contract: iteration `i` derives its scenario from
 //! `SimRng::seed_from(seed).fork(i)` alone, work is dispatched over
@@ -79,6 +82,18 @@ pub struct CheckScenario {
     pub fault_plan: Option<FaultPlan>,
 }
 
+/// Version of the replayable text-spec format ([`CheckScenario::render`] /
+/// [`CheckScenario::parse`]).
+///
+/// The spec doubles as the **wire format** of `vrecon serve`, so it is
+/// versioned like any other protocol: `render` stamps every spec with a
+/// `spec-version` line, `parse` rejects versions it does not understand
+/// (rather than silently misreading a future field), and specs without the
+/// line are accepted as version 1 (the pre-versioning fuzzer reproducers).
+/// Bump this only when a change would alter the meaning of an existing
+/// spec; purely additive keywords do not need a bump.
+pub const WIRE_FORMAT_VERSION: u64 = 1;
+
 impl CheckScenario {
     /// Builds the engine/oracle inputs, validating everything up front.
     ///
@@ -141,6 +156,7 @@ impl CheckScenario {
     /// [`CheckScenario::parse`] round-trips it exactly.
     pub fn render(&self) -> String {
         let mut out = String::from("# vr-check fuzz reproducer\n");
+        out.push_str(&format!("spec-version {WIRE_FORMAT_VERSION}\n"));
         out.push_str(&format!("policy {}\n", self.policy));
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("max-sim-time-s {}\n", self.max_sim_time_s));
@@ -231,6 +247,15 @@ impl CheckScenario {
                 }
             };
             match keyword {
+                "spec-version" => {
+                    let version: u64 = num(single()?, line)?;
+                    if version != WIRE_FORMAT_VERSION {
+                        return Err(format!(
+                            "unsupported spec-version {version} (this build understands \
+                             {WIRE_FORMAT_VERSION})"
+                        ));
+                    }
+                }
                 "policy" => {
                     let name = single()?;
                     policy = Some(parse_policy(name)?);
@@ -667,6 +692,82 @@ mod tests {
             let parsed = CheckScenario::parse(&text)
                 .unwrap_or_else(|e| panic!("iteration {iter}: {e}\n{text}"));
             assert_eq!(parsed, scenario, "iteration {iter} round-trip\n{text}");
+        }
+    }
+
+    /// Wire-format stability: render → parse → render must reproduce the
+    /// exact bytes, for every scenario the fuzzer can generate. This is
+    /// what lets `vrecon serve` treat the spec as a canonical request body
+    /// (and hash it meaningfully).
+    #[test]
+    fn render_parse_render_is_byte_identical() {
+        for iter in 0..50 {
+            let scenario = generate(1234, iter);
+            let first = scenario.render();
+            let reparsed = CheckScenario::parse(&first)
+                .unwrap_or_else(|e| panic!("iteration {iter}: {e}\n{first}"));
+            assert_eq!(
+                reparsed.render(),
+                first,
+                "iteration {iter}: render/parse/render drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn specs_carry_and_enforce_the_wire_format_version() {
+        let scenario = generate(2, 0);
+        let text = scenario.render();
+        assert!(
+            text.contains(&format!("spec-version {WIRE_FORMAT_VERSION}\n")),
+            "{text}"
+        );
+        // A legacy spec without the version line still parses (version 1).
+        let legacy: String = text
+            .lines()
+            .filter(|l| !l.starts_with("spec-version"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(CheckScenario::parse(&legacy).unwrap(), scenario);
+        // A future version is rejected loudly, not misread.
+        let future = text.replace(
+            &format!("spec-version {WIRE_FORMAT_VERSION}"),
+            "spec-version 999",
+        );
+        let err = CheckScenario::parse(&future).unwrap_err();
+        assert!(err.contains("unsupported spec-version 999"), "{err}");
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_diagnostics() {
+        let cases: &[(&str, &str)] = &[
+            ("", "missing 'policy'"),
+            ("!!! total garbage\nbytes", "unknown keyword"),
+            ("policy G-Loadsharing\nnode user_mb=64", "node needs slots"),
+            ("policy G-Loadsharing\nnode slots=2", "node needs user_mb"),
+            ("policy nope", "unknown policy"),
+            ("policy G-Loadsharing\nseed twelve", "bad number"),
+            (
+                "policy G-Loadsharing\njob submit_us=0",
+                "job needs cpu_work_us",
+            ),
+            (
+                "policy G-Loadsharing\nnode user_mb=64 slots=2 extra=1",
+                "unknown node field",
+            ),
+            (
+                "policy G-Loadsharing\nfault-crash at_us=5",
+                "fault-crash needs node",
+            ),
+            ("spec-version one\npolicy G-Loadsharing", "bad number"),
+        ];
+        for (text, needle) in cases {
+            let err = CheckScenario::parse(text)
+                .expect_err(&format!("spec should have been rejected: {text:?}"));
+            assert!(
+                err.contains(needle),
+                "spec {text:?}: error {err:?} lacks {needle:?}"
+            );
         }
     }
 

@@ -24,5 +24,5 @@ pub mod fuzz;
 pub mod oracle;
 pub mod props;
 
-pub use fuzz::{run_fuzz, CheckScenario, FuzzOptions, FuzzOutcome};
+pub use fuzz::{run_fuzz, CheckScenario, FuzzOptions, FuzzOutcome, WIRE_FORMAT_VERSION};
 pub use oracle::{run_oracle, OracleSkew};

@@ -4,19 +4,22 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, IsTerminal, Write};
 use std::sync::Arc;
 
-use vr_check::{run_fuzz, FuzzOptions, OracleSkew};
+use vr_check::fuzz::generate;
+use vr_check::{run_fuzz, CheckScenario, FuzzOptions, OracleSkew};
 use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
 use vr_lint::{find_workspace_root, lint_workspace};
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::{fmt_f, TextTable};
 use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
+use vr_serve::{check_against, run_loadgen, JsonlRequestLog, LoadgenConfig, ServeConfig};
 use vr_simcore::rng::SimRng;
 use vr_workload::trace::{
     app_trace_scaled, spec_trace_scaled, Trace, TraceLevel, APP_LIFETIME_SCALE, SPEC_LIFETIME_SCALE,
 };
 use vr_workload::{read_trace, write_trace};
 use vrecon::config::SimConfig;
+use vrecon::encode_report;
 use vrecon::policy::PolicyKind;
 use vrecon::report::RunReport;
 use vrecon::sim::Simulation;
@@ -34,6 +37,7 @@ USAGE:
                  [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
                  [--fault-plan FILE] [--audit] [--max-sim-time SECS]
                  [--trace-out FILE] [--trace-format chrome|jsonl]
+                 [--spec FILE] [--report-out FILE]
   vrecon compare <TRACE_FILE> --cluster <cluster1|cluster2> [--seed N] [--nodes N]
   vrecon sweep   [spec] [app] [--seed N] [--trace-seed N] [--jobs N] [--no-cache]
   vrecon trace   <spec|app> [--level <1..5>] [--policy <POLICY>] [--seed N]
@@ -42,6 +46,13 @@ USAGE:
   vrecon lint    [--root DIR] [--format text|json]
   vrecon fuzz    [--iters N] [--seed N] [--jobs N] [--failures-dir DIR]
                  [--broken-oracle]
+  vrecon serve   [--addr HOST:PORT] [--jobs N] [--cache-dir DIR] [--no-cache]
+                 [--max-inflight N] [--hot-cap N] [--read-timeout-ms MS]
+                 [--max-conns N] [--request-log FILE]
+  vrecon loadgen [--addr HOST:PORT] [--specs N] [--warm N] [--concurrency N]
+                 [--seed N] [--followers N] [--heavy-jobs N] [--out FILE]
+                 [--check BASELINE] [--tolerance T]
+  vrecon spec    [--seed N] [--iter N] [--out FILE]
 
 POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
 
@@ -80,6 +91,31 @@ divergence is shrunk to a minimal reproducer and written under
 scenario diverged. Output is byte-identical for any `--jobs` value.
 `--broken-oracle` deliberately skews the oracle's completion timestamps by
 one microsecond to prove the harness detects and shrinks a real mismatch.
+
+`serve` runs what-if scheduling as an HTTP service: POST a scenario spec
+in the fuzzer's replayable text format (see `vrecon spec`) to `/run` and
+the deterministic report JSON comes back — byte-identical to what
+`vrecon run --spec FILE --report-out FILE` writes for the same spec.
+Responses come from an in-memory hot tier, the on-disk result cache
+(`--cache-dir`, default `.vr-cache/`; `--no-cache` disables the disk
+tier), or a fresh simulation on `--jobs` workers. Identical concurrent
+requests coalesce onto one run; distinct cold scenarios past
+`--max-inflight` are refused with 503 and connections past `--max-conns`
+with 429 — overload is always explicit, never an invisible queue.
+`GET /stats` reports counters, `GET /healthz` liveness; `--request-log`
+appends one JSON record per request.
+
+`spec` renders one fuzzer-generated scenario spec (`--seed`/`--iter`
+select which). `run --spec FILE` replays such a spec directly instead of
+a trace file (the spec carries its own cluster, policy, seed, and
+horizon, and always audits); `--report-out FILE` writes the canonical
+report encoding — the exact bytes `serve` returns for that spec.
+
+`loadgen` drives a running `serve` instance through cold / warm /
+coalesce / overload phases and prints the BENCH_serve.json document
+(`--out FILE` writes it instead); with `--check BASELINE` it compares
+against a committed baseline — phase counters exactly, warm-phase QPS
+and p99 within `--tolerance` (default 0.9).
 ";
 
 fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
@@ -327,8 +363,63 @@ fn render_gantt(report: &RunReport, nodes: usize, width: usize) -> String {
     out
 }
 
+/// Writes the canonical report encoding plus a trailing newline — the
+/// exact bytes a `vrecon serve` response carries for the same scenario.
+fn write_report_out(path: &str, report: &RunReport) -> Result<(), ArgError> {
+    let mut text = encode_report(report);
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))
+}
+
+/// `vrecon run --spec` — replay a scenario-spec file (the serve wire
+/// format) instead of a trace file. The spec carries its own cluster,
+/// policy, seed, and horizon, and always runs with the auditor on, so
+/// the `--report-out` bytes match a serve response for the same spec.
+fn run_spec(args: &Args, path: &str) -> Result<String, ArgError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+    let scenario = CheckScenario::parse(&text)
+        .map_err(|e| ArgError(format!("{path} is not a valid scenario spec: {e}")))?;
+    let (config, trace) = scenario
+        .to_sim()
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    let report = Scenario::new(config, Arc::new(trace)).run();
+    let mut out = render_report(&report, args.flag("csv"));
+    if let Some(out_path) = args.opt("report-out") {
+        write_report_out(out_path, &report)?;
+        out.push_str(&format!("\nreport -> {out_path}"));
+    }
+    if report.audit_violations.is_empty() {
+        out.push_str("\naudit: clean (no invariant violations)");
+    } else {
+        let mut listing = String::new();
+        for v in &report.audit_violations {
+            listing.push_str("\n  ");
+            listing.push_str(v);
+        }
+        return Err(ArgError(format!(
+            "audit found {} invariant violation(s):{listing}",
+            report.audit_violations.len()
+        )));
+    }
+    if let Some(warning) = truncation_warning(&report) {
+        eprintln!("{warning}");
+        out.push('\n');
+        out.push_str(&warning);
+    }
+    Ok(out)
+}
+
 /// `vrecon run` — replay a trace under one policy.
 pub fn run(args: &Args) -> Result<String, ArgError> {
+    if let Some(spec_path) = args.opt("spec") {
+        if !args.positional().is_empty() {
+            return Err(ArgError(
+                "give either a trace file or --spec, not both".to_owned(),
+            ));
+        }
+        return run_spec(args, spec_path);
+    }
     let trace = load_trace(args.single_positional("trace file")?)?;
     let cluster = parse_cluster(args)?;
     let cluster_size = cluster.size();
@@ -373,6 +464,10 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let mut out = render_report(&report, args.flag("csv"));
     if let Some(note) = trace_note {
         out.push_str(&note);
+    }
+    if let Some(out_path) = args.opt("report-out") {
+        write_report_out(out_path, &report)?;
+        out.push_str(&format!("\nreport -> {out_path}"));
     }
     if faulted {
         let c = &report.faults;
@@ -822,6 +917,180 @@ pub fn fuzz(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// Builds a [`ServeConfig`] from CLI flags. Separate from [`serve`]
+/// itself so the mapping is testable — `serve` never returns.
+fn serve_config(args: &Args) -> Result<ServeConfig, ArgError> {
+    if args.flag("no-cache") && args.opt("cache-dir").is_some() {
+        return Err(ArgError(
+            "--no-cache and --cache-dir are mutually exclusive".to_owned(),
+        ));
+    }
+    let mut config = ServeConfig {
+        addr: args.opt_or("addr", "127.0.0.1:7071").to_owned(),
+        jobs: args.opt_parse::<usize>("jobs")?.unwrap_or(0),
+        cache_dir: if args.flag("no-cache") {
+            None
+        } else {
+            Some(
+                args.opt("cache-dir")
+                    .map(std::path::PathBuf::from)
+                    .unwrap_or_else(vr_runner::default_cache_dir),
+            )
+        },
+        ..ServeConfig::default()
+    };
+    if let Some(n) = args.opt_parse::<usize>("max-inflight")? {
+        if n == 0 {
+            return Err(ArgError("--max-inflight must be positive".to_owned()));
+        }
+        config.max_inflight = n;
+    }
+    if let Some(n) = args.opt_parse::<usize>("hot-cap")? {
+        config.hot_cap = n;
+    }
+    if let Some(ms) = args.opt_parse::<u64>("read-timeout-ms")? {
+        if ms == 0 {
+            return Err(ArgError("--read-timeout-ms must be positive".to_owned()));
+        }
+        config.read_timeout = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = args.opt_parse::<usize>("max-conns")? {
+        if n == 0 {
+            return Err(ArgError("--max-conns must be positive".to_owned()));
+        }
+        config.max_conns = n;
+    }
+    if let Some(path) = args.opt("request-log") {
+        let log = JsonlRequestLog::create(std::path::Path::new(path))
+            .map_err(|e| ArgError(format!("cannot open {path}: {e}")))?;
+        config.hook = Arc::new(log);
+    }
+    Ok(config)
+}
+
+/// `vrecon serve` — what-if scheduling as an HTTP service over the
+/// result cache. Prints the bound address, then serves until killed.
+pub fn serve(args: &Args) -> Result<String, ArgError> {
+    let config = serve_config(args)?;
+    let cache_note = match &config.cache_dir {
+        Some(dir) => format!("cache {}", dir.display()),
+        None => "cache disabled".to_owned(),
+    };
+    let handle =
+        vr_serve::start(config).map_err(|e| ArgError(format!("cannot start server: {e}")))?;
+    // Scripts wait for this line before sending requests, so it must hit
+    // stdout now, not when the (never-returning) command completes.
+    println!(
+        "vrecon serve listening on http://{} ({cache_note})",
+        handle.addr()
+    );
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `vrecon loadgen` — drive a running serve instance through the phased
+/// benchmark; print, write, or baseline-check the resulting document.
+pub fn loadgen(args: &Args) -> Result<String, ArgError> {
+    let mut config = LoadgenConfig::default();
+    if let Some(addr) = args.opt("addr") {
+        config.addr = addr
+            .parse()
+            .map_err(|e| ArgError(format!("bad --addr {addr}: {e}")))?;
+    }
+    if let Some(n) = args.opt_parse::<usize>("specs")? {
+        if n == 0 {
+            return Err(ArgError("--specs must be positive".to_owned()));
+        }
+        config.specs = n;
+    }
+    if let Some(n) = args.opt_parse::<usize>("warm")? {
+        config.warm_requests = n;
+    }
+    if let Some(n) = args.opt_parse::<usize>("concurrency")? {
+        if n == 0 {
+            return Err(ArgError("--concurrency must be positive".to_owned()));
+        }
+        config.concurrency = n;
+    }
+    if let Some(seed) = args.opt_parse::<u64>("seed")? {
+        config.seed = seed;
+    }
+    if let Some(n) = args.opt_parse::<usize>("followers")? {
+        config.followers = n;
+    }
+    if let Some(n) = args.opt_parse::<usize>("heavy-jobs")? {
+        config.heavy_jobs = n;
+    }
+    // Resolve and load the baseline before generating any load, so a
+    // typo'd path fails fast instead of after a minutes-long run.
+    let tolerance = args.opt_parse::<f64>("tolerance")?.unwrap_or(0.9);
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(ArgError(format!(
+            "--tolerance must be in [0, 1), got {tolerance}"
+        )));
+    }
+    let baseline = match args.opt("check") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path)
+                .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+            let doc = vr_simcore::jsonio::Json::parse(&raw)
+                .map_err(|e| ArgError(format!("{path} is not valid JSON: {e}")))?;
+            Some((path, doc))
+        }
+        None if args.opt("tolerance").is_some() => {
+            return Err(ArgError("--tolerance requires --check".to_owned()))
+        }
+        None => None,
+    };
+    let doc = run_loadgen(&config).map_err(ArgError)?;
+    let mut text = doc.render();
+    text.push('\n');
+    let mut notes = Vec::new();
+    if let Some(path) = args.opt("out") {
+        std::fs::write(path, &text).map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        notes.push(format!("wrote {path}"));
+    }
+    if let Some((path, baseline)) = baseline {
+        check_against(&baseline, &doc, tolerance).map_err(|e| {
+            ArgError(format!(
+                "loadgen baseline check against {path} failed:\n{e}"
+            ))
+        })?;
+        notes.push(format!(
+            "baseline check passed against {path} (tolerance {tolerance})"
+        ));
+    }
+    if notes.is_empty() {
+        // No sink requested: the document itself is the output.
+        Ok(text.trim_end().to_owned())
+    } else {
+        Ok(format!("loadgen: {}", notes.join("; ")))
+    }
+}
+
+/// `vrecon spec` — render one fuzzer-generated scenario spec: the wire
+/// format `serve` accepts and `run --spec` replays.
+pub fn spec(args: &Args) -> Result<String, ArgError> {
+    let seed = args.opt_parse::<u64>("seed")?.unwrap_or(42);
+    let iter = args.opt_parse::<u64>("iter")?.unwrap_or(0);
+    let scenario = generate(seed, iter);
+    let text = scenario.render();
+    match args.opt("out") {
+        Some(path) => {
+            std::fs::write(path, &text)
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            Ok(format!(
+                "wrote scenario spec (seed {seed}, iter {iter}, {} nodes, {} jobs) to {path}",
+                scenario.nodes.len(),
+                scenario.jobs.len()
+            ))
+        }
+        None => Ok(text.trim_end().to_owned()),
+    }
+}
+
 /// Dispatches a subcommand.
 pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
     match subcommand {
@@ -833,6 +1102,9 @@ pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
         "trace" => trace(args),
         "lint" => lint(args),
         "fuzz" => fuzz(args),
+        "serve" => serve(args),
+        "loadgen" => loadgen(args),
+        "spec" => spec(args),
         other => Err(ArgError(format!("unknown subcommand {other}\n\n{USAGE}"))),
     }
 }
@@ -1135,5 +1407,80 @@ mod tests {
     fn run_reports_missing_file() {
         let err = run(&args(&["/nonexistent/trace.vrt"])).unwrap_err();
         assert!(err.0.contains("cannot open"));
+    }
+
+    #[test]
+    fn spec_output_round_trips_through_the_parser() {
+        let rendered = dispatch("spec", &args(&["--seed", "7", "--iter", "3"])).unwrap();
+        let parsed = CheckScenario::parse(&rendered).unwrap();
+        assert_eq!(parsed, generate(7, 3));
+    }
+
+    #[test]
+    fn run_spec_report_out_matches_the_serve_bytes() {
+        let dir = std::env::temp_dir().join(format!("vrecon-cli-spec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("s.txt");
+        let spec_str = spec_path.to_str().unwrap();
+        let msg = spec(&args(&["--seed", "7", "--iter", "3", "--out", spec_str])).unwrap();
+        assert!(msg.contains("wrote scenario spec"), "{msg}");
+        let report_path = dir.join("r.json");
+        let report_str = report_path.to_str().unwrap();
+        let msg = run(&args(&["--spec", spec_str, "--report-out", report_str])).unwrap();
+        assert!(msg.contains("audit: clean"), "{msg}");
+        // The written bytes are exactly what a serve response body would
+        // carry for the same spec: canonical encoding plus newline.
+        let scenario = generate(7, 3);
+        let (config, trace) = scenario.to_sim().unwrap();
+        let report = Scenario::new(config, Arc::new(trace)).run();
+        let want = format!("{}\n", encode_report(&report));
+        assert_eq!(std::fs::read_to_string(&report_path).unwrap(), want);
+        // --spec and a positional trace file are mutually exclusive.
+        let err = run(&args(&["t.vrt", "--spec", spec_str])).unwrap_err();
+        assert!(err.0.contains("not both"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_config_maps_flags_and_rejects_contradictions() {
+        let config = serve_config(&args(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--jobs",
+            "3",
+            "--cache-dir",
+            "/tmp/vr-serve-flag-test",
+            "--max-inflight",
+            "2",
+            "--hot-cap",
+            "9",
+            "--read-timeout-ms",
+            "250",
+            "--max-conns",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(config.addr, "127.0.0.1:0");
+        assert_eq!(config.jobs, 3);
+        assert_eq!(
+            config.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/vr-serve-flag-test"))
+        );
+        assert_eq!(config.max_inflight, 2);
+        assert_eq!(config.hot_cap, 9);
+        assert_eq!(config.read_timeout, std::time::Duration::from_millis(250));
+        assert_eq!(config.max_conns, 5);
+        let disabled = serve_config(&args(&["--no-cache"])).unwrap();
+        assert!(disabled.cache_dir.is_none());
+        assert!(serve_config(&args(&["--no-cache", "--cache-dir", "x"])).is_err());
+        assert!(serve_config(&args(&["--max-inflight", "0"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_rejects_bad_flags_before_touching_the_network() {
+        assert!(loadgen(&args(&["--addr", "not-an-addr"])).is_err());
+        assert!(loadgen(&args(&["--specs", "0"])).is_err());
+        let err = loadgen(&args(&["--addr", "127.0.0.1:1", "--tolerance", "0.5"])).unwrap_err();
+        assert!(err.0.contains("requires --check"), "{}", err.0);
     }
 }

@@ -416,6 +416,24 @@ use std::collections::HashSet;
     }
 
     #[test]
+    fn wall_clock_boundary_file_is_exempt() {
+        let src = "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n";
+        // The serve crate is NOT in the orchestration allow-list…
+        assert_eq!(
+            lint_source("crates/serve/src/server.rs", src, &lib_ctx("serve"))
+                .diagnostics
+                .len(),
+            3
+        );
+        // …but its single clock-injection boundary file is exempt.
+        assert!(
+            lint_source("crates/serve/src/clock.rs", src, &lib_ctx("serve"))
+                .diagnostics
+                .is_empty()
+        );
+    }
+
+    #[test]
     fn classify_paths() {
         let c = classify("crates/core/src/sim.rs");
         assert_eq!(c.krate, "core");

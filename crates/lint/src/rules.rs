@@ -18,6 +18,14 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// Crates allowed to read wall clocks (orchestration / reporting layer).
 const WALL_CLOCK_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
 
+/// Wall-clock *injection boundaries*: single files whose entire job is to
+/// read the host clock and hand opaque measurements to the rest of an
+/// otherwise clock-free crate. `vr-serve` is the motivating case — request
+/// latency must be measured, but only `clock.rs` may name `Instant`;
+/// everything else handles `Stopwatch`/`Deadline` values it cannot
+/// manufacture, so the serving logic stays testable and replayable.
+pub const WALL_CLOCK_BOUNDARY_FILES: &[&str] = &["crates/serve/src/clock.rs"];
+
 /// Crates allowed to read the process environment (config / CLI layer).
 const ENV_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
 
@@ -118,7 +126,9 @@ pub const RULES: &[Rule] = &[
         summary: "Instant/SystemTime outside the orchestration layer",
         skip_test_code: false,
         skip_bin_code: false,
-        applies: |krate, _| !WALL_CLOCK_ALLOWED.contains(&krate),
+        applies: |krate, rel| {
+            !WALL_CLOCK_ALLOWED.contains(&krate) && !WALL_CLOCK_BOUNDARY_FILES.contains(&rel)
+        },
         run: run_wall_clock,
     },
 ];

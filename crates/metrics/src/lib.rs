@@ -16,6 +16,8 @@
 //!   load-imbalance summaries from node counters.
 //! * [`throughput`] — [`ThroughputSummary`]: simulator events/second
 //!   accounting for the experiment runner's sweep telemetry.
+//! * [`latency`] — [`LatencySummary`]: request-latency percentiles and
+//!   QPS for the `vrecon serve` load generator's `BENCH_serve.json`.
 //!
 //! ```
 //! use vr_metrics::comparison::MetricComparison;
@@ -29,6 +31,7 @@
 
 pub mod comparison;
 pub mod fairness;
+pub mod latency;
 pub mod sampler;
 pub mod summary;
 pub mod table;
@@ -37,6 +40,7 @@ pub mod utilization;
 
 pub use comparison::MetricComparison;
 pub use fairness::{jain_index, worst_to_mean};
+pub use latency::LatencySummary;
 pub use sampler::{balance_skew, ClusterGauges};
 pub use summary::WorkloadSummary;
 pub use table::TextTable;

@@ -5,8 +5,10 @@
 //! the file name is a content hash of the *inputs* and the file body is a
 //! pure function of those inputs (the simulator is deterministic), a hit
 //! can simply be decoded and returned — no validation beyond the decode
-//! itself is needed, and a corrupt or stale-schema file just counts as a
-//! miss and is overwritten.
+//! itself is needed. A corrupt or stale-schema file counts as a miss, is
+//! quarantined aside (`<hash>.json.corrupt`), bumps the
+//! [`CacheStats::corrupt_entries`] counter, and is replaced by the next
+//! store.
 //!
 //! Writes go through a temp file in the same directory followed by an
 //! atomic rename, so parallel workers (or parallel *processes*) racing on
@@ -25,6 +27,13 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that ran the simulator (including decode failures).
     pub misses: u64,
+    /// Misses caused by an entry that *existed* but failed to decode
+    /// (truncated write, disk corruption, stale schema). Each such entry is
+    /// quarantined aside so subsequent lookups are clean misses; the next
+    /// store overwrites the key with fresh bytes. A serving tier surfaces
+    /// this counter because a growing value means the store itself is sick,
+    /// not merely cold.
+    pub corrupt_entries: u64,
 }
 
 impl CacheStats {
@@ -43,8 +52,16 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
-    write_seq: AtomicU64,
+    corrupt: AtomicU64,
 }
+
+/// Process-global temp-file sequence. Deliberately *not* per-instance:
+/// two `ResultCache` values rooted at the same directory (a server and a
+/// CLI sharing `$VR_CACHE_DIR`, or the serve worker pool next to a sweep)
+/// would otherwise both start at sequence 0 and collide on
+/// `<hash>.tmp.<pid>.0`, letting one writer rename the other's
+/// half-written temp file into place.
+static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl ResultCache {
     /// Default cache directory name, relative to the working directory.
@@ -56,7 +73,7 @@ impl ResultCache {
             dir: Some(dir.into()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            write_seq: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         }
     }
 
@@ -66,7 +83,7 @@ impl ResultCache {
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            write_seq: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
         }
     }
 
@@ -83,17 +100,47 @@ impl ResultCache {
     /// Looks up a scenario hash, counting the outcome. Any read or decode
     /// failure (missing file, corruption, older schema version) is a miss.
     pub fn lookup(&self, hash: &str) -> Option<RunReport> {
-        let report = self
-            .path_for(hash)
-            .and_then(|path| std::fs::read_to_string(path).ok())
-            .and_then(|text| decode_report(&text).ok());
-        match report {
-            Some(report) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(report)
-            }
-            None => {
+        self.read_validated(hash).map(|(_, report)| report)
+    }
+
+    /// Like [`lookup`](Self::lookup), but returns the entry's original
+    /// on-disk bytes. The text is still fully decoded first — a truncated
+    /// or corrupt entry is never served — so callers (the `vr-serve` hot
+    /// tier) get bytes that are guaranteed to round-trip.
+    pub fn lookup_raw(&self, hash: &str) -> Option<String> {
+        self.read_validated(hash).map(|(text, _)| text)
+    }
+
+    /// Shared hit path: read, validate by decoding, count, and quarantine
+    /// corrupt entries so the next lookup is a clean (cheap) miss.
+    fn read_validated(&self, hash: &str) -> Option<(String, RunReport)> {
+        let Some(path) = self.path_for(hash) else {
+            // Disabled cache: still a (counted) miss.
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match decode_report(&text) {
+            Ok(report) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some((text, report))
+            }
+            Err(_) => {
+                // The entry exists but is unreadable: count it, move it
+                // aside (best-effort — racing readers may have already
+                // quarantined or a writer replaced it), and miss.
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let quarantine = path.with_extension("json.corrupt");
+                if std::fs::rename(&path, &quarantine).is_err() {
+                    let _ = std::fs::remove_file(&path);
+                }
                 None
             }
         }
@@ -112,9 +159,11 @@ impl ResultCache {
         // vr-lint::allow(panic-in-lib, reason = "path_for joins under the cache root, so a parent always exists")
         let dir = path.parent().expect("cache path always has a parent");
         std::fs::create_dir_all(dir).map_err(|e| (dir.to_path_buf(), e))?;
-        // Unique temp name per process *and* per in-process writer, so
-        // concurrent stores never clobber each other's half-written file.
-        let seq = self.write_seq.fetch_add(1, Ordering::Relaxed);
+        // Unique temp name per process *and* per in-process write, so
+        // concurrent stores — even from distinct `ResultCache` instances
+        // sharing a directory — never clobber each other's half-written
+        // file.
+        let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = dir.join(format!("{hash}.tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, encode_report(report)).map_err(|e| (tmp.clone(), e))?;
         std::fs::rename(&tmp, &path).map_err(|e| (path.clone(), e))
@@ -125,6 +174,7 @@ impl ResultCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            corrupt_entries: self.corrupt.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,7 +220,16 @@ mod tests {
         assert!(cache.lookup("abc").is_none());
         cache.store("abc", &report).unwrap();
         assert_eq!(cache.lookup("abc").unwrap(), report);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                corrupt_entries: 0
+            }
+        );
+        // The raw bytes are exactly what was stored.
+        assert_eq!(cache.lookup_raw("abc").unwrap(), encode_report(&report));
         // No stray temp files survive the atomic write.
         let leftovers: Vec<_> = std::fs::read_dir(&dir)
             .unwrap()
@@ -181,13 +240,40 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_entries_count_as_misses() {
+    fn corrupt_entries_are_counted_and_quarantined() {
         let dir = tmp_dir("corrupt");
         let cache = ResultCache::at(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
         assert!(cache.lookup("bad").is_none());
         assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        // Quarantined aside: the next lookup is a clean miss, not another
+        // corrupt entry.
+        assert!(!dir.join("bad.json").exists());
+        assert!(dir.join("bad.json.corrupt").exists());
+        assert!(cache.lookup("bad").is_none());
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss_then_repaired_by_store() {
+        let dir = tmp_dir("truncated");
+        let cache = ResultCache::at(&dir);
+        let report = small_report();
+        cache.store("t", &report).unwrap();
+        // Truncate the entry mid-file, as a crashed writer without the
+        // atomic-rename protocol (or a torn disk) would leave it.
+        let full = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        std::fs::write(dir.join("t.json"), &full[..full.len() / 2]).unwrap();
+        assert!(cache.lookup("t").is_none(), "truncated entry must miss");
+        assert!(cache.lookup_raw("t").is_none());
+        assert_eq!(cache.stats().corrupt_entries, 1);
+        // A subsequent store overwrites the key; lookups hit again.
+        cache.store("t", &report).unwrap();
+        assert_eq!(cache.lookup("t").unwrap(), report);
+        assert_eq!(cache.lookup_raw("t").unwrap(), full);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -197,8 +283,60 @@ mod tests {
         let report = small_report();
         cache.store("xyz", &report).unwrap();
         assert!(cache.lookup("xyz").is_none());
+        assert!(cache.lookup_raw("xyz").is_none());
         assert!(!cache.is_enabled());
         assert_eq!(cache.path_for("xyz"), None);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                corrupt_entries: 0
+            }
+        );
+    }
+
+    /// Satellite regression: two writers (in-process threads *and* two
+    /// `ResultCache` instances standing in for a server + CLI sharing
+    /// `$VR_CACHE_DIR`) hammering the same keys must never clobber each
+    /// other's in-flight temp file — every lookup that hits decodes, and no
+    /// temp file survives.
+    #[test]
+    fn concurrent_writers_on_shared_keys_never_corrupt() {
+        let dir = tmp_dir("contention");
+        let report = small_report();
+        let caches = [ResultCache::at(&dir), ResultCache::at(&dir)];
+        std::thread::scope(|scope| {
+            for worker in 0..8usize {
+                let caches = &caches;
+                // RunReport is Send but not Sync (it carries a Cell-based
+                // phase memo), so each thread owns its own clone.
+                let report = report.clone();
+                scope.spawn(move || {
+                    let cache = &caches[worker % 2];
+                    for round in 0..25 {
+                        let hash = format!("key{}", round % 4);
+                        cache.store(&hash, &report).unwrap();
+                        if let Some(found) = cache.lookup(&hash) {
+                            assert_eq!(found, report, "worker {worker} round {round}");
+                        }
+                    }
+                });
+            }
+        });
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["key0.json", "key1.json", "key2.json", "key3.json"],
+            "stray temp or quarantine files after contention"
+        );
+        for cache in &caches {
+            assert_eq!(cache.stats().corrupt_entries, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

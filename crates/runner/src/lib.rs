@@ -52,7 +52,7 @@ pub mod scenario;
 pub mod telemetry;
 
 pub use cache::{default_cache_dir, CacheStats, ResultCache};
-pub use pool::{effective_workers, run_indexed, PoolOutcome};
+pub use pool::{effective_workers, panic_message, run_indexed, PoolOutcome};
 pub use runner::{
     bench_json, write_bench_json, Runner, ScenarioResult, SweepOptions, SweepOutcome,
 };

@@ -135,8 +135,10 @@ fn claim(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
     None
 }
 
-/// Extracts a readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a readable message from a panic payload. Public so other
+/// executors (the `vr-serve` simulation workers) isolate panics the same
+/// way this pool does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -273,6 +273,7 @@ pub fn bench_json(outcome: &SweepOutcome) -> Json {
             Json::obj([
                 ("hits", Json::U64(outcome.cache.hits)),
                 ("misses", Json::U64(outcome.cache.misses)),
+                ("corrupt_entries", Json::U64(outcome.cache.corrupt_entries)),
             ]),
         ),
         (
@@ -356,7 +357,14 @@ mod tests {
             assert!(!r.cache_hit);
         }
         // Disabled cache: every scenario was a miss.
-        assert_eq!(outcome.cache, CacheStats { hits: 0, misses: 5 });
+        assert_eq!(
+            outcome.cache,
+            CacheStats {
+                hits: 0,
+                misses: 5,
+                corrupt_entries: 0
+            }
+        );
         assert_eq!(outcome.jobs, 4);
     }
 

@@ -1,0 +1,123 @@
+//! A tiny blocking HTTP/1.1 client, enough to talk to `vrecon serve`:
+//! one request per connection, full-response reads, no keep-alive. Used
+//! by `vrecon loadgen`, the serve integration tests, and anyone who
+//! wants to query the service without reaching for curl.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code, selected headers, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// All response headers, lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// First header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the whole response.
+///
+/// # Errors
+///
+/// Connection, write, read, or response-parse failures, as one-line
+/// descriptions.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> Result<ClientResponse, String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: vrecon\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| format!("write {path}: {e}"))?;
+
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<ClientResponse, String> {
+    let text = std::str::from_utf8(raw).map_err(|_| "response is not UTF-8".to_owned())?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        return Err("response has no header/body separator".to_owned());
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    // Content-Length is authoritative when present; `Connection: close`
+    // servers may also just end the stream.
+    let body = match headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        Some(n) if n <= body.len() => &body[..n],
+        _ => body,
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_headers_and_body() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: 1\r\nContent-Length: 5\r\n\r\nbusy\n";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.header("Retry-After"), Some("1"));
+        assert_eq!(resp.body, "busy\n");
+    }
+
+    #[test]
+    fn malformed_status_line_is_an_error() {
+        assert!(parse_response(b"garbage\r\n\r\n").is_err());
+        assert!(parse_response(b"no separator at all").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! The wall-clock injection boundary.
+//!
+//! The serving tier is the one place in the workspace where real time is
+//! load-bearing: request latencies, socket read deadlines, and retry
+//! hints are wall-clock quantities, not simulated ones. To keep that from
+//! leaking into code that must stay deterministic, this module is the
+//! **only** file in `vr-serve` allowed to name [`std::time::Instant`] —
+//! `vrecon lint` enforces the boundary (see `WALL_CLOCK_BOUNDARY_FILES`
+//! in `vr-lint`). Everything else in the crate handles opaque
+//! [`Stopwatch`] values and plain `Duration`s, so a future virtual clock
+//! for tests only has to replace this file.
+
+use std::time::{Duration, Instant};
+
+/// A started timer. The rest of the crate can measure elapsed time but
+/// cannot mint or compare raw instants.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts a timer at the current wall-clock instant.
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since [`start`](Stopwatch::start).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds elapsed since [`start`](Stopwatch::start).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Whether more than `limit` has elapsed since the start.
+    pub fn expired(&self, limit: Duration) -> bool {
+        self.0.elapsed() > limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed_secs() > 0.0);
+        assert!(sw.elapsed_ms() >= 5.0 * 0.5, "{}", sw.elapsed_ms());
+        assert!(sw.expired(Duration::from_millis(1)));
+        assert!(!sw.expired(Duration::from_secs(3600)));
+    }
+}
