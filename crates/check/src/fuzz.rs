@@ -375,6 +375,7 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
 /// Each iteration forks its own RNG stream, so scenarios are independent of
 /// worker scheduling and of each other.
 pub fn generate(seed: u64, iter: u64) -> CheckScenario {
+    // vr-analyze::rng-authority(reason = "the fuzzer roots one stream per (seed, iter) so failures replay from the CLI pair alone")
     let mut rng = SimRng::seed_from(seed).fork(iter);
     let n_nodes = 2 + rng.index(5);
     let nodes: Vec<ScenarioNode> = (0..n_nodes)

@@ -502,6 +502,7 @@ pub fn run_oracle(
             })
             .collect(),
         index: Vec::new(),
+        // vr-analyze::rng-authority(reason = "the oracle re-derives the engine's master stream from the same config seed; sharing a fork would entangle the two models")
         rng: SimRng::seed_from(config.seed),
         pending: Vec::new(),
         in_transit: Vec::new(),

@@ -65,6 +65,7 @@ pub fn arrival_burst_permutation_invariance(
         }
     }
 
+    // vr-analyze::rng-authority(reason = "the permutation stream is deliberately divorced from the simulation seed; it must vary while the scenario stays fixed")
     let mut rng = SimRng::seed_from(perm_seed);
     let mut permuted_jobs: Vec<JobSpec> = Vec::new();
     for mut group in groups {

@@ -8,7 +8,7 @@ use vr_check::fuzz::generate;
 use vr_check::{run_fuzz, CheckScenario, FuzzOptions, OracleSkew};
 use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
-use vr_lint::{find_workspace_root, lint_workspace};
+use vr_lint::{analyze_workspace, find_workspace_root, lint_workspace};
 use vr_metrics::comparison::MetricComparison;
 use vr_metrics::table::{fmt_f, TextTable};
 use vr_runner::{ResultCache, Runner, Scenario, SweepOptions, SweepPlan};
@@ -44,6 +44,7 @@ USAGE:
                  [--trace-seed N] [--nodes N] [--max-sim-time SECS]
                  [--format chrome|jsonl] [--out FILE] [--profile-out FILE]
   vrecon lint    [--root DIR] [--format text|json]
+  vrecon analyze [--root DIR] [--format text|json|sarif] [--sarif-out FILE]
   vrecon fuzz    [--iters N] [--seed N] [--jobs N] [--failures-dir DIR]
                  [--broken-oracle]
   vrecon serve   [--addr HOST:PORT] [--jobs N] [--cache-dir DIR] [--no-cache]
@@ -83,6 +84,12 @@ converged.
 `lint` runs the vr-lint determinism & panic-safety analyzer over the
 workspace (the root is found by walking up from the current directory, or
 taken from `--root`) and fails when any diagnostic fires.
+
+`analyze` runs the vr-analyze semantic pass — cross-crate taint tracking
+for the wall-clock/RNG determinism boundaries plus lock-order, blocking
+and Condvar discipline over the pool/serve layer. Same root discovery and
+failure rule as `lint`; `--format sarif` (or `--sarif-out FILE` next to
+another format) emits SARIF 2.1.0 for code-scanning UIs.
 
 `fuzz` generates `--iters` seeded random scenarios and runs each through
 the engine, a naive reference oracle, and the invariant auditor. Any
@@ -871,6 +878,44 @@ pub fn lint(args: &Args) -> Result<String, ArgError> {
     }
 }
 
+/// `vrecon analyze`: run the cross-crate semantic analyzer (taint +
+/// concurrency rules) over the workspace.
+///
+/// Mirrors [`lint`]: succeeds only when no diagnostic fires. `--sarif-out`
+/// writes a SARIF report alongside whatever `--format` prints.
+pub fn analyze(args: &Args) -> Result<String, ArgError> {
+    let root = match args.opt("root") {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir()
+                .map_err(|e| ArgError(format!("cannot read current directory: {e}")))?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                ArgError("no [workspace] Cargo.toml above the current directory; use --root".into())
+            })?
+        }
+    };
+    let report = analyze_workspace(&root).map_err(ArgError)?;
+    if let Some(path) = args.opt("sarif-out") {
+        std::fs::write(path, report.render_sarif())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+    }
+    let rendered = match args.opt_or("format", "text") {
+        "json" => report.render_json(),
+        "sarif" => report.render_sarif(),
+        "text" => report.render_text(),
+        other => {
+            return Err(ArgError(format!(
+                "--format must be text|json|sarif, got {other}"
+            )))
+        }
+    };
+    if report.is_clean() {
+        Ok(rendered)
+    } else {
+        Err(ArgError(rendered))
+    }
+}
+
 /// `vrecon fuzz` — differential fuzzing of engine vs oracle vs auditor.
 ///
 /// Succeeds (summary on stdout) when every scenario agrees; on divergence
@@ -1101,6 +1146,7 @@ pub fn dispatch(subcommand: &str, args: &Args) -> Result<String, ArgError> {
         "sweep" => sweep(args),
         "trace" => trace(args),
         "lint" => lint(args),
+        "analyze" => analyze(args),
         "fuzz" => fuzz(args),
         "serve" => serve(args),
         "loadgen" => loadgen(args),
@@ -1183,6 +1229,16 @@ mod tests {
         let out = dispatch("lint", &args(&["--root", root])).unwrap();
         assert!(out.contains("0 diagnostic(s)"), "unexpected output: {out}");
         assert!(dispatch("lint", &args(&["--root", root, "--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn analyze_subcommand_reports_clean_workspace() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        let out = dispatch("analyze", &args(&["--root", root])).unwrap();
+        assert!(out.contains("0 diagnostic(s)"), "unexpected output: {out}");
+        let sarif = dispatch("analyze", &args(&["--root", root, "--format", "sarif"])).unwrap();
+        assert!(sarif.contains("\"2.1.0\""), "unexpected output: {sarif}");
+        assert!(dispatch("analyze", &args(&["--root", root, "--format", "yaml"])).is_err());
     }
 
     #[test]

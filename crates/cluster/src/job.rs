@@ -359,6 +359,7 @@ impl RunningJob {
     }
 
     /// Progress expressed as a span.
+    // vr-analyze::allow(panic-path, reason = "progress_secs is clamped non-negative and bounded by cpu_work, which already round-tripped through a span")
     pub fn progress(&self) -> SimSpan {
         SimSpan::from_secs_f64(self.progress_secs.max(0.0))
     }

@@ -427,6 +427,7 @@ impl Workstation {
     ///
     /// Calling with `now` in the past is a no-op (tolerated because multiple
     /// events can share a timestamp).
+    // vr-analyze::allow(panic-path, reason = "the only span minted is `remaining.max(0.0)`, bounded by the span it was derived from")
     pub fn advance_to(&mut self, now: SimTime) {
         if now <= self.last_update {
             return;
@@ -536,6 +537,12 @@ impl Workstation {
     /// The delay from the last advancement until this node next needs a
     /// wake-up (a completion or a memory-phase boundary), or `None` if it is
     /// idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job's projected completion is too far away to represent
+    /// as a span (a progress rate pathologically close to zero under an
+    /// extreme stall curve).
     pub fn next_event_in(&self) -> Option<SimSpan> {
         if self.jobs.is_empty() {
             return None;

@@ -46,6 +46,7 @@ impl ClusterParams {
 
     /// The paper's cluster 1: 32 × (400 MHz, 384 MB RAM, 380 MB swap) on
     /// 10 Mbps Ethernet. Runs workload group 1 (SPEC 2000).
+    // vr-analyze::allow(panic-path, reason = "homogeneous() asserts n > 0 and n is the constant 32")
     pub fn cluster1() -> Self {
         Self::homogeneous(
             32,
@@ -61,6 +62,7 @@ impl ClusterParams {
 
     /// The paper's cluster 2: 32 × (233 MHz, 128 MB RAM, 128 MB swap) on
     /// 10 Mbps Ethernet. Runs workload group 2 (scientific applications).
+    // vr-analyze::allow(panic-path, reason = "homogeneous() asserts n > 0 and n is the constant 32")
     pub fn cluster2() -> Self {
         Self::homogeneous(
             32,

@@ -156,6 +156,11 @@ impl SimConfig {
     /// Returns the config with the network-RAM extension enabled, deriving
     /// the remote fault service from the cluster's interconnect
     /// (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster's network bandwidth is not strictly positive
+    /// (see [`NetworkRamParams::over`]).
     pub fn with_network_ram(mut self) -> Self {
         let page = self
             .cluster

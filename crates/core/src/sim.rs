@@ -325,6 +325,7 @@ impl ClusterWorld {
             config: config.clone(),
             nodes,
             index: LoadIndex::new(),
+            // vr-analyze::rng-authority(reason = "the simulation root mints the master stream from the user-supplied config seed")
             rng: SimRng::seed_from(config.seed),
             pending: VecDeque::new(),
             in_transit: Vec::new(),

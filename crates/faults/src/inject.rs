@@ -61,6 +61,7 @@ impl FaultInjector {
     /// from it (mixed with the plan's `seed_salt`) so probability draws are
     /// reproducible and independent of the simulation's own stream.
     pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        // vr-analyze::rng-authority(reason = "fault draws root their own salted stream so enabling faults never perturbs the simulation's draws")
         let rng = SimRng::seed_from(seed).fork(FAULT_STREAM ^ plan.seed_salt);
         FaultInjector {
             plan,

@@ -1,0 +1,151 @@
+//! The `vr-analyze` binary: semantic analysis over the whole workspace.
+//!
+//! ```sh
+//! vr-analyze --workspace                         # what CI runs
+//! vr-analyze --workspace --format json
+//! vr-analyze --workspace --sarif-out analyze.sarif
+//! ```
+//!
+//! Unlike `vr-lint`, there is no single-file mode: the taint and
+//! lock-order rules are whole-program by nature (a finding in one file
+//! can be caused by a call three crates away), so the unit of analysis
+//! is always the workspace.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vr_lint::{analyze_workspace, find_workspace_root, ANALYZE_RULES};
+
+const USAGE: &str = "\
+vr-analyze — cross-crate semantic analysis for the vrecon workspace
+(taint tracking for determinism boundaries; lock-order, blocking and
+Condvar discipline over the pool/serve layer)
+
+USAGE:
+  vr-analyze [--workspace] [--root DIR] [--format text|json|sarif] [--sarif-out FILE]
+
+The workspace root is found by walking up from the current directory to
+a Cargo.toml with [workspace], or taken from --root. --sarif-out writes
+a SARIF 2.1.0 report to FILE in addition to the chosen --format on
+stdout.
+
+RULES:
+";
+
+fn usage() -> String {
+    let mut out = USAGE.to_owned();
+    for (name, summary) in ANALYZE_RULES {
+        out.push_str(&format!("  {name:24} {summary}\n"));
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    sarif_out: Option<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        format: Format::Text,
+        sarif_out: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--root" => {
+                let v = iter.next().ok_or("--root requires a value")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                opts.format = match iter.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!("--format must be text|json|sarif, got {other:?}"))
+                    }
+                }
+            }
+            "--sarif-out" => {
+                let v = iter.next().ok_or("--sarif-out requires a value")?;
+                opts.sarif_out = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let root = match &opts.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("error: cannot read cwd: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "error: no [workspace] Cargo.toml above the current directory; use --root"
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match analyze_workspace(&root) {
+        Ok(report) => {
+            if let Some(path) = &opts.sarif_out {
+                if let Err(e) = std::fs::write(path, report.render_sarif()) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            match opts.format {
+                Format::Text => println!("{}", report.render_text()),
+                Format::Json => println!("{}", report.render_json()),
+                Format::Sarif => println!("{}", report.render_sarif()),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Approximate intra-workspace call graph.
+//!
+//! Call *sites* are recovered syntactically (`path::name(`, `.name(`,
+//! `name(`) and resolved to workspace functions by **name union**: a
+//! method call resolves to every known method of that name, a bare call
+//! to every free function of that name, and a qualified call to the
+//! candidates whose `impl` type, module, file, or crate matches the last
+//! path qualifier. This over-approximates (no trait dispatch resolution,
+//! no type inference) and under-approximates (macro bodies are opaque,
+//! operator calls are invisible) — both deliberate: the taint rules
+//! consuming the graph want may-reach information and accept noise over
+//! silence, and every miss is documented in ARCHITECTURE.md.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::DETERMINISTIC_CRATES;
+use crate::syntax::FnItem;
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `qualifier::name(...)` — `qualifier` is the *last* path segment
+    /// before the name (`SimRng::seed_from`, `pool::spawn`).
+    Qualified(String),
+    /// `receiver.name(...)`.
+    Method,
+    /// `name(...)`.
+    Bare,
+}
+
+/// One recovered call site.
+#[derive(Debug, Clone)]
+pub struct Call {
+    pub kind: CallKind,
+    /// Callee name.
+    pub name: String,
+    /// Token index of the name, for neighborhood inspection.
+    pub idx: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Control-flow keywords and ubiquitous constructors that look like bare
+/// calls but never resolve to a workspace function.
+const NOT_CALLS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "in", "as", "move", "else",
+    "break", "continue", "unsafe", "impl", "where", "pub", "use", "mod", "Some", "None", "Ok",
+    "Err", "Box", "Vec", "String",
+];
+
+/// Extracts every call site inside `range` (a token index range,
+/// typically a function body).
+pub fn extract_calls(tokens: &[Tok], range: (usize, usize)) -> Vec<Call> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    for i in start..end.min(tokens.len()) {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue; // macros (`name!(`) fall out here too
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        let kind = match prev {
+            Some(p) if p.is_punct(".") => CallKind::Method,
+            Some(p) if p.is_punct("::") => {
+                match i.checked_sub(2).map(|q| &tokens[q]) {
+                    Some(q) if q.kind == TokKind::Ident => {
+                        // `self::f(...)` / `crate::f(...)` are bare calls
+                        // spelled with an explicit path root.
+                        if matches!(q.text.as_str(), "self" | "crate" | "super") {
+                            CallKind::Bare
+                        } else {
+                            CallKind::Qualified(q.text.clone())
+                        }
+                    }
+                    // `<T as Trait>::f(...)` and friends — qualifier is a
+                    // type expression we do not model; treat as method-like
+                    // so it still unions over same-name candidates.
+                    _ => CallKind::Method,
+                }
+            }
+            Some(p) if p.is_ident("fn") => continue, // a declaration
+            _ => CallKind::Bare,
+        };
+        if kind == CallKind::Bare && NOT_CALLS.contains(&t.text.as_str()) {
+            continue;
+        }
+        out.push(Call {
+            kind,
+            name: t.text.clone(),
+            idx: i,
+            line: t.line,
+            col: t.col,
+        });
+    }
+    out
+}
+
+/// One function in the workspace-wide index.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Workspace-relative path of the defining file.
+    pub rel_path: String,
+    /// Crate directory name (`serve`, `runner`, `simcore`, ...).
+    pub krate: String,
+    /// The parsed item.
+    pub item: FnItem,
+    /// File stem of `rel_path` (`pool` for `crates/runner/src/pool.rs`),
+    /// matching the one-module-per-file convention.
+    pub file_stem: String,
+}
+
+/// Name-indexed function table plus resolution.
+#[derive(Debug, Default)]
+pub struct FnIndex {
+    pub fns: Vec<FnInfo>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl FnIndex {
+    /// Builds the index over all analyzed functions.
+    pub fn build(fns: Vec<FnInfo>) -> FnIndex {
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.item.name.clone()).or_default().push(i);
+        }
+        FnIndex { fns, by_name }
+    }
+
+    /// Resolves a call site from `caller` to the ids of every candidate
+    /// workspace function. An empty result means the callee is external
+    /// (std or a vendored shim) — taint rules treat those as leaves.
+    ///
+    /// Two narrowing passes tame the name-union noise. *Layering*: the
+    /// deterministic simulation crates sit below the orchestration tier
+    /// and cannot depend on it, so a caller inside [`DETERMINISTIC_CRATES`]
+    /// never resolves to a candidate outside them. *Locality*: method and
+    /// bare unions prefer same-crate candidates when any exist — a bare
+    /// call is same-module or imported, and a same-name method on a type
+    /// from another crate is far likelier a std collision than a real
+    /// callee.
+    pub fn resolve(&self, call: &Call, caller: &FnInfo) -> Vec<usize> {
+        let candidates = match self.by_name.get(&call.name) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let mut ids: Vec<usize> = match &call.kind {
+            CallKind::Qualified(q) => {
+                let q = if q == "Self" {
+                    match &caller.item.impl_type {
+                        Some(ty) => ty.clone(),
+                        None => return Vec::new(),
+                    }
+                } else {
+                    q.clone()
+                };
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        let f = &self.fns[i];
+                        f.item.impl_type.as_deref() == Some(q.as_str())
+                            || f.item.modules.last().map(String::as_str) == Some(q.as_str())
+                            || f.file_stem == q
+                            || crate_matches(&q, &f.krate)
+                    })
+                    .collect()
+            }
+            // Method calls union over every same-name associated function;
+            // bare calls over every same-name free function.
+            CallKind::Method => candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].item.impl_type.is_some())
+                .collect(),
+            CallKind::Bare => candidates
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].item.impl_type.is_none())
+                .collect(),
+        };
+        if DETERMINISTIC_CRATES.contains(&caller.krate.as_str()) {
+            ids.retain(|&i| DETERMINISTIC_CRATES.contains(&self.fns[i].krate.as_str()));
+        }
+        if matches!(call.kind, CallKind::Method | CallKind::Bare)
+            && ids.iter().any(|&i| self.fns[i].krate == caller.krate)
+        {
+            ids.retain(|&i| self.fns[i].krate == caller.krate);
+        }
+        ids
+    }
+}
+
+/// `vr_simcore` / `vr-simcore` / `simcore` all name the `simcore` crate.
+fn crate_matches(qualifier: &str, krate: &str) -> bool {
+    qualifier == krate
+        || qualifier
+            .strip_prefix("vr_")
+            .map(|rest| rest == krate)
+            .unwrap_or(false)
+}
+
+/// Reverse-reachability with absorption: marks every function from which
+/// a source is reachable through the call graph. `absorbs(id)` functions
+/// become tainted but do not propagate to their callers — they are the
+/// declared boundaries. Returns, for each tainted fn, the callee id it
+/// got the taint through (sources map to themselves), so findings can
+/// print a witness path.
+pub fn tainted_from(
+    sources: &[usize],
+    callers_of: &BTreeMap<usize, Vec<usize>>,
+    absorbs: impl Fn(usize) -> bool,
+) -> BTreeMap<usize, usize> {
+    let mut via: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut queue: Vec<usize> = Vec::new();
+    for &s in sources {
+        if via.insert(s, s).is_none() {
+            queue.push(s);
+        }
+    }
+    while let Some(f) = queue.pop() {
+        if absorbs(f) {
+            continue; // tainted, but the boundary stops propagation
+        }
+        if let Some(callers) = callers_of.get(&f) {
+            for &c in callers {
+                if via.insert(c, f).is_none() {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    via
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::syntax::parse_fns;
+
+    fn calls_of(src: &str) -> Vec<Call> {
+        let lexed = lex(src);
+        let fns = parse_fns(&lexed);
+        extract_calls(&lexed.tokens, fns[0].body)
+    }
+
+    #[test]
+    fn call_kinds_are_classified() {
+        let src =
+            "fn f() { helper(); obj.method(); SimRng::seed_from(7); a::b::deep(); self::local(); }";
+        let calls = calls_of(src);
+        let got: Vec<(String, CallKind)> = calls
+            .iter()
+            .map(|c| (c.name.clone(), c.kind.clone()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("helper".to_owned(), CallKind::Bare),
+                ("method".to_owned(), CallKind::Method),
+                (
+                    "seed_from".to_owned(),
+                    CallKind::Qualified("SimRng".to_owned())
+                ),
+                ("deep".to_owned(), CallKind::Qualified("b".to_owned())),
+                ("local".to_owned(), CallKind::Bare),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_constructors_and_macros_are_not_calls() {
+        let src =
+            "fn f() { if x() { return Some(1); } for i in iter() {} println!(\"{}\", Ok::<u32, ()>(2).unwrap_or(3)); }";
+        let names: Vec<String> = calls_of(src).into_iter().map(|c| c.name).collect();
+        assert_eq!(names, vec!["x", "iter", "unwrap_or"]);
+    }
+
+    fn index_of(srcs: &[(&str, &str)]) -> FnIndex {
+        let mut all = Vec::new();
+        for (rel, src) in srcs {
+            let lexed = lex(src);
+            for item in parse_fns(&lexed) {
+                let krate = rel.split('/').nth(1).unwrap_or("repro").to_owned();
+                let file_stem = rel
+                    .rsplit('/')
+                    .next()
+                    .and_then(|f| f.strip_suffix(".rs"))
+                    .unwrap_or("")
+                    .to_owned();
+                all.push(FnInfo {
+                    rel_path: (*rel).to_owned(),
+                    krate,
+                    item,
+                    file_stem,
+                });
+            }
+        }
+        FnIndex::build(all)
+    }
+
+    #[test]
+    fn qualified_resolution_matches_impl_module_file_and_crate() {
+        let idx = index_of(&[
+            (
+                "crates/simcore/src/rng.rs",
+                "impl SimRng { pub fn seed_from(s: u64) -> SimRng { x() } }",
+            ),
+            ("crates/runner/src/pool.rs", "pub fn spawn() {}"),
+        ]);
+        let caller = idx.fns[1].clone();
+        let lexed =
+            lex("fn g() { SimRng::seed_from(7); pool::spawn(); vr_simcore::rng::seed_from(1); }");
+        let fns = parse_fns(&lexed);
+        let calls = extract_calls(&lexed.tokens, fns[0].body);
+        assert_eq!(idx.resolve(&calls[0], &caller), vec![0]);
+        assert_eq!(idx.resolve(&calls[1], &caller), vec![1]);
+        // rng:: matches the file stem.
+        assert_eq!(idx.resolve(&calls[2], &caller), vec![0]);
+    }
+
+    #[test]
+    fn method_and_bare_unions() {
+        let idx = index_of(&[
+            ("crates/a/src/m.rs", "impl T { fn go(&self) { x() } }"),
+            (
+                "crates/b/src/n.rs",
+                "impl U { fn go(&self) { y() } }\nfn go() { z() }",
+            ),
+            ("crates/c/src/o.rs", "pub fn out() { p() }"),
+        ]);
+        let caller_a = idx.fns[0].clone();
+        let caller_c = idx.fns[3].clone();
+        let lexed = lex("fn f() { obj.go(); go(); }");
+        let fns = parse_fns(&lexed);
+        let calls = extract_calls(&lexed.tokens, fns[0].body);
+        // Method from crate `a`: locality narrows the union to `a`'s impl.
+        assert_eq!(idx.resolve(&calls[0], &caller_a), vec![0]);
+        // Method from crate `c` (no local candidate): the full union.
+        assert_eq!(idx.resolve(&calls[0], &caller_c), vec![0, 1]);
+        // Bare: only the free fn.
+        assert_eq!(idx.resolve(&calls[1], &caller_a), vec![2]);
+    }
+
+    #[test]
+    fn deterministic_callers_never_resolve_into_orchestration() {
+        let idx = index_of(&[
+            (
+                "crates/runner/src/runner.rs",
+                "impl SweepRunner { pub fn run(&self) { x() } }",
+            ),
+            (
+                "crates/core/src/sim.rs",
+                "impl Simulation { pub fn run(&self) { y() } }",
+            ),
+        ]);
+        let lexed = lex("fn f() { sim.run(); }");
+        let fns = parse_fns(&lexed);
+        let calls = extract_calls(&lexed.tokens, fns[0].body);
+        // A caller in `check` (deterministic) only sees the core impl…
+        let from_check = idx.fns[1].clone(); // any FnInfo works as caller shape
+        let mut caller = from_check.clone();
+        caller.krate = "check".to_owned();
+        assert_eq!(idx.resolve(&calls[0], &caller), vec![1]);
+        // …while a serve caller unions over both tiers.
+        caller.krate = "serve".to_owned();
+        assert_eq!(idx.resolve(&calls[0], &caller), vec![0, 1]);
+    }
+
+    #[test]
+    fn taint_propagates_to_callers_and_stops_at_boundaries() {
+        // 0 -> source(2); 1 -> 0; 3 -> 1 ; boundary at 1.
+        let mut callers: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        callers.insert(2, vec![0]);
+        callers.insert(0, vec![1]);
+        callers.insert(1, vec![3]);
+        let via = tainted_from(&[2], &callers, |id| id == 1);
+        assert_eq!(via.get(&2), Some(&2));
+        assert_eq!(via.get(&0), Some(&2));
+        assert_eq!(via.get(&1), Some(&0)); // boundary is itself tainted…
+        assert!(!via.contains_key(&3)); // …but callers beyond it are clean
+    }
+}

@@ -20,12 +20,16 @@
 //!
 //! See `ARCHITECTURE.md` ("Static analysis") for the rule table.
 
+pub mod analyze;
+pub mod callgraph;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 use std::path::{Path, PathBuf};
 
+pub use analyze::{analyze_sources, analyze_workspace, AnalysisReport, ANALYZE_RULES};
 pub use diag::{Diagnostic, LintReport};
 pub use rules::{FileContext, Role, RULES};
 
@@ -156,11 +160,17 @@ pub fn lint_source(rel_path: &str, src: &str, ctx: &FileContext) -> FileOutcome 
                 continue;
             }
             // A directive suppresses findings of its rule on its own line
-            // and the line directly below it.
+            // and the line directly below it. A directive sitting inside a
+            // `#[cfg(test)]` region for a rule that skips test code is
+            // never eligible: the rule is exempt there, so the directive
+            // is dead weight — and without this check one placed on the
+            // region's closing line would silently suppress *live* code on
+            // the next line instead of being reported stale.
             let suppressed = directives.iter_mut().any(|d| {
                 let hit = d.error.is_none()
                     && d.rule == rule.name
-                    && (d.line == line || d.line + 1 == line);
+                    && (d.line == line || d.line + 1 == line)
+                    && !(rule.skip_test_code && rules::in_regions(&regions, d.line));
                 if hit {
                     d.used = true;
                 }
@@ -192,15 +202,24 @@ pub fn lint_source(rel_path: &str, src: &str, ctx: &FileContext) -> FileOutcome 
                 out.allows += 1;
                 if !d.used {
                     out.stale_allows += 1;
+                    let exempt_region = rules::rule_named(&d.rule)
+                        .is_some_and(|r| r.skip_test_code)
+                        && rules::in_regions(&regions, d.line);
+                    let message = if exempt_region {
+                        format!(
+                            "allow({}) sits inside `#[cfg(test)]` code where the \
+                             rule is already exempt; remove the directive",
+                            d.rule
+                        )
+                    } else {
+                        format!("allow({}) suppressed nothing; remove the directive", d.rule)
+                    };
                     out.diagnostics.push(Diagnostic {
                         file: rel_path.to_owned(),
                         line: d.line,
                         col: d.col,
                         rule: "stale-allow".to_owned(),
-                        message: format!(
-                            "allow({}) suppressed nothing; remove the directive",
-                            d.rule
-                        ),
+                        message,
                     });
                 }
             }
@@ -416,7 +435,7 @@ use std::collections::HashSet;
     }
 
     #[test]
-    fn wall_clock_boundary_file_is_exempt() {
+    fn wall_clock_has_no_filename_escape_hatch() {
         let src = "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n";
         // The serve crate is NOT in the orchestration allow-list…
         assert_eq!(
@@ -425,12 +444,67 @@ use std::collections::HashSet;
                 .len(),
             3
         );
-        // …but its single clock-injection boundary file is exempt.
-        assert!(
+        // …and since the boundary moved to checked `vr-analyze` taint,
+        // even the clock-injection file answers to the token rule: every
+        // `Instant` there needs its own reasoned allow.
+        assert_eq!(
             lint_source("crates/serve/src/clock.rs", src, &lib_ctx("serve"))
+                .diagnostics
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn allow_inside_test_region_for_exempt_rule_is_stale_not_leaky() {
+        // The directive trails the region's closing brace, so its
+        // line + 1 coverage window lands on *live* code. It must not
+        // suppress the live finding, and it must be reported stale.
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn t() {}
+} // vr-lint::allow(panic-in-lib, reason = \"exempt in tests anyway\")
+fn hot() -> u32 { x.unwrap() }
+";
+        let out = lint_source("crates/core/src/x.rs", src, &lib_ctx("core"));
+        assert_eq!(out.stale_allows, 1, "{:?}", out.diagnostics);
+        let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule.as_str()).collect();
+        assert_eq!(rules, vec!["stale-allow", "panic-in-lib"]);
+        assert!(out.diagnostics[0].message.contains("#[cfg(test)]"));
+        // A directive fully inside the region is stale too, with the
+        // region-specific explanation.
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    // vr-lint::allow(panic-in-lib, reason = \"tests may unwrap\")
+    fn t() -> u32 { y.unwrap() }
+}
+";
+        let out = lint_source("crates/core/src/x.rs", src, &lib_ctx("core"));
+        assert_eq!(out.stale_allows, 1);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert!(out.diagnostics[0].message.contains("already exempt"));
+    }
+
+    #[test]
+    fn unsafe_block_rule_fires_in_deterministic_crates_only() {
+        let src = "fn f(p: *const u32) -> u32 { unsafe { *p } }\n";
+        let out = lint_source("crates/simcore/src/x.rs", src, &lib_ctx("simcore"));
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "unsafe-block");
+        // The orchestration layer is outside the rule's scope.
+        assert!(
+            lint_source("crates/runner/src/x.rs", src, &lib_ctx("runner"))
                 .diagnostics
                 .is_empty()
         );
+        // The reasoned escape hatch works like every other rule.
+        let allowed = "// vr-lint::allow(unsafe-block, reason = \"FFI shim audited in review\")\nfn f(p: *const u32) -> u32 { unsafe { *p } }\n";
+        let out = lint_source("crates/simcore/src/x.rs", allowed, &lib_ctx("simcore"));
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
     }
 
     #[test]

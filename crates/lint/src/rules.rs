@@ -16,15 +16,13 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 ];
 
 /// Crates allowed to read wall clocks (orchestration / reporting layer).
-const WALL_CLOCK_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
-
-/// Wall-clock *injection boundaries*: single files whose entire job is to
-/// read the host clock and hand opaque measurements to the rest of an
-/// otherwise clock-free crate. `vr-serve` is the motivating case — request
-/// latency must be measured, but only `clock.rs` may name `Instant`;
-/// everything else handles `Stopwatch`/`Deadline` values it cannot
-/// manufacture, so the serving logic stays testable and replayable.
-pub const WALL_CLOCK_BOUNDARY_FILES: &[&str] = &["crates/serve/src/clock.rs"];
+/// Public because the semantic wall-clock taint pass (`vr-analyze`) shares
+/// the same scoping table. There is deliberately no per-file allowlist any
+/// more: a crate outside this set that must read the clock declares an
+/// in-source `vr-analyze::boundary(wall-clock, ...)` directive, and every
+/// token-level finding in that file carries its own reasoned allow — the
+/// boundary is a checked property, not a filename.
+pub const WALL_CLOCK_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
 
 /// Crates allowed to read the process environment (config / CLI layer).
 const ENV_ALLOWED: &[&str] = &["bench", "cli", "lint", "runner"];
@@ -122,13 +120,19 @@ pub const RULES: &[Rule] = &[
         run: run_panic_in_lib,
     },
     Rule {
+        name: "unsafe-block",
+        summary: "`unsafe` in the deterministic simulation crates",
+        skip_test_code: false,
+        skip_bin_code: false,
+        applies: |krate, _| DETERMINISTIC_CRATES.contains(&krate),
+        run: run_unsafe_block,
+    },
+    Rule {
         name: "wall-clock",
         summary: "Instant/SystemTime outside the orchestration layer",
         skip_test_code: false,
         skip_bin_code: false,
-        applies: |krate, rel| {
-            !WALL_CLOCK_ALLOWED.contains(&krate) && !WALL_CLOCK_BOUNDARY_FILES.contains(&rel)
-        },
+        applies: |krate, _| !WALL_CLOCK_ALLOWED.contains(&krate),
         run: run_wall_clock,
     },
 ];
@@ -260,6 +264,21 @@ fn run_float_eq(tokens: &[Tok], emit: Emit<'_>) {
                      the exact comparison is intentional",
                     t.text
                 ),
+            );
+        }
+    }
+}
+
+fn run_unsafe_block(tokens: &[Tok], emit: Emit<'_>) {
+    for t in tokens {
+        if t.is_ident("unsafe") {
+            emit(
+                t.line,
+                t.col,
+                "`unsafe` voids the compiler's aliasing and initialization \
+                 guarantees the determinism contract leans on; the \
+                 simulation crates are `#![forbid(unsafe_code)]` territory"
+                    .to_owned(),
             );
         }
     }

@@ -1,0 +1,569 @@
+//! Item/scope recovery on top of the token stream.
+//!
+//! `vr-analyze`'s semantic rules need to know *which function* a token
+//! belongs to, what `impl` block encloses it, and whether the function
+//! carries a `# Panics` doc contract. Full parsing is out of reach
+//! offline (no `syn`), but Rust's item grammar is regular enough at the
+//! token level to recover `mod` / `impl` / `fn` structure with a scope
+//! stack: every `{` either belongs to an item header we just scanned or
+//! is an anonymous block. The result is approximate by design — macro
+//! bodies are opaque token soup and trait objects erase the callee — and
+//! the rules that consume it over-approximate accordingly.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+use crate::rules;
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Last path segment of the enclosing `impl`'s self type, if any.
+    pub impl_type: Option<String>,
+    /// Enclosing in-file `mod` names, outermost first.
+    pub modules: Vec<String>,
+    /// Position of the `fn` keyword (1-based).
+    pub line: u32,
+    /// Column of the `fn` keyword (1-based).
+    pub col: u32,
+    /// Any `pub` visibility, including restricted forms like `pub(crate)`.
+    pub is_pub: bool,
+    /// The attached doc comment has a `# Panics` section.
+    pub doc_panics: bool,
+    /// Declared inside a `#[cfg(test)]` region.
+    pub in_test_region: bool,
+    /// Token index range of the signature after the name, up to but not
+    /// including the body `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// Token index range of the body including both braces; empty
+    /// (`start == end`) for bodyless trait-method declarations.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// `true` when the item has a body.
+    pub fn has_body(&self) -> bool {
+        self.body.1 > self.body.0
+    }
+}
+
+/// What a `{` on the scope stack belongs to.
+enum Scope {
+    Mod(String),
+    Impl(Option<String>),
+    /// Index into the output `Vec<FnItem>`.
+    Fn(usize),
+    Other,
+}
+
+/// Recovers every `fn` item from a lexed file.
+pub fn parse_fns(lexed: &Lexed) -> Vec<FnItem> {
+    let tokens = &lexed.tokens;
+    let test_regions = rules::test_regions(tokens);
+    let attr_ranges = attribute_line_ranges(tokens);
+    let doc_lines = doc_comment_lines(&lexed.comments);
+
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut stack: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => stack.push(Scope::Other),
+                "}" => {
+                    if let Some(Scope::Fn(idx)) = stack.last() {
+                        fns[*idx].body.1 = i + 1;
+                    }
+                    stack.pop();
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "mod" if tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                let name = tokens[i + 1].text.clone();
+                if tokens.get(i + 2).is_some_and(|n| n.is_punct("{")) {
+                    stack.push(Scope::Mod(name));
+                    i += 3;
+                } else {
+                    // `mod name;` — an out-of-line module, no scope here.
+                    i += 2;
+                }
+            }
+            "impl" => {
+                // Scan the header to the body `{` (or a `;` — e.g.
+                // `type T = impl Trait;` never opens a scope).
+                match scan_to_body(tokens, i + 1) {
+                    Some((open, true)) => {
+                        let ty = impl_self_type(&tokens[i + 1..open]);
+                        stack.push(Scope::Impl(ty));
+                        i = open + 1;
+                    }
+                    Some((stop, false)) => i = stop + 1,
+                    None => i = tokens.len(),
+                }
+            }
+            "fn" if tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) => {
+                let name_tok = &tokens[i + 1];
+                let (decl_start, is_pub) = visibility_backscan(tokens, i);
+                let decl_line = tokens[decl_start].line;
+                let doc_panics = docs_mention_panics(decl_line, &doc_lines, &attr_ranges);
+                let impl_type = stack.iter().rev().find_map(|s| match s {
+                    Scope::Impl(ty) => Some(ty.clone()),
+                    _ => None,
+                });
+                let modules = stack
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let item = FnItem {
+                    name: name_tok.text.clone(),
+                    impl_type: impl_type.flatten(),
+                    modules,
+                    line: t.line,
+                    col: t.col,
+                    is_pub,
+                    doc_panics,
+                    in_test_region: rules::in_regions(&test_regions, t.line),
+                    sig: (i + 2, i + 2),
+                    body: (0, 0),
+                };
+                match scan_to_body(tokens, i + 2) {
+                    Some((open, true)) => {
+                        let idx = fns.len();
+                        let mut item = item;
+                        item.sig = (i + 2, open);
+                        item.body = (open, open); // end patched at `}`
+                        fns.push(item);
+                        stack.push(Scope::Fn(idx));
+                        i = open + 1;
+                    }
+                    Some((stop, false)) => {
+                        let mut item = item;
+                        item.sig = (i + 2, stop);
+                        fns.push(item);
+                        i = stop + 1;
+                    }
+                    None => i = tokens.len(),
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // Unterminated bodies (truncated input) run to EOF.
+    for f in &mut fns {
+        if f.body.1 == f.body.0 && f.body.0 != 0 && f.body.0 < tokens.len() {
+            f.body.1 = tokens.len();
+        }
+    }
+    fns
+}
+
+/// From `start`, scans an item header to its body `{` or terminating `;`,
+/// ignoring delimiters nested in parens, brackets, or angle brackets
+/// (generics). Returns `(index, true)` for a `{`, `(index, false)` for a
+/// `;`, `None` at EOF.
+fn scan_to_body(tokens: &[Tok], start: usize) -> Option<(usize, bool)> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut j = start;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" => angle += 1,
+                ">" => angle = (angle - 1).max(0),
+                "{" if paren == 0 && bracket == 0 && angle == 0 => {
+                    return Some((j, true));
+                }
+                // A const-generic default like `Foo<{ N }>` nests a brace
+                // at angle depth > 0; skip the group.
+                "{" => {
+                    let mut depth = 1i32;
+                    j += 1;
+                    while j < tokens.len() && depth > 0 {
+                        if tokens[j].is_punct("{") {
+                            depth += 1;
+                        } else if tokens[j].is_punct("}") {
+                            depth -= 1;
+                        }
+                        j += 1;
+                    }
+                    continue;
+                }
+                ";" if paren == 0 && bracket == 0 => return Some((j, false)),
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Extracts the self type's last path segment from an `impl` header
+/// (the tokens between `impl` and the body `{`): the path after `for`
+/// when present, else the path after the leading generic parameters.
+fn impl_self_type(header: &[Tok]) -> Option<String> {
+    // Find a top-level `for` (angle depth 0); `for<'a>` HRTBs sit inside
+    // bounds and are rare enough in impl headers to ignore.
+    let mut angle = 0i32;
+    let mut start = 0usize;
+    for (k, t) in header.iter().enumerate() {
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 && t.is_ident("for") {
+            start = k + 1;
+        } else if angle == 0 && t.is_ident("where") {
+            break;
+        }
+    }
+    // Skip leading generics when there was no `for`.
+    let mut k = start;
+    if k == 0 && header.first().is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while k < header.len() {
+            if header[k].is_punct("<") {
+                depth += 1;
+            } else if header[k].is_punct(">") {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            k += 1;
+        }
+    }
+    // Walk the type path: the name is the last identifier before generic
+    // arguments, a `where` clause, or the end of the header.
+    let mut name: Option<String> = None;
+    let mut angle = 0i32;
+    while k < header.len() {
+        let t = &header[k];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle = (angle - 1).max(0);
+        } else if angle == 0 {
+            if t.is_ident("where") {
+                break;
+            }
+            if t.kind == TokKind::Ident
+                && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "for")
+            {
+                name = Some(t.text.clone());
+            }
+        }
+        k += 1;
+    }
+    name
+}
+
+/// Walks backwards over the modifier chain before a `fn` keyword
+/// (`pub(crate) const unsafe extern "C" fn`), returning the index where
+/// the declaration starts and whether any `pub` was seen.
+fn visibility_backscan(tokens: &[Tok], fn_idx: usize) -> (usize, bool) {
+    let mut start = fn_idx;
+    let mut is_pub = false;
+    let mut j = fn_idx;
+    // Depth inside a `pub(crate)` / `pub(in path::to)` restriction group,
+    // whose contents are arbitrary path tokens.
+    let mut group = 0usize;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct(")") {
+            group += 1;
+            start = j;
+            continue;
+        }
+        if t.is_punct("(") {
+            if group == 0 {
+                break;
+            }
+            group -= 1;
+            start = j;
+            continue;
+        }
+        if group > 0 {
+            start = j;
+            continue;
+        }
+        if t.is_ident("pub") {
+            is_pub = true;
+            start = j;
+            continue;
+        }
+        let modifier = match t.kind {
+            TokKind::Ident => matches!(
+                t.text.as_str(),
+                "const" | "async" | "unsafe" | "extern" | "default"
+            ),
+            TokKind::Str => true, // extern "C"
+            _ => false,
+        };
+        if modifier {
+            start = j;
+            continue;
+        }
+        break;
+    }
+    (start, is_pub)
+}
+
+/// Line ranges covered by `#[...]` attributes, so the doc-comment walk can
+/// step over them.
+fn attribute_line_ranges(tokens: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_punct("#") && tokens[i + 1].is_punct("[") {
+            let start = tokens[i].line;
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut end = start;
+            while j < tokens.len() {
+                if tokens[j].is_punct("[") {
+                    depth += 1;
+                } else if tokens[j].is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = tokens[j].line;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            out.push((start, end));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `line -> text` of `///` doc comments (block docs `/** */` included).
+/// `//!` module docs attach to the file, not an item, and are skipped.
+fn doc_comment_lines(comments: &[Comment]) -> Vec<(u32, String)> {
+    comments
+        .iter()
+        .filter(|c| c.text.starts_with('/') || c.text.starts_with('*'))
+        .map(|c| (c.line, c.text.clone()))
+        .collect()
+}
+
+/// Whether the doc block ending directly above `decl_line` (attributes
+/// between docs and item are stepped over) mentions a `# Panics` section.
+fn docs_mention_panics(
+    decl_line: u32,
+    doc_lines: &[(u32, String)],
+    attr_ranges: &[(u32, u32)],
+) -> bool {
+    let has_doc = |line: u32| doc_lines.iter().any(|&(l, _)| l == line);
+    let in_attr = |line: u32| attr_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut line = decl_line;
+    let mut found = false;
+    while line > 1 {
+        line -= 1;
+        if in_attr(line) {
+            continue;
+        }
+        if has_doc(line) {
+            found = found
+                || doc_lines
+                    .iter()
+                    .any(|&(l, ref text)| l == line && text.contains("# Panics"));
+            continue;
+        }
+        break;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_fns(&lex(src))
+    }
+
+    #[test]
+    fn free_fn_and_method() {
+        let src = "\
+fn free() { body(); }
+impl Stopwatch {
+    pub fn start() -> Stopwatch { Stopwatch(x) }
+}
+";
+        let out = fns(src);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "free");
+        assert_eq!(out[0].impl_type, None);
+        assert!(!out[0].is_pub);
+        assert_eq!(out[1].name, "start");
+        assert_eq!(out[1].impl_type.as_deref(), Some("Stopwatch"));
+        assert!(out[1].is_pub);
+    }
+
+    #[test]
+    fn trait_impl_self_type_and_generics() {
+        let src = "\
+impl<'a, T: Clone> Iterator for Walker<'a, T> {
+    fn next(&mut self) -> Option<T> { None }
+}
+impl<T> Wrapper<T> {
+    fn get(&self) -> &T { &self.0 }
+}
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { x() }
+}
+";
+        let out = fns(src);
+        assert_eq!(out[0].impl_type.as_deref(), Some("Walker"));
+        assert_eq!(out[1].impl_type.as_deref(), Some("Wrapper"));
+        assert_eq!(out[2].impl_type.as_deref(), Some("SimTime"));
+    }
+
+    #[test]
+    fn modules_nest_and_bodies_span() {
+        let src = "\
+mod outer {
+    mod inner {
+        fn deep() { a(); b(); }
+    }
+    fn shallow() {}
+}
+fn top() {}
+";
+        let out = fns(src);
+        assert_eq!(out[0].name, "deep");
+        assert_eq!(out[0].modules, vec!["outer", "inner"]);
+        assert_eq!(out[1].name, "shallow");
+        assert_eq!(out[1].modules, vec!["outer"]);
+        assert_eq!(out[2].name, "top");
+        assert!(out[2].modules.is_empty());
+        assert!(out[0].has_body());
+    }
+
+    #[test]
+    fn bodyless_trait_method_and_fn_pointer_type() {
+        let src = "\
+trait Hook {
+    fn on_event(&self, e: &Event);
+    fn with_default(&self) -> u32 { 7 }
+}
+fn takes_ptr(g: fn(u32) -> u32) -> u32 { g(1) }
+";
+        let out = fns(src);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].name, "on_event");
+        assert!(!out[0].has_body());
+        assert!(out[1].has_body());
+        // The `fn(u32) -> u32` pointer type must not register as an item.
+        assert_eq!(out[2].name, "takes_ptr");
+        assert!(out[2].has_body());
+    }
+
+    #[test]
+    fn visibility_forms() {
+        let src = "\
+pub(crate) fn a() {}
+pub(in crate::x) fn b() {}
+pub const unsafe extern \"C\" fn c() {}
+const fn d() {}
+";
+        let out = fns(src);
+        assert!(out[0].is_pub);
+        assert!(out[1].is_pub);
+        assert!(out[2].is_pub);
+        assert!(!out[3].is_pub);
+    }
+
+    #[test]
+    fn panics_doc_contract_detected_through_attributes() {
+        let src = "\
+/// Does a thing.
+///
+/// # Panics
+///
+/// When the invariant breaks.
+#[inline]
+pub fn documented() { x(); }
+
+/// No contract here.
+pub fn undocumented() { x(); }
+";
+        let out = fns(src);
+        assert!(out[0].doc_panics);
+        assert!(!out[1].doc_panics);
+    }
+
+    #[test]
+    fn test_region_marking() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn in_tests() {}
+}
+";
+        let out = fns(src);
+        assert!(!out[0].in_test_region);
+        assert!(out[1].in_test_region);
+    }
+
+    #[test]
+    fn nested_fn_and_closures_do_not_confuse_scopes() {
+        let src = "\
+fn outer() {
+    let c = |x: u32| { x + 1 };
+    fn inner() { deep(); }
+    after_inner();
+}
+fn next_item() {}
+";
+        let out = fns(src);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].name, "outer");
+        assert_eq!(out[1].name, "inner");
+        assert_eq!(out[2].name, "next_item");
+        // outer's body spans past inner's.
+        assert!(out[0].body.1 > out[1].body.1);
+    }
+
+    #[test]
+    fn where_clause_and_return_impl_trait() {
+        let src = "\
+fn make<T>(x: T) -> impl Iterator<Item = T>
+where
+    T: Clone,
+{
+    std::iter::once(x)
+}
+";
+        let out = fns(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].name, "make");
+        assert!(out[0].has_body());
+    }
+}

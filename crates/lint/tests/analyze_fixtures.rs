@@ -1,0 +1,284 @@
+//! Golden-diagnostic tests for the semantic analyzer: every rule fires on
+//! its seeded fixture at the exact `file:line:col`, the two regression
+//! fixtures pin the shapes of real bugs the analyzer caught in this tree,
+//! and the `vr-analyze` binary exits 0/1/2 for clean/findings/error.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use vr_lint::analyze_sources;
+
+/// Runs the analyzer over `(rel_path, source)` pairs and returns every
+/// diagnostic as `(file, line, col, rule)` in report order.
+fn findings(files: &[(&str, &str)]) -> Vec<(String, u32, u32, String)> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(r, s)| ((*r).to_owned(), (*s).to_owned()))
+        .collect();
+    analyze_sources(&owned)
+        .diagnostics
+        .into_iter()
+        .map(|d| (d.file, d.line, d.col, d.rule))
+        .collect()
+}
+
+fn one_file(rel: &str, src: &str) -> Vec<(String, u32, u32, String)> {
+    findings(&[(rel, src)])
+}
+
+#[test]
+fn wall_clock_taint_fires_with_exact_positions() {
+    let got = one_file(
+        "crates/serve/src/timing.rs",
+        include_str!("fixtures/analyze/wall_clock_taint.rs"),
+    );
+    let rule = "wall-clock-taint".to_owned();
+    assert_eq!(
+        got,
+        vec![
+            ("crates/serve/src/timing.rs".to_owned(), 1, 1, rule.clone()),
+            ("crates/serve/src/timing.rs".to_owned(), 6, 5, rule),
+        ]
+    );
+}
+
+#[test]
+fn boundary_absorbs_taint_but_reports_leaked_instants() {
+    // Alone, the boundary file reports only its own signature leak.
+    let got = one_file(
+        "crates/serve/src/clockfix.rs",
+        include_str!("fixtures/analyze/wall_clock_boundary.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/serve/src/clockfix.rs".to_owned(),
+            10,
+            9,
+            "wall-clock-leak".to_owned()
+        )]
+    );
+    // A clean caller routed through the boundary stays clean.
+    let got = findings(&[
+        (
+            "crates/serve/src/clockfix.rs",
+            include_str!("fixtures/analyze/wall_clock_boundary.rs"),
+        ),
+        (
+            "crates/serve/src/caller.rs",
+            "pub fn timed() -> u64 { Stopwatch::start() }\n",
+        ),
+    ]);
+    assert_eq!(got.len(), 1, "only the boundary's own leak: {got:?}");
+}
+
+#[test]
+fn rng_discipline_fires_with_exact_positions() {
+    let got = one_file(
+        "crates/core/src/streams.rs",
+        include_str!("fixtures/analyze/rng_discipline.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/core/src/streams.rs".to_owned(),
+            2,
+            5,
+            "rng-stream-discipline".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn panic_path_fires_on_the_undocumented_caller_only() {
+    let got = one_file(
+        "crates/core/src/math.rs",
+        include_str!("fixtures/analyze/panic_path.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/core/src/math.rs".to_owned(),
+            11,
+            5,
+            "panic-path".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn blocking_while_locked_fires_with_exact_positions() {
+    let got = one_file(
+        "crates/serve/src/fixture_pool.rs",
+        include_str!("fixtures/analyze/blocking_while_locked.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/serve/src/fixture_pool.rs".to_owned(),
+            3,
+            22,
+            "blocking-while-locked".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn lock_cycle_fires_on_both_edges() {
+    let got = one_file(
+        "crates/serve/src/fixture_order.rs",
+        include_str!("fixtures/analyze/lock_cycle.rs"),
+    );
+    let rule = "lock-cycle".to_owned();
+    assert_eq!(
+        got,
+        vec![
+            (
+                "crates/serve/src/fixture_order.rs".to_owned(),
+                3,
+                18,
+                rule.clone()
+            ),
+            ("crates/serve/src/fixture_order.rs".to_owned(), 10, 19, rule),
+        ]
+    );
+}
+
+#[test]
+fn guard_across_callback_fires_with_exact_positions() {
+    let got = one_file(
+        "crates/serve/src/fixture_hook.rs",
+        include_str!("fixtures/analyze/guard_across_callback.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/serve/src/fixture_hook.rs".to_owned(),
+            3,
+            11,
+            "guard-across-callback".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn regression_naked_notify_shutdown_shape() {
+    // The broken shutdown fires; the scoped-guard fix (the shape now in
+    // crates/serve/src/server.rs) is clean.
+    let got = one_file(
+        "crates/serve/src/fixture_shutdown.rs",
+        include_str!("fixtures/analyze/regression_naked_notify.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/serve/src/fixture_shutdown.rs".to_owned(),
+            12,
+            14,
+            "naked-notify".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn regression_stderr_lock_into_blocking_call_shape() {
+    // The broken sweep (a fresh stderr guard inside the blocking call's
+    // argument list) fires; passing the unlocked handle (the shape now in
+    // crates/runner/src/runner.rs) is clean.
+    let got = one_file(
+        "crates/runner/src/fixture_progress.rs",
+        include_str!("fixtures/analyze/regression_stderr_lock.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![(
+            "crates/runner/src/fixture_progress.rs".to_owned(),
+            14,
+            38,
+            "blocking-while-locked".to_owned()
+        )]
+    );
+}
+
+#[test]
+fn stale_and_malformed_directives_fire_with_exact_positions() {
+    let got = one_file(
+        "crates/serve/src/fixture_directives.rs",
+        include_str!("fixtures/analyze/directives.rs"),
+    );
+    let file = "crates/serve/src/fixture_directives.rs".to_owned();
+    assert_eq!(
+        got,
+        vec![
+            (file.clone(), 1, 1, "stale-allow".to_owned()),
+            (file.clone(), 4, 1, "stale-directive".to_owned()),
+            (file, 7, 1, "malformed-directive".to_owned()),
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Binary exit codes
+// ---------------------------------------------------------------------------
+
+/// Builds a throwaway mini-workspace containing one source file.
+fn scratch_workspace(tag: &str, source: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("vr-analyze-exit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let src_dir = root.join("crates/serve/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(src_dir.join("lib.rs"), source).unwrap();
+    root
+}
+
+#[test]
+fn binary_exits_zero_on_clean_one_on_findings_two_on_error() {
+    let bin = env!("CARGO_BIN_EXE_vr-analyze");
+
+    let clean = scratch_workspace("clean", "pub fn fine() -> u64 { 7 }\n");
+    let status = Command::new(bin)
+        .args(["--root", clean.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(status.status.code(), Some(0), "{status:?}");
+
+    let dirty = scratch_workspace(
+        "dirty",
+        "pub fn bad(q: &Mutex<u64>, ch: &Receiver<u64>) {\n    \
+         let g = q.lock().unwrap_or_else(std::sync::PoisonError::into_inner);\n    \
+         let _ = ch.recv();\n    drop(g);\n}\n",
+    );
+    let sarif_path = dirty.join("analyze.sarif");
+    let out = Command::new(bin)
+        .args([
+            "--root",
+            dirty.to_str().unwrap(),
+            "--format",
+            "json",
+            "--sarif-out",
+            sarif_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("blocking-while-locked"), "{stdout}");
+    let sarif = std::fs::read_to_string(&sarif_path).unwrap();
+    assert!(sarif.contains("\"2.1.0\""), "{sarif}");
+
+    let missing = Command::new(bin)
+        .args(["--root", "/nonexistent/vr-analyze-root"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2), "{missing:?}");
+
+    let bad_flag = Command::new(bin)
+        .args(["--format", "yaml"])
+        .output()
+        .unwrap();
+    assert_eq!(bad_flag.status.code(), Some(2), "{bad_flag:?}");
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&dirty);
+}

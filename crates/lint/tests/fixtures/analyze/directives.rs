@@ -1,0 +1,8 @@
+// vr-analyze::allow(lock-cycle, reason = "fixture: suppresses nothing")
+pub fn idle() {}
+
+// vr-analyze::blocking(reason = "fixture: attaches to nothing")
+pub struct Marker;
+
+// vr-analyze::nonsense(reason = "fixture")
+pub fn also_idle() {}

@@ -1,0 +1,4 @@
+pub fn notify_under_lock(state: &Mutex<u64>, hooks: &dyn RequestHook) {
+    let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    hooks.on_request(&guard);
+}

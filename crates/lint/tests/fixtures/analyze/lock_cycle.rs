@@ -1,0 +1,13 @@
+pub fn alpha_then_beta(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let a = alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    drop(b);
+    drop(a);
+}
+
+pub fn beta_then_alpha(alpha: &Mutex<u64>, beta: &Mutex<u64>) {
+    let b = beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let a = alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    drop(a);
+    drop(b);
+}

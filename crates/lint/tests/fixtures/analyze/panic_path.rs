@@ -1,0 +1,22 @@
+/// Integer division.
+///
+/// # Panics
+///
+/// Panics when `b` is zero.
+pub fn checked_div(a: u64, b: u64) -> u64 {
+    assert!(b != 0);
+    a / b
+}
+
+pub fn halve(a: u64) -> u64 {
+    checked_div(a, 2)
+}
+
+/// Carries the contract.
+///
+/// # Panics
+///
+/// See [`checked_div`].
+pub fn documented_halve(a: u64) -> u64 {
+    checked_div(a, 2)
+}

@@ -1,0 +1,20 @@
+// Regression shape: the serve shutdown path once notified `queue_cv`
+// without touching the paired mutex, so a worker between its predicate
+// check and `wait()` could miss the wakeup and park forever.
+pub fn worker(queue: &Mutex<Vec<u64>>, queue_cv: &Condvar) {
+    let mut guard = queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    while guard.is_empty() {
+        guard = queue_cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+}
+
+pub fn shutdown_broken(queue_cv: &Condvar) {
+    queue_cv.notify_all();
+}
+
+pub fn shutdown_fixed(queue: &Mutex<Vec<u64>>, queue_cv: &Condvar) {
+    {
+        let _queue = queue.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    queue_cv.notify_all();
+}

@@ -1,0 +1,19 @@
+// Regression shape: the sweep runner once passed `stderr().lock()` into
+// its (declared-blocking) progress renderer, pinning the global stderr
+// lock for the whole sweep and deadlocking any worker `eprintln!`.
+// vr-analyze::blocking(reason = "fixture: drains a channel until senders hang up")
+pub fn render(events: Receiver<u64>, out: impl Write) -> u64 {
+    let mut seen = 0;
+    for _event in events {
+        seen += 1;
+    }
+    seen
+}
+
+pub fn sweep_broken(events: Receiver<u64>) -> u64 {
+    render(events, std::io::stderr().lock())
+}
+
+pub fn sweep_fixed(events: Receiver<u64>) -> u64 {
+    render(events, std::io::stderr())
+}

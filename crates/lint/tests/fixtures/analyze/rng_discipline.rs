@@ -1,0 +1,3 @@
+pub fn fresh_stream(seed: u64) -> SimRng {
+    SimRng::seed_from(seed)
+}

@@ -1,0 +1,13 @@
+// vr-analyze::boundary(wall-clock, reason = "fixture: the declared clock seam")
+pub struct Stopwatch;
+
+impl Stopwatch {
+    pub fn start() -> u64 {
+        Instant::now();
+        0
+    }
+
+    pub fn leak_raw() -> Instant {
+        Instant::now()
+    }
+}

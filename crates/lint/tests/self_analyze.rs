@@ -1,0 +1,44 @@
+//! The workspace must pass its own semantic analyzer: `cargo test` fails if
+//! anyone reintroduces a wall-clock leak into the deterministic layer, an
+//! undisciplined RNG seed, an undocumented panic path, or a lock-discipline
+//! violation in the pool/serve layer.
+
+use std::path::Path;
+
+use vr_lint::analyze_workspace;
+
+#[test]
+fn workspace_is_analyze_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}); did the walker miss the crates?",
+        report.files_scanned
+    );
+    assert!(
+        report.fns_indexed > 500,
+        "suspiciously small call-graph index ({} fns)",
+        report.fns_indexed
+    );
+    assert!(
+        report.is_clean(),
+        "vr-analyze found {} diagnostic(s):\n{}",
+        report.diagnostics.len(),
+        report.render_text()
+    );
+}
+
+#[test]
+fn analyze_directives_are_all_live() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = analyze_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.allows > 0,
+        "the shipped tree documents its determinism and locking invariants"
+    );
+    assert_eq!(
+        report.stale_allows, 0,
+        "stale analyze directives must be deleted, not accumulated"
+    );
+}

@@ -36,6 +36,7 @@ impl WorkloadSummary {
     ///
     /// Jobs that never completed are still aggregated with their partial
     /// breakdowns; callers that care should check completion separately.
+    // vr-analyze::allow(panic-path, reason = "percentile() runs only on a non-empty sorted buffer with the constant quantiles 0.5/0.95")
     pub fn of_jobs<'a, I>(jobs: I) -> WorkloadSummary
     where
         I: IntoIterator<Item = &'a RunningJob>,

@@ -153,6 +153,28 @@ impl ResultCache {
     /// Returns the failing path and I/O error; callers surface this once
     /// via telemetry rather than per-row.
     pub fn store(&self, hash: &str, report: &RunReport) -> Result<(), (PathBuf, std::io::Error)> {
+        self.store_with_pause(hash, report, &|| {})
+    }
+
+    /// [`ResultCache::store`] with a hook between the temp-file write and
+    /// the rename — the protocol's only window where a half-published
+    /// entry exists on disk.
+    ///
+    /// Production code always passes a no-op (via [`ResultCache::store`]);
+    /// tests pass a [`std::sync::Barrier`] wait to *force* two writers
+    /// into the window simultaneously instead of hoping the scheduler
+    /// produces the interleaving. Keeping the seam in the real code path
+    /// means the stress test exercises the exact bytes production runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failing path and I/O error, as [`ResultCache::store`].
+    pub fn store_with_pause(
+        &self,
+        hash: &str,
+        report: &RunReport,
+        pause: &(dyn Fn() + Sync),
+    ) -> Result<(), (PathBuf, std::io::Error)> {
         let Some(path) = self.path_for(hash) else {
             return Ok(());
         };
@@ -166,6 +188,7 @@ impl ResultCache {
         let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
         let tmp = dir.join(format!("{hash}.tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, encode_report(report)).map_err(|e| (tmp.clone(), e))?;
+        pause();
         std::fs::rename(&tmp, &path).map_err(|e| (path.clone(), e))
     }
 
@@ -337,6 +360,85 @@ mod tests {
         for cache in &caches {
             assert_eq!(cache.stats().corrupt_entries, 0);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The deterministic version of the contention test: a
+    /// [`std::sync::Barrier`] inside [`ResultCache::store_with_pause`]
+    /// *forces* every writer into the temp-written-but-not-renamed window
+    /// at once — the exact interleaving the scheduler-driven test above
+    /// may or may not produce — then releases them to race the renames.
+    /// The last rename wins, but every intermediate state must be a
+    /// complete file: the reader thread polling throughout must never see
+    /// a missing or undecodable entry once the first rename lands.
+    #[test]
+    fn same_hash_writers_forced_into_rename_window_stay_atomic() {
+        use std::sync::Barrier;
+
+        const WRITERS: usize = 4;
+        let dir = tmp_dir("interleave");
+        let cache = ResultCache::at(&dir);
+        let report = small_report();
+        // All writers plus the coordinator meet at the window; a second
+        // rendezvous holds them there while the coordinator inspects.
+        let window = Barrier::new(WRITERS + 1);
+        let release = Barrier::new(WRITERS + 1);
+        std::thread::scope(|scope| {
+            for _ in 0..WRITERS {
+                let cache = &cache;
+                let window = &window;
+                let release = &release;
+                let report = report.clone();
+                scope.spawn(move || {
+                    cache
+                        .store_with_pause("shared", &report, &|| {
+                            window.wait();
+                            release.wait();
+                        })
+                        .unwrap();
+                });
+            }
+            // Every writer now sits between write and rename: the entry
+            // must not exist yet, and WRITERS distinct temp files must.
+            window.wait();
+            let temps = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .contains(".tmp.")
+                })
+                .count();
+            assert_eq!(temps, WRITERS, "one temp file per paused writer");
+            assert!(
+                cache.lookup("shared").is_none(),
+                "no rename may land before the barrier releases"
+            );
+            release.wait();
+            // Poll while the renames race each other; every observation
+            // after the first must decode to the full report.
+            loop {
+                match cache.lookup("shared") {
+                    Some(found) => {
+                        assert_eq!(found, report);
+                        break;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+        });
+        // All four renamed over each other; the survivor decodes and no
+        // temp file is left behind.
+        assert_eq!(cache.lookup("shared").unwrap(), report);
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec!["shared.json"]);
+        assert_eq!(cache.stats().corrupt_entries, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -146,7 +146,12 @@ impl Runner {
         let progress = self.options.progress;
         let renderer = std::thread::spawn(move || {
             if progress {
-                render_progress(rx, total, std::io::stderr().lock())
+                // Hand the renderer the *unlocked* handle: it locks per
+                // `writeln!`. Passing `stderr().lock()` here pinned the
+                // global stderr lock for the whole sweep, so any worker
+                // `eprintln!` (panic reports included) would deadlock
+                // against a renderer that never yields the lock.
+                render_progress(rx, total, std::io::stderr())
             } else {
                 drain_progress(rx)
             }

@@ -53,6 +53,7 @@ pub enum SweepEvent {
 /// Runs until the sending side hangs up; the runner drops its sender once
 /// the pool joins, which ends the loop. Rendering is plain line output —
 /// no cursor tricks — so it behaves in CI logs and when piped.
+// vr-analyze::blocking(reason = "the channel for-loop parks until every sender hangs up")
 pub fn render_progress(
     events: Receiver<SweepEvent>,
     total: usize,
@@ -100,6 +101,7 @@ pub fn render_progress(
 
 /// Drains `events` without rendering, still collecting notes. Used when
 /// progress output is suppressed (`quiet` sweeps, tests).
+// vr-analyze::blocking(reason = "the channel for-loop parks until every sender hangs up")
 pub fn drain_progress(events: Receiver<SweepEvent>) -> Vec<String> {
     let mut notes = Vec::new();
     for event in events {

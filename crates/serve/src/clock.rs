@@ -4,22 +4,29 @@
 //! load-bearing: request latencies, socket read deadlines, and retry
 //! hints are wall-clock quantities, not simulated ones. To keep that from
 //! leaking into code that must stay deterministic, this module is the
-//! **only** file in `vr-serve` allowed to name [`std::time::Instant`] —
-//! `vrecon lint` enforces the boundary (see `WALL_CLOCK_BOUNDARY_FILES`
-//! in `vr-lint`). Everything else in the crate handles opaque
-//! [`Stopwatch`] values and plain `Duration`s, so a future virtual clock
-//! for tests only has to replace this file.
+//! **only** file in `vr-serve` allowed to name [`std::time::Instant`]:
+//! it declares itself a wall-clock boundary (the `vr-analyze::boundary`
+//! directive below) and `vrecon analyze` proves the taint property —
+//! any function that transitively reaches `Instant::now` must absorb
+//! the taint here or carry its own reasoned allow. Everything else in
+//! the crate handles opaque [`Stopwatch`] values and plain `Duration`s,
+//! so a future virtual clock for tests only has to replace this file.
 
+// vr-analyze::boundary(wall-clock, reason = "the serving tier's only clock-injection seam: latencies, deadlines, and retry hints are real-time quantities by design")
+
+// vr-lint::allow(wall-clock, reason = "this file is the declared boundary; see the vr-analyze directive above")
 use std::time::{Duration, Instant};
 
 /// A started timer. The rest of the crate can measure elapsed time but
 /// cannot mint or compare raw instants.
 #[derive(Debug, Clone, Copy)]
+// vr-lint::allow(wall-clock, reason = "the boundary type wraps the raw instant so nothing else has to")
 pub struct Stopwatch(Instant);
 
 impl Stopwatch {
     /// Starts a timer at the current wall-clock instant.
     pub fn start() -> Stopwatch {
+        // vr-lint::allow(wall-clock, reason = "the one sanctioned clock read in vr-serve")
         Stopwatch(Instant::now())
     }
 

@@ -186,6 +186,18 @@ impl ServerHandle {
         self.state.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        // Take (and immediately drop) the queue lock before notifying:
+        // a worker that checked `shutdown` as false and is between that
+        // check and `queue_cv.wait(...)` would otherwise miss this
+        // wakeup and park forever. The scoped guard forces it past the
+        // race window first.
+        {
+            let _queue = self
+                .state
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+        }
         self.state.queue_cv.notify_all();
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();

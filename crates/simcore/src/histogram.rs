@@ -180,6 +180,7 @@ impl Histogram {
 
 /// Builds a log-scale slowdown histogram (1× to 1000×, 12 buckets) from
 /// per-job slowdowns — the shape the evaluation binaries print.
+// vr-analyze::allow(panic-path, reason = "the bucket shape is the constant (1.0, 1000.0, 12), which logarithmic() accepts")
 pub fn slowdown_histogram<I: IntoIterator<Item = f64>>(slowdowns: I) -> Histogram {
     let mut h = Histogram::logarithmic(1.0, 1000.0, 12);
     for s in slowdowns {

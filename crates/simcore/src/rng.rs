@@ -85,6 +85,7 @@ impl SimRng {
     /// The child stream is a pure function of this generator's seed history
     /// and `stream`; forking with different `stream` values yields unrelated
     /// sequences without consuming draws from `self`'s future.
+    // vr-analyze::rng-authority(reason = "this file defines SimRng; fork() is the sanctioned stream splitter everyone else is told to use")
     pub fn fork(&self, stream: u64) -> SimRng {
         // Mix the parent's current state fingerprint with the stream id via
         // splitmix64 so child streams are decorrelated.

@@ -21,6 +21,8 @@
 //!
 //! [`EventHook`]: vr_simcore::engine::EventHook
 
+#![forbid(unsafe_code)]
+
 mod export;
 mod profile;
 mod span;

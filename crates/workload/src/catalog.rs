@@ -133,11 +133,20 @@ impl ProgramSpec {
     }
 
     /// Peak working set as [`Bytes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `working_set_mb` is negative or NaN.
     pub fn working_set(&self) -> Bytes {
         Bytes::from_mb_f64(self.working_set_mb)
     }
 
     /// Dedicated lifetime as a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lifetime_secs` is negative, NaN, or too large to
+    /// represent.
     pub fn lifetime(&self) -> SimSpan {
         SimSpan::from_secs_f64(self.lifetime_secs)
     }

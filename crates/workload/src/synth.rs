@@ -23,6 +23,7 @@ use crate::trace::Trace;
 
 /// A workload where every job has an identical memory demand (§5
 /// condition 2).
+// vr-analyze::allow(panic-path, reason = "the only span minted is a ±15% jitter of the constant 180 s lifetime, always positive and finite")
 pub fn equal_memory(jobs: usize, working_set: Bytes, rng: &mut SimRng) -> Trace {
     let program = ProgramSpec {
         name: "equal",
@@ -150,6 +151,7 @@ pub fn light_load(jobs: usize, rng: &mut SimRng) -> Trace {
 /// unexpected workload fluctuation of service demands is highly desirable"
 /// — made measurable: bursts overwhelm the cluster transiently, quiet
 /// phases let reservations drain.
+// vr-analyze::allow(panic-path, reason = "Trace::build's asserts cannot fire: the catalog is the static group-2 table and jitter is the constant 0.2")
 pub fn bursty(jobs: usize, rng: &mut SimRng) -> Trace {
     let catalog = crate::apps::programs()
         .iter()
@@ -180,6 +182,7 @@ pub fn bursty(jobs: usize, rng: &mut SimRng) -> Trace {
 /// 3. **Wave B** (t ≈ 340 s on): another round of fillers that suffer under
 ///    G-Loadsharing (they land next to thrashing giants) but flow freely
 ///    once V-Reconfiguration has corralled the giants onto reserved nodes.
+// vr-analyze::allow(panic-path, reason = "every submit/lifetime is a compile-time constant and memory sizes scale a non-negative Bytes")
 pub fn blocking_scenario(nodes: usize, node_memory: Bytes) -> Trace {
     let u = node_memory.as_mb_f64();
     let filler_ws = u * 0.38;

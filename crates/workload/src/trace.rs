@@ -208,6 +208,10 @@ pub fn spec_trace(level: TraceLevel, rng: &mut SimRng) -> Trace {
 
 /// Regenerates `SPEC-Trace-<n>` with an explicit lifetime scale (1.0 =
 /// Table 1 verbatim).
+///
+/// # Panics
+///
+/// Panics if `scale` is not a positive finite number.
 pub fn spec_trace_scaled(level: TraceLevel, rng: &mut SimRng, scale: f64) -> Trace {
     let arrivals = level.arrivals().generate(rng);
     Trace::build(
@@ -227,6 +231,10 @@ pub fn app_trace(level: TraceLevel, rng: &mut SimRng) -> Trace {
 
 /// Regenerates `App-Trace-<n>` with an explicit lifetime scale (1.0 =
 /// Table 2 verbatim).
+///
+/// # Panics
+///
+/// Panics if `scale` is not a positive finite number.
 pub fn app_trace_scaled(level: TraceLevel, rng: &mut SimRng, scale: f64) -> Trace {
     let arrivals = level.arrivals().generate(rng);
     Trace::build(
