@@ -16,6 +16,11 @@
 //! | `ablation`    | §2.2/§2.3 — negative conditions & design ablations |
 //! | `experiments` | everything above, as markdown |
 //!
+//! Beyond the paper's evaluation, `engine_bench` replays the five trace
+//! levels end-to-end into the gated `BENCH_engine.json` baseline, and
+//! `scale_bench` measures a nodes × jobs grid (up to 10,000 nodes /
+//! 1,000,000 jobs) into the gated `BENCH_scale.json` baseline.
+//!
 //! The Criterion benches under `benches/` quantify the overhead claims
 //! ("the adaptive process causes little additional overhead").
 

@@ -377,7 +377,18 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
 pub fn generate(seed: u64, iter: u64) -> CheckScenario {
     // vr-analyze::rng-authority(reason = "the fuzzer roots one stream per (seed, iter) so failures replay from the CLI pair alone")
     let mut rng = SimRng::seed_from(seed).fork(iter);
-    let n_nodes = 2 + rng.index(5);
+    // Mostly tiny clusters (cheap, dense coverage of the scheduling logic),
+    // with an occasional 64–1024-node scenario: the O(log n) index, the
+    // sweep sets, and the commit accounting all have code paths that only a
+    // populated cluster exercises, and a fuzzer capped at 6 nodes can never
+    // reach them. Large scenarios get a shorter horizon so one iteration
+    // stays well under a second even through the O(n²) oracle.
+    let large = rng.uniform() < 0.04;
+    let n_nodes = if large {
+        64 + rng.index(961)
+    } else {
+        2 + rng.index(5)
+    };
     let nodes: Vec<ScenarioNode> = (0..n_nodes)
         .map(|_| ScenarioNode {
             user_mb: *rng.choose(&[64, 128, 192, 384]),
@@ -385,7 +396,13 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
         })
         .collect();
     let policy = PolicyKind::ALL[rng.index(PolicyKind::ALL.len())];
-    let n_jobs = 1 + rng.index(20);
+    // Scale the workload with the cluster so large scenarios actually land
+    // jobs on a meaningful fraction of nodes.
+    let n_jobs = if large {
+        n_nodes / 4 + rng.index(n_nodes)
+    } else {
+        1 + rng.index(20)
+    };
     let mut t = 0u64;
     let jobs: Vec<ScenarioJob> = (0..n_jobs)
         .map(|_| {
@@ -443,7 +460,7 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
         nodes,
         policy,
         seed: rng.next_u64(),
-        max_sim_time_s: 3600,
+        max_sim_time_s: if large { 900 } else { 3600 },
         jobs,
         fault_plan,
     }
@@ -472,29 +489,70 @@ pub fn divergence(scenario: &CheckScenario, skew: OracleSkew) -> Option<String> 
     }
 }
 
-/// All one-step shrink candidates of a scenario, most aggressive first.
+/// The scenario with nodes `start..end` removed, fault-plan crash targets
+/// remapped to the surviving indices.
+fn without_nodes(scenario: &CheckScenario, start: usize, end: usize) -> CheckScenario {
+    let mut c = scenario.clone();
+    c.nodes.drain(start..end);
+    if let Some(plan) = &mut c.fault_plan {
+        plan.node_crashes
+            .retain(|crash| !(start..end).contains(&crash.node));
+        for crash in &mut plan.node_crashes {
+            if crash.node >= end {
+                crash.node -= end - start;
+            }
+        }
+    }
+    c
+}
+
+/// All one-step shrink candidates of a scenario, most aggressive first:
+/// ddmin-style contiguous chunk removals (half, quarter, …) ahead of the
+/// per-item removals. The greedy loop in [`shrink`] accepts the *first*
+/// still-diverging candidate and restarts, so when a big chunk survives the
+/// scenario halves in one round — a 1k-node divergence reaches a minimal
+/// reproducer in O(log n) rounds instead of the O(n) rounds the
+/// one-at-a-time candidates alone would need (each round re-running engine
+/// plus the O(n²) oracle over ~n candidates).
 fn candidates(scenario: &CheckScenario) -> Vec<CheckScenario> {
     let mut out = Vec::new();
-    // Drop each job (ids renumber implicitly via position).
+    // Drop contiguous job chunks, largest first (ids renumber implicitly
+    // via position).
+    let mut chunk = scenario.jobs.len() / 2;
+    while chunk >= 2 {
+        let mut start = 0;
+        while start < scenario.jobs.len() {
+            let end = (start + chunk).min(scenario.jobs.len());
+            let mut c = scenario.clone();
+            c.jobs.drain(start..end);
+            out.push(c);
+            start = end;
+        }
+        chunk /= 2;
+    }
+    // Drop each job individually.
     for i in 0..scenario.jobs.len() {
         let mut c = scenario.clone();
         c.jobs.remove(i);
         out.push(c);
     }
-    // Drop each node, remapping fault-plan crash targets.
+    // Drop contiguous node chunks, then single nodes, remapping fault-plan
+    // crash targets either way.
+    let mut chunk = scenario.nodes.len() / 2;
+    while chunk >= 2 {
+        let mut start = 0;
+        while start < scenario.nodes.len() {
+            let end = (start + chunk).min(scenario.nodes.len());
+            if end - start < scenario.nodes.len() {
+                out.push(without_nodes(scenario, start, end));
+            }
+            start = end;
+        }
+        chunk /= 2;
+    }
     if scenario.nodes.len() > 1 {
         for k in 0..scenario.nodes.len() {
-            let mut c = scenario.clone();
-            c.nodes.remove(k);
-            if let Some(plan) = &mut c.fault_plan {
-                plan.node_crashes.retain(|crash| crash.node != k);
-                for crash in &mut plan.node_crashes {
-                    if crash.node > k {
-                        crash.node -= 1;
-                    }
-                }
-            }
-            out.push(c);
+            out.push(without_nodes(scenario, k, k + 1));
         }
     }
     // Simplify the fault plan.
@@ -816,6 +874,77 @@ mod tests {
                 failure.scenario.render()
             );
         }
+    }
+
+    #[test]
+    fn generator_occasionally_emits_large_clusters() {
+        let mut largest = 0;
+        for iter in 0..200 {
+            let s = generate(11, iter);
+            largest = largest.max(s.nodes.len());
+            if s.nodes.len() >= 64 {
+                assert_eq!(
+                    s.max_sim_time_s, 900,
+                    "large scenarios get the short horizon"
+                );
+                assert!(
+                    s.jobs.len() >= s.nodes.len() / 4,
+                    "{} nodes but only {} jobs",
+                    s.nodes.len(),
+                    s.jobs.len()
+                );
+            } else {
+                assert!(s.nodes.len() >= 2);
+            }
+        }
+        assert!(
+            largest >= 64,
+            "200 iterations never produced a large cluster (largest {largest})"
+        );
+    }
+
+    #[test]
+    fn large_cluster_divergence_shrinks_to_a_minimal_reproducer() {
+        // An off-by-one oracle diverges on any completing scenario, so a
+        // 128-node / 32-job reproducer must collapse to ~1 node and ~1 job.
+        // The chunked candidates make this take O(log n) divergence runs;
+        // with only the one-at-a-time removals the test would grind through
+        // thousands of engine+oracle executions.
+        let scenario = CheckScenario {
+            nodes: vec![
+                ScenarioNode {
+                    user_mb: 128,
+                    slots: 4
+                };
+                128
+            ],
+            policy: PolicyKind::GLoadSharing,
+            seed: 9,
+            max_sim_time_s: 900,
+            jobs: (0..32)
+                .map(|i| ScenarioJob {
+                    submit_us: i * 1_000_000,
+                    cpu_work_us: 2_000_000,
+                    ws_mb: 32,
+                })
+                .collect(),
+            fault_plan: None,
+        };
+        let detail = divergence(&scenario, OracleSkew::CompletionOffByOne)
+            .expect("the off-by-one oracle must diverge");
+        let (minimal, _) = shrink(scenario, detail, OracleSkew::CompletionOffByOne);
+        assert!(
+            minimal.nodes.len() <= 2,
+            "shrunk to {} nodes:\n{}",
+            minimal.nodes.len(),
+            minimal.render()
+        );
+        assert!(
+            minimal.jobs.len() <= 2,
+            "shrunk to {} jobs:\n{}",
+            minimal.jobs.len(),
+            minimal.render()
+        );
     }
 
     #[test]

@@ -28,9 +28,10 @@
 //!   two implementations agree bit-for-bit where they should.
 //!
 //! Deliberate scope limits (the generator and the differential tests stay
-//! inside them): thrashing protection must be `Off` and network RAM
-//! disabled — [`run_oracle`] returns an error otherwise rather than
-//! silently diverging.
+//! inside them): thrashing protection must be `Off` — [`run_oracle`]
+//! returns an error otherwise rather than silently diverging. Network RAM
+//! *is* in scope: the remote-backing stall scale is re-derived at every
+//! snapshot refresh, mirroring the engine's pass.
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::memory::FaultModel;
@@ -99,6 +100,10 @@ struct ONode {
     up: bool,
     outbox: Vec<RunningJob>,
     counters: NodeCounters,
+    /// Network-RAM stall multiplier, re-derived at every snapshot refresh
+    /// (see [`Oracle::update_network_ram`]); 1.0 when the extension is off
+    /// or the node's overflow cannot be remotely backed.
+    stall_scale: f64,
 }
 
 impl ONode {
@@ -217,9 +222,20 @@ impl ONode {
             }
         };
         let mean_ws = total.as_u64() as f64 / k as f64;
+        // The scale multiplies the *finished* stall factor, after the
+        // per-job proportionality — the same operation order as the
+        // engine's `fill_rates`, so the f64 results stay bit-identical.
         working_sets
             .iter()
-            .map(|w| kappa_eff * (w.as_u64() as f64 / mean_ws))
+            .map(|w| {
+                let stall = kappa_eff * (w.as_u64() as f64 / mean_ws);
+                // vr-lint::allow(float-eq, reason = "sentinel check mirroring the engine: 1.0 is assigned verbatim, never computed")
+                if self.stall_scale == 1.0 {
+                    stall
+                } else {
+                    stall * self.stall_scale
+                }
+            })
             .collect()
     }
 
@@ -461,8 +477,10 @@ struct Oracle {
 /// # Errors
 ///
 /// Returns an error if the config or trace fails validation, or if the
-/// scenario is outside the oracle's documented scope (network RAM enabled,
-/// or thrashing protection not `Off`).
+/// scenario is outside the oracle's documented scope (thrashing protection
+/// not `Off`). Network RAM *is* modelled: the oracle re-derives the
+/// remote-backing stall scale at every snapshot refresh, exactly where the
+/// engine recomputes it.
 pub fn run_oracle(
     config: &SimConfig,
     trace: &Trace,
@@ -470,9 +488,6 @@ pub fn run_oracle(
 ) -> Result<RunReport, String> {
     config.validate()?;
     trace.validate()?;
-    if config.network_ram.is_some() {
-        return Err("oracle scope: network RAM is not modelled".to_owned());
-    }
     if config
         .cluster
         .nodes
@@ -499,6 +514,7 @@ pub fn run_oracle(
                 up: true,
                 outbox: Vec::new(),
                 counters: NodeCounters::default(),
+                stall_scale: 1.0,
             })
             .collect(),
         index: Vec::new(),
@@ -597,6 +613,7 @@ impl Oracle {
 
     fn refresh_snapshot(&mut self) {
         self.index = self.nodes.iter().map(OLoad::capture).collect();
+        self.update_network_ram();
     }
 
     /// Refresh keeping the previous entry for every node in `stale` (lost
@@ -615,6 +632,36 @@ impl Oracle {
                 OLoad::capture(node)
             })
             .collect();
+        self.update_network_ram();
+    }
+
+    /// Mirrors the engine's network-RAM pass: after every snapshot refresh,
+    /// each node whose memory overflow fits in the cluster's accumulated
+    /// *live* idle memory pages at the remote service time instead of the
+    /// local disk. The sum reads live node state, not the (possibly lossy)
+    /// snapshot — same as the engine, which sums `Workstation::idle_memory`
+    /// directly.
+    fn update_network_ram(&mut self) {
+        let Some(netram) = self.config.network_ram else {
+            return;
+        };
+        let accumulated: Bytes = self.nodes.iter().map(ONode::idle_memory).sum();
+        for node in &mut self.nodes {
+            let overflow = node.overflow();
+            let remote_backed = !overflow.is_zero() && accumulated >= overflow;
+            let scale = if remote_backed {
+                netram.stall_scale(node.params.memory.fault_service)
+            } else {
+                1.0
+            };
+            // Same change-detection threshold as the engine's
+            // `Workstation::set_stall_scale`: a real change rewrites the
+            // node's future, so the epoch bump invalidates pending wakes.
+            if (node.stall_scale - scale).abs() > 1e-12 {
+                node.stall_scale = scale;
+                node.epoch += 1;
+            }
+        }
     }
 
     fn index_get(&self, node: u32) -> Option<&OLoad> {
@@ -1558,5 +1605,90 @@ impl Oracle {
             audit_violations: Vec::new(),
             jobs,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::params::ClusterParams;
+    use vr_workload::synth;
+    use vrecon::{compare_reports, Simulation};
+
+    fn small_cluster(n: usize) -> ClusterParams {
+        let mut cluster = ClusterParams::cluster2();
+        cluster.nodes.truncate(n);
+        cluster
+    }
+
+    /// The scenario must actually overflow memory, or the network-RAM path
+    /// never fires and the test proves nothing. Asserted below.
+    fn blocking_pair(policy: PolicyKind, netram: bool) -> (SimConfig, Trace) {
+        let trace = synth::blocking_scenario(6, Bytes::from_mb(128));
+        let mut config = SimConfig::new(small_cluster(6), policy).with_seed(7);
+        if netram {
+            config = config.with_network_ram();
+        }
+        (config, trace)
+    }
+
+    #[test]
+    fn oracle_accepts_and_matches_network_ram() {
+        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+            let (config, trace) = blocking_pair(policy, true);
+            let engine = Simulation::new(config.clone()).run(&trace);
+            let oracle = run_oracle(&config, &trace, OracleSkew::None)
+                .unwrap_or_else(|e| panic!("{policy}: oracle rejected network RAM: {e}"));
+            let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+            assert!(diff.is_match(), "{policy}: {}", diff.render());
+            // The scenario pages: remote backing must have fired, or this
+            // differential run never exercised the new code path.
+            assert!(
+                engine.summary.totals.page > 0.0,
+                "{policy}: scenario never paged"
+            );
+        }
+    }
+
+    #[test]
+    fn network_ram_changes_the_oracle_outcome() {
+        // The netram pass must not be a silent no-op in the oracle: the
+        // same scenario with remote backing pages strictly less.
+        let (local_cfg, trace) = blocking_pair(PolicyKind::GLoadSharing, false);
+        let (netram_cfg, _) = blocking_pair(PolicyKind::GLoadSharing, true);
+        let local = run_oracle(&local_cfg, &trace, OracleSkew::None).unwrap();
+        let netram = run_oracle(&netram_cfg, &trace, OracleSkew::None).unwrap();
+        assert!(
+            netram.summary.totals.page < local.summary.totals.page,
+            "netram page {:.1}s vs local {:.1}s",
+            netram.summary.totals.page,
+            local.summary.totals.page
+        );
+    }
+
+    #[test]
+    fn engine_matches_oracle_on_a_256_node_scale_scenario() {
+        // The differential fuzzer mostly exercises tiny clusters; this
+        // pins the O(log n) index, the sweep sets, and the incremental
+        // refresh against the all-linear oracle at a size where a
+        // bucket-boundary or staleness bug in any of them cannot hide.
+        let spec = vr_workload::ScaleSpec::new(256, 1_000);
+        let trace = spec.trace(&mut SimRng::seed_from(42));
+        let config = SimConfig::new(spec.cluster(), PolicyKind::VReconfiguration).with_seed(7);
+        let engine = Simulation::new(config.clone()).run(&trace);
+        let oracle = run_oracle(&config, &trace, OracleSkew::None).unwrap();
+        let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+        assert!(diff.is_match(), "{}", diff.render());
+        assert!(engine.all_completed(), "scale scenario must drain");
+    }
+
+    #[test]
+    fn thrashing_protection_is_still_out_of_scope() {
+        let (mut config, trace) = blocking_pair(PolicyKind::GLoadSharing, false);
+        for node in &mut config.cluster.nodes {
+            node.protection = ThrashingProtection::ProtectLargest;
+        }
+        let err = run_oracle(&config, &trace, OracleSkew::None).unwrap_err();
+        assert!(err.contains("thrashing protection"), "{err}");
     }
 }

@@ -18,7 +18,7 @@ use vr_workload::trace::{
     app_trace_scaled, spec_trace_scaled, Trace, TraceLevel, APP_LIFETIME_SCALE, SPEC_LIFETIME_SCALE,
 };
 use vr_workload::{read_trace, write_trace};
-use vrecon::config::SimConfig;
+use vrecon::config::{LoadInfoMode, PlacementMode, SimConfig};
 use vrecon::encode_report;
 use vrecon::policy::PolicyKind;
 use vrecon::report::RunReport;
@@ -35,6 +35,7 @@ USAGE:
   vrecon inspect <TRACE_FILE>
   vrecon run     <TRACE_FILE> --cluster <cluster1|cluster2> --policy <POLICY>
                  [--seed N] [--nodes N] [--netram] [--csv] [--log] [--gantt]
+                 [--placement optimistic|commit-aware] [--load-info global|staggered:N]
                  [--fault-plan FILE] [--audit] [--max-sim-time SECS]
                  [--trace-out FILE] [--trace-format chrome|jsonl]
                  [--spec FILE] [--report-out FILE]
@@ -68,6 +69,16 @@ FAULT PLANS (--fault-plan): a text file, one directive per line —
   load-info-loss p=PROB        reservation-stall SECS      seed-salt N
 `--audit` switches on the invariant auditor; violations are printed (and
 fail the command) after the report.
+
+`run` defaults reproduce the paper byte-for-byte; two knobs trade that
+fidelity for scale realism. `--placement commit-aware` makes placement
+subtract in-transit demand and in-flight slot commitments (the default
+`optimistic` races and re-queues, which floods large clusters with
+transfer ping-pong). `--load-info staggered:N` refreshes the load vector
+in N rotating node groups, so entries can be up to N exchange periods
+stale (`staggered:1` equals `global`). `--nodes N` beyond the paper
+cluster's size repeats the node list cyclically — cluster size is a free
+parameter.
 
 `trace` replays one workload-group scenario with the structured tracer
 chained and exports the trace: `chrome` (default) is Chrome trace-event
@@ -162,15 +173,50 @@ fn parse_cluster(args: &Args) -> Result<ClusterParams, ArgError> {
         }
     };
     if let Some(n) = args.opt_parse::<usize>("nodes")? {
-        if n == 0 || n > cluster.size() {
-            return Err(ArgError(format!(
-                "--nodes must be 1..={}, got {n}",
-                cluster.size()
-            )));
+        if n == 0 {
+            return Err(ArgError("--nodes must be at least 1".to_owned()));
         }
-        cluster.nodes.truncate(n);
+        if n <= cluster.size() {
+            cluster.nodes.truncate(n);
+        } else {
+            // Cluster size is a free parameter: grow past the paper's 32
+            // workstations by repeating the node list cyclically, so a
+            // heterogeneous cluster keeps its mix ratio at any size.
+            let base = cluster.nodes.clone();
+            cluster.nodes = (0..n).map(|i| base[i % base.len()]).collect();
+        }
     }
     Ok(cluster)
+}
+
+fn parse_placement(raw: &str) -> Result<PlacementMode, ArgError> {
+    match raw {
+        "optimistic" => Ok(PlacementMode::Optimistic),
+        "commit-aware" => Ok(PlacementMode::CommitAware),
+        other => Err(ArgError(format!(
+            "unknown placement mode {other}; expected optimistic|commit-aware"
+        ))),
+    }
+}
+
+fn parse_load_info(raw: &str) -> Result<LoadInfoMode, ArgError> {
+    if raw == "global" {
+        return Ok(LoadInfoMode::Global);
+    }
+    if let Some(groups) = raw.strip_prefix("staggered:") {
+        let groups: u32 = groups
+            .parse()
+            .map_err(|_| ArgError(format!("bad staggered group count in {raw}")))?;
+        if groups == 0 {
+            return Err(ArgError(
+                "staggered group count must be non-zero".to_owned(),
+            ));
+        }
+        return Ok(LoadInfoMode::Staggered { groups });
+    }
+    Err(ArgError(format!(
+        "unknown load-info mode {raw}; expected global|staggered:N"
+    )))
 }
 
 fn load_trace(path: &str) -> Result<Trace, ArgError> {
@@ -435,6 +481,12 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let mut config = SimConfig::new(cluster, policy).with_seed(seed);
     if args.flag("netram") {
         config = config.with_network_ram();
+    }
+    if let Some(mode) = args.opt("placement") {
+        config = config.with_placement(parse_placement(mode)?);
+    }
+    if let Some(mode) = args.opt("load-info") {
+        config = config.with_load_info(parse_load_info(mode)?);
     }
     if let Some(path) = args.opt("fault-plan") {
         let text = std::fs::read_to_string(path)
@@ -1242,13 +1294,20 @@ mod tests {
     }
 
     #[test]
-    fn cluster_parsing_with_truncation() {
+    fn cluster_parsing_with_truncation_and_growth() {
         let c = parse_cluster(&args(&["--cluster", "cluster1", "--nodes", "4"])).unwrap();
         assert_eq!(c.size(), 4);
         assert_eq!(c.nodes[0].memory.user, Bytes::from_mb(384));
         assert!(parse_cluster(&args(&["--cluster", "weird"])).is_err());
         assert!(parse_cluster(&args(&["--nodes", "0"])).is_err());
-        assert!(parse_cluster(&args(&["--nodes", "999"])).is_err());
+        // Growth past the paper's 32 workstations repeats the node list
+        // cyclically, so a heterogeneous cluster keeps its mix at any size.
+        let base = parse_cluster(&args(&["--cluster", "cluster2"])).unwrap();
+        let big = parse_cluster(&args(&["--cluster", "cluster2", "--nodes", "999"])).unwrap();
+        assert_eq!(big.size(), 999);
+        for (i, node) in big.nodes.iter().enumerate() {
+            assert_eq!(node.memory.user, base.nodes[i % base.size()].memory.user);
+        }
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! node state, so their decisions suffer the same staleness a real
 //! distributed system would.
 
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+use std::ops::Bound;
+
 use serde::{Deserialize, Serialize};
 use vr_simcore::time::SimTime;
 
@@ -96,6 +100,26 @@ pub struct LoadIndex {
     /// Cluster-wide user-memory sum, cached like [`LoadIndex::cached_idle`].
     #[serde(skip)]
     cached_user_total: Bytes,
+    /// Ordered placement index over the entries that accept submissions,
+    /// keyed exactly like the placement comparator: fewest active jobs
+    /// first, then most idle memory, then node id. Derived from `entries`
+    /// (rebuilt on refresh, not serialized), so it can never disagree with
+    /// a linear scan of the snapshot.
+    #[serde(skip)]
+    placement: BTreeSet<(usize, Reverse<Bytes>, NodeId)>,
+    /// Ordered reservation index over up, non-reserved entries, keyed so
+    /// the *last* element is the paper's reservation candidate: most idle
+    /// memory, then fewest active jobs, then lowest node id.
+    #[serde(skip)]
+    by_idle: BTreeSet<(Bytes, Reverse<usize>, Reverse<NodeId>)>,
+}
+
+fn placement_key(e: &NodeLoad) -> (usize, Reverse<Bytes>, NodeId) {
+    (e.active_jobs, Reverse(e.idle_memory), e.node)
+}
+
+fn by_idle_key(e: &NodeLoad) -> (Bytes, Reverse<usize>, Reverse<NodeId>) {
+    (e.idle_memory, Reverse(e.active_jobs), Reverse(e.node))
 }
 
 impl LoadIndex {
@@ -113,14 +137,84 @@ impl LoadIndex {
             .extend(nodes.into_iter().map(NodeLoad::capture));
         self.entries.sort_by_key(|e| e.node);
         self.refreshed_at = now;
-        self.recompute_sums();
+        self.recompute_derived();
     }
 
-    /// Re-derives the cached cluster-wide sums from `entries`. Every path
-    /// that rebuilds `entries` must end here.
-    fn recompute_sums(&mut self) {
+    /// Re-derives the cached cluster-wide sums and the ordered query
+    /// indices from `entries`. Every path that rebuilds `entries` must end
+    /// here.
+    fn recompute_derived(&mut self) {
         self.cached_idle = self.entries.iter().map(|e| e.idle_memory).sum();
         self.cached_user_total = self.entries.iter().map(|e| e.user_memory).sum();
+        self.placement.clear();
+        self.by_idle.clear();
+        for i in 0..self.entries.len() {
+            let e = self.entries[i];
+            self.index_entry(&e);
+        }
+    }
+
+    /// Adds one entry to the ordered query indices it qualifies for.
+    fn index_entry(&mut self, e: &NodeLoad) {
+        if e.accepts_submissions() {
+            self.placement.insert(placement_key(e));
+        }
+        if e.up && !e.reserved {
+            self.by_idle.insert(by_idle_key(e));
+        }
+    }
+
+    /// Removes one entry from the ordered query indices.
+    fn unindex_entry(&mut self, e: &NodeLoad) {
+        if e.accepts_submissions() {
+            self.placement.remove(&placement_key(e));
+        }
+        if e.up && !e.reserved {
+            self.by_idle.remove(&by_idle_key(e));
+        }
+    }
+
+    /// Recaptures only `targets`, leaving every other entry untouched — the
+    /// incremental form of [`LoadIndex::refresh`]. Correct whenever every
+    /// node whose observable state changed since its last capture is in
+    /// `targets`: an untargeted node's state is unchanged, so its existing
+    /// entry already equals a fresh capture and the result is identical to
+    /// a full refresh at O(changed · log n) instead of O(n) cost.
+    ///
+    /// Falls back to a full refresh when the index has not been populated
+    /// yet (or the cluster size changed under it).
+    pub fn refresh_targets(
+        &mut self,
+        nodes: &[Workstation],
+        targets: impl IntoIterator<Item = NodeId>,
+        now: SimTime,
+    ) {
+        if self.entries.len() != nodes.len() {
+            self.refresh(nodes.iter(), now);
+            return;
+        }
+        for node in targets {
+            let i = node.0 as usize;
+            debug_assert_eq!(self.entries[i].node, node, "index entries must be dense");
+            let old = self.entries[i];
+            let new = NodeLoad::capture(&nodes[i]);
+            if new == old {
+                continue;
+            }
+            self.unindex_entry(&old);
+            // Integer delta on the cached sum: exact and order-independent,
+            // so it lands on the same value a full recompute would.
+            self.cached_idle = Bytes::new(
+                self.cached_idle.as_u64() + new.idle_memory.as_u64() - old.idle_memory.as_u64(),
+            );
+            self.cached_user_total = Bytes::new(
+                self.cached_user_total.as_u64() + new.user_memory.as_u64()
+                    - old.user_memory.as_u64(),
+            );
+            self.entries[i] = new;
+            self.index_entry(&new);
+        }
+        self.refreshed_at = now;
     }
 
     /// Refreshes the index but keeps the *old* entry for every node in
@@ -147,7 +241,7 @@ impl LoadIndex {
             .collect();
         self.entries.sort_by_key(|e| e.node);
         self.refreshed_at = now;
-        self.recompute_sums();
+        self.recompute_derived();
     }
 
     /// When the index was last refreshed.
@@ -203,26 +297,131 @@ impl LoadIndex {
     ///
     /// `exclude` filters out the source node.
     pub fn best_destination(&self, exclude: Option<NodeId>) -> Option<&NodeLoad> {
-        self.entries
-            .iter()
-            .filter(|e| Some(e.node) != exclude && e.accepts_submissions())
-            .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
+        self.best_destination_for(Bytes::ZERO, exclude)
+    }
+
+    /// Like [`LoadIndex::best_destination`], additionally requiring at
+    /// least `demand` idle memory — the paper's qualification for placing a
+    /// job with a known working set. Resolved against the ordered placement
+    /// index instead of a linear scan: within one active-jobs bucket
+    /// entries are sorted by descending idle memory, so the bucket head
+    /// either covers the demand or the whole bucket can be skipped. At most
+    /// two probes (the head may be `exclude`) plus one range seek per
+    /// bucket, and the bucket count is bounded by the per-node slot limit,
+    /// so a query is O(slots · log n).
+    ///
+    /// Equivalent to
+    /// `iter().filter(|e| Some(e.node) != exclude && e.accepts_submissions()
+    /// && e.idle_memory >= demand).min_by_key(|e| (e.active_jobs,
+    /// Reverse(e.idle_memory), e.node))`.
+    pub fn best_destination_for(
+        &self,
+        demand: Bytes,
+        exclude: Option<NodeId>,
+    ) -> Option<&NodeLoad> {
+        let mut from = Bound::Unbounded;
+        loop {
+            let mut bucket = self.placement.range((from, Bound::Unbounded));
+            let &(jobs, Reverse(idle), node) = bucket.next()?;
+            if idle >= demand {
+                if Some(node) != exclude {
+                    return self.get(node);
+                }
+                // The bucket head is the excluded node; the next entry in
+                // the same bucket (same job count, next-best idle memory)
+                // wins if it still covers the demand.
+                if let Some(&(j2, Reverse(i2), n2)) = bucket.next() {
+                    if j2 == jobs && i2 >= demand {
+                        return self.get(n2);
+                    }
+                }
+            }
+            // Every remaining entry in this bucket has less idle memory
+            // than one we already rejected: seek past the bucket. Accepting
+            // entries always have non-zero idle memory, so this sentinel
+            // sorts strictly after all of them.
+            from = Bound::Excluded((jobs, Reverse(Bytes::ZERO), NodeId(u32::MAX)));
+        }
+    }
+
+    /// [`LoadIndex::best_destination_for`] with an extra caller-side
+    /// acceptance predicate (e.g. committed-capacity checks that live
+    /// outside the index). Entries are offered to `accept` in placement
+    /// order; within a bucket the walk stops as soon as *reported* idle
+    /// memory drops below `demand` — reported idle is an upper bound on any
+    /// caller-adjusted capacity, so no skipped entry could have been
+    /// accepted on memory the index does not know about being *larger*.
+    /// Worst case degenerates to a full scan only when most entries report
+    /// enough idle memory yet fail `accept`; the saturated-cluster case
+    /// (nothing fits) costs one probe per distinct job-count bucket.
+    pub fn best_destination_where(
+        &self,
+        demand: Bytes,
+        exclude: Option<NodeId>,
+        mut accept: impl FnMut(&NodeLoad) -> bool,
+    ) -> Option<&NodeLoad> {
+        let mut from = Bound::Unbounded;
+        loop {
+            let mut bucket = self.placement.range((from, Bound::Unbounded));
+            let &(jobs, Reverse(idle), node) = bucket.next()?;
+            if idle >= demand {
+                if Some(node) != exclude {
+                    if let Some(load) = self.get(node) {
+                        if accept(load) {
+                            return Some(load);
+                        }
+                    }
+                }
+                // Walk the rest of the bucket: same job count, descending
+                // reported idle, until reported idle can no longer cover
+                // the demand.
+                for &(j2, Reverse(i2), n2) in bucket {
+                    if j2 != jobs || i2 < demand {
+                        break;
+                    }
+                    if Some(n2) == exclude {
+                        continue;
+                    }
+                    if let Some(load) = self.get(n2) {
+                        if accept(load) {
+                            return Some(load);
+                        }
+                    }
+                }
+            }
+            from = Bound::Excluded((jobs, Reverse(Bytes::ZERO), NodeId(u32::MAX)));
+        }
     }
 
     /// The paper's `reserve_a_workstation()` choice: the most lightly loaded
     /// non-reserved workstation with the largest idle memory (in a
     /// heterogeneous cluster this also favours large-memory nodes, §2.3).
     pub fn reservation_candidate(&self) -> Option<&NodeLoad> {
-        self.entries
+        let &(_, _, Reverse(node)) = self.by_idle.iter().next_back()?;
+        self.get(node)
+    }
+
+    /// All up, non-reserved entries in descending reservation-preference
+    /// order (most idle memory, then fewest active jobs, then lowest id).
+    /// Callers apply live-state filters and take the first hit, which
+    /// equals a `max_by_key` over the filtered set; feasibility probes can
+    /// early-exit as soon as idle memory drops below the demanded working
+    /// set.
+    pub fn by_idle_desc(&self) -> impl Iterator<Item = &NodeLoad> {
+        self.by_idle
             .iter()
-            .filter(|e| e.up && !e.reserved)
-            .max_by_key(|e| {
-                (
-                    e.idle_memory,
-                    std::cmp::Reverse(e.active_jobs),
-                    std::cmp::Reverse(e.node),
-                )
-            })
+            .rev()
+            .filter_map(|&(_, _, Reverse(node))| self.get(node))
+    }
+
+    /// All accepting entries in placement-preference order (fewest active
+    /// jobs, then most idle memory, then lowest id — best destination
+    /// first). The first entry surviving a caller-side filter equals a
+    /// `min_by_key` over the filtered set.
+    pub fn placement_order(&self) -> impl Iterator<Item = &NodeLoad> {
+        self.placement
+            .iter()
+            .filter_map(|&(_, _, node)| self.get(node))
     }
 }
 
@@ -419,5 +618,130 @@ mod tests {
         assert_eq!(index.average_user_memory(), Bytes::ZERO);
         assert!(index.best_destination(None).is_none());
         assert!(index.reservation_candidate().is_none());
+        assert!(index
+            .best_destination_for(Bytes::from_mb(1), None)
+            .is_none());
+        assert_eq!(index.by_idle_desc().count(), 0);
+        assert_eq!(index.placement_order().count(), 0);
+    }
+
+    #[test]
+    fn best_destination_for_respects_demand() {
+        let nodes = [
+            node_with_jobs(0, 128, &[(1, 10)]),          // 118 MB idle, 1 job
+            node_with_jobs(1, 128, &[(2, 100)]),         // 28 MB idle, 1 job
+            node_with_jobs(2, 128, &[(3, 10), (4, 10)]), // 108 MB idle, 2 jobs
+        ];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        // Demand 50 MB: node 0 is the only 1-job node that fits.
+        let hit = index
+            .best_destination_for(Bytes::from_mb(50), None)
+            .unwrap();
+        assert_eq!(hit.node, NodeId(0));
+        // Excluding node 0 forces a fall-through to the 2-job bucket.
+        let hit = index
+            .best_destination_for(Bytes::from_mb(50), Some(NodeId(0)))
+            .unwrap();
+        assert_eq!(hit.node, NodeId(2));
+        // Demand nothing can satisfy.
+        assert!(index
+            .best_destination_for(Bytes::from_mb(500), None)
+            .is_none());
+    }
+
+    #[test]
+    fn ordered_queries_match_linear_scans() {
+        let nodes = [
+            node_with_jobs(0, 128, &[(1, 10), (2, 10)]),
+            node_with_jobs(1, 384, &[(3, 40)]),
+            node_with_jobs(2, 128, &[(4, 100)]),
+            node_with_jobs(3, 128, &[]),
+            node_with_jobs(4, 384, &[(5, 40)]),
+        ];
+        let mut index = LoadIndex::new();
+        index.refresh(nodes.iter(), SimTime::ZERO);
+        for demand_mb in [0, 30, 90, 200, 400] {
+            for exclude in [None, Some(NodeId(3)), Some(NodeId(1))] {
+                let demand = Bytes::from_mb(demand_mb);
+                let linear = index
+                    .iter()
+                    .filter(|e| {
+                        Some(e.node) != exclude
+                            && e.accepts_submissions()
+                            && e.idle_memory >= demand
+                    })
+                    .min_by_key(|e| (e.active_jobs, Reverse(e.idle_memory), e.node))
+                    .map(|e| e.node);
+                let indexed = index.best_destination_for(demand, exclude).map(|e| e.node);
+                assert_eq!(indexed, linear, "demand {demand_mb} MB exclude {exclude:?}");
+            }
+        }
+        let linear_res = index
+            .iter()
+            .filter(|e| e.up && !e.reserved)
+            .max_by_key(|e| (e.idle_memory, Reverse(e.active_jobs), Reverse(e.node)))
+            .map(|e| e.node);
+        assert_eq!(index.reservation_candidate().map(|e| e.node), linear_res);
+        // Ordered iterators sweep their comparator order exactly.
+        let mut prev = None;
+        for e in index.placement_order() {
+            let key = (e.active_jobs, Reverse(e.idle_memory), e.node);
+            assert!(prev.as_ref().is_none_or(|p| *p < key));
+            prev = Some(key);
+        }
+        let mut prev = None;
+        for e in index.by_idle_desc() {
+            let key = (e.idle_memory, Reverse(e.active_jobs), Reverse(e.node));
+            assert!(prev.as_ref().is_none_or(|p| *p > key));
+            prev = Some(key);
+        }
+    }
+
+    #[test]
+    fn refresh_targets_matches_full_refresh() {
+        let mut nodes = vec![
+            node_with_jobs(0, 128, &[(1, 28)]),
+            node_with_jobs(1, 128, &[]),
+            node_with_jobs(2, 384, &[(2, 60)]),
+            node_with_jobs(3, 128, &[(3, 100)]),
+        ];
+        let mut index = LoadIndex::new();
+        // Unpopulated index: refresh_targets falls back to a full refresh.
+        index.refresh_targets(&nodes, [], SimTime::ZERO);
+        assert_eq!(index.len(), 4);
+        // Churn a subset of nodes: a crash, a reservation, and an admission.
+        nodes[0].crash(SimTime::from_secs(1));
+        nodes[1].set_reserved(true);
+        nodes[2]
+            .try_admit(
+                RunningJob::new(JobSpec {
+                    id: JobId(9),
+                    name: "j9".into(),
+                    class: JobClass::CpuIntensive,
+                    submit: SimTime::ZERO,
+                    cpu_work: SimSpan::from_secs(50),
+                    memory: MemoryProfile::constant(Bytes::from_mb(30)),
+                    io_rate: 0.0,
+                }),
+                SimTime::from_secs(1),
+            )
+            .unwrap();
+        index.refresh_targets(
+            &nodes,
+            [NodeId(0), NodeId(1), NodeId(2)],
+            SimTime::from_secs(1),
+        );
+        let mut full = LoadIndex::new();
+        full.refresh(nodes.iter(), SimTime::from_secs(1));
+        assert_eq!(index, full);
+        // Recovery churn: restart the crashed node and release the flag.
+        nodes[0].restart(SimTime::from_secs(2));
+        nodes[1].set_reserved(false);
+        index.refresh_targets(&nodes, [NodeId(0), NodeId(1)], SimTime::from_secs(2));
+        let mut full = LoadIndex::new();
+        full.refresh(nodes.iter(), SimTime::from_secs(2));
+        assert_eq!(index, full);
+        assert_eq!(index.refreshed_at(), SimTime::from_secs(2));
     }
 }

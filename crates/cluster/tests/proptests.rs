@@ -188,3 +188,220 @@ proptest! {
         }
     }
 }
+
+// ---- ordered load-index equivalence -----------------------------------
+//
+// The O(log n) placement/reservation indices must be *observationally
+// equivalent* to the linear scans they replaced: on any snapshot, every
+// ordered query returns exactly the entry a filtered min/max scan over the
+// same snapshot returns, and the incremental `refresh_targets` lands on
+// exactly the state a from-scratch `refresh` produces. Random worlds with
+// admission, completion-by-advance, crash/restart churn, and reservations
+// drive both claims.
+
+use std::cmp::Reverse;
+use vr_cluster::loadinfo::{LoadIndex, NodeLoad};
+
+#[derive(Debug, Clone)]
+enum IndexOp {
+    Admit {
+        node: u32,
+        ws_mb: u64,
+        work_secs: f64,
+    },
+    RemoveFirst {
+        node: u32,
+    },
+    Advance {
+        secs: u64,
+    },
+    Crash {
+        node: u32,
+    },
+    Restart {
+        node: u32,
+    },
+    Reserve {
+        node: u32,
+        on: bool,
+    },
+}
+
+fn index_op_strategy() -> impl Strategy<Value = IndexOp> {
+    (
+        0u32..13,
+        any::<u32>(),
+        4u64..260,
+        5.0f64..200.0,
+        1u64..90,
+        any::<bool>(),
+    )
+        .prop_map(|(kind, node, ws_mb, work_secs, secs, on)| match kind {
+            0..=4 => IndexOp::Admit {
+                node,
+                ws_mb,
+                work_secs,
+            },
+            5 | 6 => IndexOp::RemoveFirst { node },
+            7..=9 => IndexOp::Advance { secs },
+            10 => IndexOp::Crash { node },
+            11 => IndexOp::Restart { node },
+            _ => IndexOp::Reserve { node, on },
+        })
+}
+
+/// The documented linear-scan equivalent of `best_destination_for` /
+/// `best_destination_where`.
+fn linear_best<'a>(
+    entries: impl Iterator<Item = &'a NodeLoad>,
+    demand: Bytes,
+    exclude: Option<NodeId>,
+    accept: impl Fn(&NodeLoad) -> bool,
+) -> Option<&'a NodeLoad> {
+    entries
+        .filter(|e| {
+            Some(e.node) != exclude
+                && e.accepts_submissions()
+                && e.idle_memory >= demand
+                && accept(e)
+        })
+        .min_by_key(|e| (e.active_jobs, Reverse(e.idle_memory), e.node))
+}
+
+/// The documented linear-scan equivalent of `reservation_candidate`.
+fn linear_reservation<'a>(entries: impl Iterator<Item = &'a NodeLoad>) -> Option<&'a NodeLoad> {
+    entries
+        .filter(|e| e.up && !e.reserved)
+        .max_by_key(|e| (e.idle_memory, Reverse(e.active_jobs), Reverse(e.node)))
+}
+
+fn assert_queries_match(index: &LoadIndex, n_nodes: usize) {
+    let demands = [
+        Bytes::ZERO,
+        Bytes::from_mb(16),
+        Bytes::from_mb(100),
+        Bytes::from_mb(512),
+    ];
+    let excludes = [None, Some(NodeId(0)), Some(NodeId(n_nodes as u32 / 2))];
+    for demand in demands {
+        for exclude in excludes {
+            let fast = index.best_destination_for(demand, exclude).map(|e| e.node);
+            let slow = linear_best(index.iter(), demand, exclude, |_| true).map(|e| e.node);
+            assert_eq!(fast, slow, "best_destination_for d={demand} x={exclude:?}");
+            // A caller-side predicate the index knows nothing about, like
+            // the commit-aware capacity check.
+            let pred = |e: &NodeLoad| e.overflow.is_zero() && e.active_jobs.is_multiple_of(2);
+            let fast = index
+                .best_destination_where(demand, exclude, pred)
+                .map(|e| e.node);
+            let slow = linear_best(index.iter(), demand, exclude, pred).map(|e| e.node);
+            assert_eq!(
+                fast, slow,
+                "best_destination_where d={demand} x={exclude:?}"
+            );
+        }
+    }
+    let fast = index.reservation_candidate().map(|e| e.node);
+    let slow = linear_reservation(index.iter()).map(|e| e.node);
+    assert_eq!(fast, slow, "reservation_candidate");
+    // The full placement order is the sorted filtered scan.
+    let fast: Vec<NodeId> = index.placement_order().map(|e| e.node).collect();
+    let mut slow: Vec<&NodeLoad> = index.iter().filter(|e| e.accepts_submissions()).collect();
+    slow.sort_by_key(|e| (e.active_jobs, Reverse(e.idle_memory), e.node));
+    assert_eq!(fast, slow.iter().map(|e| e.node).collect::<Vec<_>>());
+    // Cached sums match a recount.
+    assert_eq!(
+        index.accumulated_idle_memory(),
+        index.iter().map(|e| e.idle_memory).sum::<Bytes>()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..Default::default() })]
+
+    /// On a randomly churned world of arbitrary size, every ordered query
+    /// equals its linear-scan specification, and incremental
+    /// `refresh_targets` over exactly the touched nodes is
+    /// indistinguishable from a full rebuild.
+    #[test]
+    fn ordered_index_is_equivalent_to_linear_scans(
+        n_nodes in 1usize..80,
+        ops in prop::collection::vec(index_op_strategy(), 1..60),
+        kappa in 0.5f64..6.0,
+    ) {
+        let mut world: Vec<Workstation> = (0..n_nodes)
+            .map(|i| {
+                let user = [96u64, 128, 256, 384][i % 4];
+                Workstation::new(
+                    NodeId(i as u32),
+                    NodeParams {
+                        cpu: CpuParams::with_slots(4),
+                        memory: MemoryParams::with_capacity(
+                            Bytes::from_mb(user),
+                            Bytes::from_mb(user),
+                        ),
+                        fault_model: FaultModel::LinearOverflow { kappa },
+                        protection: Default::default(),
+                    },
+                )
+            })
+            .collect();
+        let mut now = SimTime::ZERO;
+        let mut full = LoadIndex::new();
+        let mut incremental = LoadIndex::new();
+        full.refresh(world.iter(), now);
+        incremental.refresh(world.iter(), now);
+        let mut next_job = 1_000u64;
+        for op in ops {
+            let mut touched: Vec<NodeId> = Vec::new();
+            match op {
+                IndexOp::Admit { node, ws_mb, work_secs } => {
+                    let i = node as usize % world.len();
+                    let job = build_job(next_job, &JobDesc { ws_mb, work_secs, ramp: false });
+                    next_job += 1;
+                    // try_admit advances the node even on rejection, so the
+                    // node is touched either way.
+                    let _ = world[i].try_admit(job, now);
+                    touched.push(NodeId(i as u32));
+                }
+                IndexOp::RemoveFirst { node } => {
+                    let i = node as usize % world.len();
+                    if let Some(id) = world[i].jobs().first().map(|j| j.id()) {
+                        world[i].remove_job(id, now);
+                    }
+                    touched.push(NodeId(i as u32));
+                }
+                IndexOp::Advance { secs } => {
+                    now += SimSpan::from_secs(secs);
+                    for w in world.iter_mut() {
+                        w.advance_to(now);
+                        touched.push(w.id());
+                    }
+                }
+                IndexOp::Crash { node } => {
+                    let i = node as usize % world.len();
+                    if world[i].is_up() {
+                        world[i].crash(now);
+                    }
+                    touched.push(NodeId(i as u32));
+                }
+                IndexOp::Restart { node } => {
+                    let i = node as usize % world.len();
+                    if !world[i].is_up() {
+                        world[i].restart(now);
+                    }
+                    touched.push(NodeId(i as u32));
+                }
+                IndexOp::Reserve { node, on } => {
+                    let i = node as usize % world.len();
+                    world[i].set_reserved(on);
+                    touched.push(NodeId(i as u32));
+                }
+            }
+            full.refresh(world.iter(), now);
+            incremental.refresh_targets(&world, touched.iter().copied(), now);
+            prop_assert_eq!(&full, &incremental, "incremental refresh diverged from rebuild");
+            assert_queries_match(&incremental, n_nodes);
+        }
+    }
+}

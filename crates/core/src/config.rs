@@ -117,6 +117,62 @@ pub struct SimConfig {
     /// be checked against the historical full rescan.
     #[serde(default)]
     pub detector: DetectorMode,
+    /// How fresh each node's entry in the global load vector is. The paper
+    /// assumes a perfect 1-second global exchange; at thousands of nodes
+    /// that all-to-all broadcast is the first thing operators shed, so this
+    /// knob models bounded-age load information (§6 discussion of scalable
+    /// load sharing).
+    #[serde(default)]
+    pub load_info: LoadInfoMode,
+    /// Whether placement accounts for capacity already committed to
+    /// in-flight submissions and migrations.
+    #[serde(default)]
+    pub placement: PlacementMode,
+}
+
+/// How placement treats capacity that is committed but not yet resident.
+///
+/// The paper's scheduler places against the last load-information snapshot
+/// and lets races resolve at admission — fine at 32 workstations, where at
+/// most a couple of submissions share a snapshot. At thousands of nodes a
+/// single exchange interval sees many arrivals, every one of which picks
+/// the *same* least-loaded workstation; the losers bounce back to the
+/// blocked queue and retry, and each retry pass floods the same target
+/// again. Event volume then grows with (backlog × retries) — quadratic in
+/// practice — which is what breaks large runs, not the per-event index
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementMode {
+    /// Place against the raw snapshot; admission races re-queue the loser
+    /// (the paper's behaviour, and the default).
+    #[default]
+    Optimistic,
+    /// Subtract in-flight (committed but not yet arrived) demand and job
+    /// slots from each candidate — the same accounting migration-target
+    /// selection already uses — so concurrent placements spread instead of
+    /// piling onto one workstation. Applies to the load-index policies
+    /// (G-LS, V-R, suspension); the random/CPU-only baselines ignore it.
+    CommitAware,
+}
+
+/// Freshness model for the global load-information exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LoadInfoMode {
+    /// Every workstation's load vector entry is recaptured at every
+    /// exchange tick — the paper's idealized global exchange.
+    #[default]
+    Global,
+    /// Workstations report in rotating groups: node `i` is recaptured only
+    /// at ticks `t` with `i % groups == t % groups`, so an entry can be up
+    /// to `groups` exchange periods stale. `groups == 1` is byte-identical
+    /// to [`LoadInfoMode::Global`]. Models the bounded-age load vectors a
+    /// real cluster gets from staggered or gossip-style dissemination,
+    /// generalizing the transient `load-info loss` fault into a standing
+    /// policy.
+    Staggered {
+        /// Number of reporting groups (must be non-zero).
+        groups: u32,
+    },
 }
 
 /// Selects the mechanism behind blocking/idle-memory detection.
@@ -150,6 +206,8 @@ impl SimConfig {
             fault_plan: None,
             audit: false,
             detector: DetectorMode::default(),
+            load_info: LoadInfoMode::default(),
+            placement: PlacementMode::default(),
         }
     }
 
@@ -182,6 +240,20 @@ impl SimConfig {
     /// [`DetectorMode`]); reports must not depend on the choice.
     pub fn with_detector(mut self, detector: DetectorMode) -> Self {
         self.detector = detector;
+        self
+    }
+
+    /// Returns the config with the given load-information freshness model
+    /// (see [`LoadInfoMode`]) — builder-style.
+    pub fn with_load_info(mut self, load_info: LoadInfoMode) -> Self {
+        self.load_info = load_info;
+        self
+    }
+
+    /// Returns the config with the given placement commitment mode (see
+    /// [`PlacementMode`]) — builder-style.
+    pub fn with_placement(mut self, placement: PlacementMode) -> Self {
+        self.placement = placement;
         self
     }
 
@@ -248,6 +320,11 @@ impl SimConfig {
         }
         if self.max_sim_time.is_zero() {
             return Err("max simulation time must be non-zero".into());
+        }
+        if let LoadInfoMode::Staggered { groups } = self.load_info {
+            if groups == 0 {
+                return Err("staggered load info needs at least one group".into());
+            }
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate()?;

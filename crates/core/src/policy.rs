@@ -217,13 +217,10 @@ impl PolicyKind {
                 {
                     return Placement::Local(home);
                 }
-                let dest = index
-                    .iter()
-                    .filter(|e| {
-                        e.node != home && e.accepts_submissions() && e.idle_memory >= demand
-                    })
-                    .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node));
-                match dest {
+                // O(log n) bucket probe over the ordered placement index —
+                // provably the same winner as the old linear
+                // `min_by_key((active_jobs, Reverse(idle_memory), node))`.
+                match index.best_destination_for(demand, Some(home)) {
                     Some(dest) => Placement::Remote(dest.node),
                     None => Placement::Blocked,
                 }

@@ -41,7 +41,7 @@
 //!   qualifies, the blocking problem is detected and (under
 //!   V-Reconfiguration) the reconfiguration routine runs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::loadinfo::LoadIndex;
@@ -56,7 +56,7 @@ use vr_simcore::time::{SimSpan, SimTime};
 use vr_trace::{TraceData, TraceRecord, TraceSource, Tracer};
 use vr_workload::trace::Trace;
 
-use crate::config::{DetectorMode, ReservingEnd, SimConfig};
+use crate::config::{DetectorMode, LoadInfoMode, PlacementMode, ReservingEnd, SimConfig};
 use crate::events::{EventLog, SchedulerEventKind};
 use crate::policy::{Placement, PolicyKind};
 use crate::report::{RunReport, SchedulerCounters};
@@ -256,11 +256,12 @@ pub(crate) struct ClusterWorld {
     index: LoadIndex,
     rng: SimRng,
     pub(crate) pending: VecDeque<PendingJob>,
-    /// Jobs on the wire (remote submissions and migrations). A small flat
-    /// arena searched linearly by job id — in-transit population is bounded
-    /// by slots × nodes, and the per-node aggregates in `inbound` answer
-    /// the hot-path queries without scanning it at all.
-    pub(crate) in_transit: Vec<Transit>,
+    /// Jobs on the wire (remote submissions and migrations), keyed by job
+    /// id so per-event membership, removal, and retry lookups stay
+    /// O(log transits) however many transfers are in flight; the per-node
+    /// aggregates in `inbound` answer the hot-path demand queries without
+    /// scanning it at all.
+    pub(crate) in_transit: BTreeMap<JobId, Transit>,
     /// Per-node inbound aggregates (total demand on the wire, transfer
     /// count), maintained by delta in `transit_insert` / `transit_remove`
     /// so destination filters are O(1) instead of O(transits).
@@ -298,6 +299,31 @@ pub(crate) struct ClusterWorld {
     /// `blocking_detections` counts blocking episodes (state changes), not
     /// scan ticks.
     blocked_nodes: Vec<bool>,
+    /// Node ids whose `blocked_nodes` bit is up, mirrored as an ordered set
+    /// so the overload scan can revisit flagged nodes without walking the
+    /// whole slab.
+    blocked_set: BTreeSet<u32>,
+    /// Nodes that currently host work (resident jobs or an undrained
+    /// completion outbox). Everything outside this set is settled: its load
+    /// cannot change until the scheduler touches it again (advancing an
+    /// idle workstation is a no-op), so the periodic
+    /// advance/collect/refresh sweeps walk this set instead of every
+    /// workstation — the O(active) hot path that makes cluster size a free
+    /// parameter. Lazily pruned after each index refresh.
+    active: BTreeSet<u32>,
+    /// Nodes whose completion outbox is non-empty: the only workstations
+    /// [`ClusterWorld::collect_completions`] must visit. Without this
+    /// mirror every wake-up scans the whole active set — O(active) per
+    /// event, which at 60 % utilization is O(cluster) and dominates the
+    /// wall clock beyond ~1k nodes.
+    ripe: BTreeSet<u32>,
+    /// Nodes whose observable state changed without hosting work (flag
+    /// flips: reserved, up, stale entries awaiting recapture). Drained into
+    /// the next index refresh.
+    dirty: BTreeSet<u32>,
+    /// Exchange ticks so far, driving the staggered stale-load schedule
+    /// ([`LoadInfoMode::Staggered`]).
+    exchange_ticks: u64,
 }
 
 /// Aggregate load already on the wire toward one node.
@@ -328,7 +354,7 @@ impl ClusterWorld {
             // vr-analyze::rng-authority(reason = "the simulation root mints the master stream from the user-supplied config seed")
             rng: SimRng::seed_from(config.seed),
             pending: VecDeque::new(),
-            in_transit: Vec::new(),
+            in_transit: BTreeMap::new(),
             inbound: vec![
                 InboundLoad {
                     demand: Bytes::ZERO,
@@ -354,6 +380,11 @@ impl ClusterWorld {
                 .map(|plan| FaultInjector::new(plan, config.seed)),
             stalled: vec![false; node_count],
             blocked_nodes: vec![false; node_count],
+            blocked_set: BTreeSet::new(),
+            active: BTreeSet::new(),
+            ripe: BTreeSet::new(),
+            dirty: BTreeSet::new(),
+            exchange_ticks: 0,
         };
         world.index.refresh(world.nodes.iter(), SimTime::ZERO);
         world
@@ -371,13 +402,13 @@ impl ClusterWorld {
         let slot = &mut self.inbound[transit.dst.0 as usize];
         slot.demand += transit.job.current_working_set();
         slot.count += 1;
-        self.in_transit.push(transit);
+        let prev = self.in_transit.insert(transit.job.id(), transit);
+        debug_assert!(prev.is_none(), "job inserted while already in transit");
     }
 
     /// Takes a transfer off the wire, reversing its inbound aggregates.
     fn transit_remove(&mut self, job: JobId) -> Option<Transit> {
-        let idx = self.in_transit.iter().position(|t| t.job.id() == job)?;
-        let transit = self.in_transit.swap_remove(idx);
+        let transit = self.in_transit.remove(&job)?;
         let slot = &mut self.inbound[transit.dst.0 as usize];
         slot.demand = slot
             .demand
@@ -388,7 +419,7 @@ impl ClusterWorld {
 
     /// `true` if `job` is currently on the wire.
     fn transit_contains(&self, job: JobId) -> bool {
-        self.in_transit.iter().any(|t| t.job.id() == job)
+        self.in_transit.contains_key(&job)
     }
 
     /// `true` if `node`'s reservation release is stalled by fault injection.
@@ -396,24 +427,155 @@ impl ClusterWorld {
         self.stalled[node.0 as usize]
     }
 
-    /// Advances every node to `now` and refreshes the load index.
-    fn refresh_index(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        for i in 0..self.nodes.len() {
-            self.nodes[i].advance_to(now);
+    /// Records that `node`'s observable load state changed since the last
+    /// index refresh: it must be recaptured at the next refresh, and if it
+    /// hosts work it joins the active sweep set. Every workstation mutation
+    /// (admit, remove, crash, restart, reserve-flag flip) must come through
+    /// here — the sweep sets are what keep the incremental index equal to a
+    /// full rebuild.
+    fn touch(&mut self, node: NodeId) {
+        let i = node.0 as usize;
+        let has_completions = !self.nodes[i].pending_completions().is_empty();
+        if self.nodes[i].active_jobs() > 0 || has_completions {
+            self.active.insert(node.0);
         }
-        self.collect_completions(now, sched);
-        self.index.refresh(self.nodes.iter(), now);
+        if has_completions {
+            self.ripe.insert(node.0);
+        }
+        self.dirty.insert(node.0);
+    }
+
+    /// Records that `node` was advanced in simulated time outside
+    /// [`ClusterWorld::touch`]: its observable load may have drifted (phase
+    /// ramps, completions moving to the outbox), so it must be recaptured
+    /// at the next index refresh, and if the advance produced completions
+    /// it joins the completion sweep. Must follow every `advance_to` that
+    /// is not already routed through `touch` — the index refresh and
+    /// [`ClusterWorld::collect_completions`] only visit noted nodes.
+    fn note_advanced(&mut self, node: NodeId) {
+        self.dirty.insert(node.0);
+        if !self.nodes[node.0 as usize].pending_completions().is_empty() {
+            self.ripe.insert(node.0);
+        }
+    }
+
+    /// Sets or clears a node's job-blocking flag, keeping the `blocked_set`
+    /// mirror in sync. The flags are mutated only inside
+    /// [`ClusterWorld::overload_scan`]; the mirror is what lets the scan
+    /// revisit exactly the flagged nodes without walking the whole cluster.
+    fn set_blocked(&mut self, i: usize, blocked: bool) {
+        self.blocked_nodes[i] = blocked;
+        if blocked {
+            self.blocked_set.insert(i as u32);
+        } else {
+            self.blocked_set.remove(&(i as u32));
+        }
+    }
+
+    /// Advances every node that hosts work to `now`. Settled nodes need no
+    /// advance: with no resident jobs there is nothing to integrate, so
+    /// their counters and demand are unchanged by construction.
+    fn advance_active(&mut self, now: SimTime) {
+        for &i in &self.active {
+            self.nodes[i as usize].advance_to(now);
+            if !self.nodes[i as usize].pending_completions().is_empty() {
+                self.ripe.insert(i);
+            }
+            // The advance may have moved the node's load; queue it for
+            // recapture. Unchanged nodes cost one capture-and-compare at
+            // the next refresh, nothing more.
+            self.dirty.insert(i);
+        }
+    }
+
+    /// The incremental refresh core: recaptures `dirty \ stale`, re-marks
+    /// held-back nodes dirty so they catch up at the next refresh (exactly
+    /// when a full rebuild would have recaptured them), and prunes settled
+    /// visited nodes from the active sweep set.
+    ///
+    /// Only dirty nodes need visiting: every mutation routes through
+    /// [`ClusterWorld::touch`] and every simulated-time advance through
+    /// [`ClusterWorld::note_advanced`] or
+    /// [`ClusterWorld::advance_active`], all of which dirty the node — so a
+    /// node outside the dirty set has exactly the state it had when its
+    /// index entry was captured, and a full
+    /// `index.refresh(self.nodes.iter(), now)` would recapture the
+    /// identical entry. That makes the result byte-identical to a full
+    /// rebuild at O(changed · log n) cost, per refresh, instead of
+    /// O(cluster): the property the sweep-set cross-check below asserts in
+    /// debug builds.
+    fn refresh_index_incremental(&mut self, now: SimTime, is_stale: impl Fn(NodeId) -> bool) {
+        let mut targets: Vec<NodeId> = Vec::new();
+        let mut kept: Vec<u32> = Vec::new();
+        for &i in &self.dirty {
+            let id = NodeId(i);
+            if is_stale(id) {
+                kept.push(i);
+            } else {
+                targets.push(id);
+            }
+        }
+        self.index
+            .refresh_targets(&self.nodes, targets.iter().copied(), now);
+        self.dirty.clear();
+        // A node can only leave the hosting-work state through an advance
+        // or a mutation, both of which dirty it — so pruning the visited
+        // nodes keeps the active set exact without walking it.
+        for id in targets {
+            let n = &self.nodes[id.0 as usize];
+            if n.active_jobs() == 0 && n.pending_completions().is_empty() {
+                self.active.remove(&id.0);
+            }
+        }
+        self.dirty.extend(kept);
         self.update_network_ram();
+        #[cfg(debug_assertions)]
+        if self.dirty.is_empty() {
+            self.debug_check_sweep_sets(now);
+        }
+    }
+
+    /// Debug cross-check (runs under `cargo test`; release builds skip it):
+    /// the incremental refresh must land on exactly the state a
+    /// from-scratch rebuild produces, and no node outside the active set
+    /// may host work.
+    #[cfg(debug_assertions)]
+    fn debug_check_sweep_sets(&self, now: SimTime) {
+        let mut full = LoadIndex::new();
+        full.refresh(self.nodes.iter(), now);
+        debug_assert_eq!(
+            self.index, full,
+            "incremental index diverged from a full rebuild"
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            debug_assert!(
+                self.active.contains(&(i as u32))
+                    || (n.active_jobs() == 0 && n.pending_completions().is_empty()),
+                "node {i} hosts work but is not in the active set"
+            );
+        }
+    }
+
+    /// Advances active nodes to `now` and refreshes the load index.
+    fn refresh_index(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        self.advance_active(now);
+        self.collect_completions(now, sched);
+        self.refresh_index_incremental(now, |_| false);
     }
 
     /// The periodic exchange's variant of [`ClusterWorld::refresh_index`]:
-    /// under a load-information-loss fault, each node's report may be
-    /// dropped, leaving its previous (stale) entry in the index.
+    /// under a load-information-loss fault each node's report may be
+    /// dropped, and under [`LoadInfoMode::Staggered`] only one node group
+    /// reports per tick — either way the held-back nodes keep their
+    /// previous (stale) entries in the index until they next report.
     fn refresh_index_lossy(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        for i in 0..self.nodes.len() {
-            self.nodes[i].advance_to(now);
-        }
+        self.advance_active(now);
         self.collect_completions(now, sched);
+        let tick = self.exchange_ticks;
+        self.exchange_ticks += 1;
+        // The per-node loss draws walk every node whenever the fault is
+        // armed: the draw stream is part of the deterministic contract and
+        // must not depend on which nodes happen to be active.
         let lost: Vec<NodeId> = match self.faults.as_mut() {
             Some(injector) if injector.plan().load_info_loss_prob > 0.0 => self
                 .nodes
@@ -423,12 +585,17 @@ impl ClusterWorld {
                 .collect(),
             _ => Vec::new(),
         };
-        if lost.is_empty() {
-            self.index.refresh(self.nodes.iter(), now);
-        } else {
-            self.index.refresh_except(self.nodes.iter(), now, &lost);
-        }
-        self.update_network_ram();
+        let mode = self.config.load_info;
+        let is_stale = move |id: NodeId| {
+            lost.binary_search(&id).is_ok()
+                || match mode {
+                    LoadInfoMode::Global => false,
+                    LoadInfoMode::Staggered { groups } => {
+                        u64::from(id.0) % u64::from(groups) != tick % u64::from(groups)
+                    }
+                }
+        };
+        self.refresh_index_incremental(now, is_stale);
     }
 
     /// Clears a node's reservation flag after the manager dropped its
@@ -451,6 +618,7 @@ impl ClusterWorld {
             .unwrap_or(SimSpan::ZERO);
         if stall.is_zero() {
             self.node(node_id).set_reserved(false);
+            self.touch(node_id);
             self.log.record(
                 now,
                 SchedulerEventKind::ReservationReleased,
@@ -485,11 +653,24 @@ impl ClusterWorld {
         }
     }
 
-    /// Drains completion outboxes of all nodes, updating reservations and
-    /// retrying pending jobs if capacity freed.
+    /// Drains completion outboxes, updating reservations and retrying
+    /// pending jobs if capacity freed. Only active nodes can hold an
+    /// undrained completion (a job must have been admitted — which inserts
+    /// its node into the active set — before it can finish), so the walk
+    /// covers the active set in ascending node order, matching the old
+    /// full-cluster sweep.
     fn collect_completions(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        debug_assert!(
+            self.active.iter().all(|&i| self.ripe.contains(&i)
+                || self.nodes[i as usize].pending_completions().is_empty()),
+            "active node with uncollected completions missing from the ripe set"
+        );
         let mut any = false;
-        for i in 0..self.nodes.len() {
+        // Ascending node order, same as the old scan over the whole active
+        // set — only the nodes with a non-empty outbox are visited.
+        let candidates: Vec<u32> = std::mem::take(&mut self.ripe).into_iter().collect();
+        for i in candidates {
+            let i = i as usize;
             let node_id = self.nodes[i].id();
             let finished = self.nodes[i].take_completed();
             if finished.is_empty() {
@@ -513,7 +694,7 @@ impl ClusterWorld {
         }
         if any {
             // A completing node effectively announces its freed capacity.
-            self.index.refresh(self.nodes.iter(), now);
+            self.refresh_index_incremental(now, |_| false);
             self.try_place_pending(now, sched);
             self.check_reservations(now, sched);
             self.check_done(now);
@@ -539,6 +720,59 @@ impl ClusterWorld {
         }
     }
 
+    /// Routes a placement decision through the configured
+    /// [`PlacementMode`](crate::config::PlacementMode).
+    ///
+    /// `Optimistic` defers to the policy verbatim — the paper's behavior,
+    /// where decisions are made against the last load snapshot and races
+    /// are resolved by admission rejection plus re-queue. `CommitAware`
+    /// applies the same committed-capacity accounting migration-target
+    /// selection already uses — idle memory net of in-flight transfers
+    /// (`in_transit_demand`) and slots net of in-flight submissions
+    /// (`has_uncommitted_slot`) — so a burst of decisions between index
+    /// refreshes cannot all pile onto the same least-loaded workstation.
+    /// Only the GLS-family policies have memory-aware placement to adjust;
+    /// the rest fall through to the policy unchanged.
+    fn place_decision(&mut self, job: &RunningJob, home: NodeId) -> Placement {
+        if self.config.placement == PlacementMode::CommitAware
+            && matches!(
+                self.policy,
+                PolicyKind::GLoadSharing
+                    | PolicyKind::VReconfiguration
+                    | PolicyKind::SuspendLargest
+            )
+        {
+            let demand = job.current_working_set();
+            if self.index.get(home).is_some_and(|load| {
+                load.accepts_submissions()
+                    && load
+                        .idle_memory
+                        .saturating_sub(self.in_transit_demand(home))
+                        >= demand
+            }) && self.has_uncommitted_slot(home)
+            {
+                return Placement::Local(home);
+            }
+            let inbound = &self.inbound;
+            let nodes = &self.nodes;
+            let dest = self
+                .index
+                .best_destination_where(demand, Some(home), |e| {
+                    let i = e.node.0 as usize;
+                    let n = &nodes[i];
+                    let committed_slots = n.active_jobs() + inbound[i].count as usize;
+                    e.idle_memory.saturating_sub(inbound[i].demand) >= demand
+                        && committed_slots < n.params().cpu.slots as usize
+                })
+                .map(|e| e.node);
+            return match dest {
+                Some(node) => Placement::Remote(node),
+                None => Placement::Blocked,
+            };
+        }
+        self.policy.place(job, home, &self.index, &mut self.rng)
+    }
+
     /// Executes a placement decision for `job`.
     fn place_job(
         &mut self,
@@ -548,12 +782,13 @@ impl ClusterWorld {
         sched: &mut Scheduler<'_, Event>,
         first_attempt: bool,
     ) {
-        match self.policy.place(&job, home, &self.index, &mut self.rng) {
+        match self.place_decision(&job, home) {
             Placement::Local(node_id) => {
                 let node = self.node(node_id);
                 let job_id = job.id();
                 match node.try_admit(job, now) {
                     Ok(()) => {
+                        self.touch(node_id);
                         if first_attempt {
                             self.counters.local_submissions += 1;
                         }
@@ -566,6 +801,8 @@ impl ClusterWorld {
                         self.schedule_wake(node_id, now, sched);
                     }
                     Err(rejected) => {
+                        // A failed admission still advanced the node.
+                        self.touch(node_id);
                         self.counters.stale_rejections += 1;
                         self.enqueue_pending(rejected.job, home, now);
                     }
@@ -619,31 +856,30 @@ impl ClusterWorld {
     fn try_place_pending(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
         let fifo = self.config.pending_discipline == crate::config::PendingDiscipline::Fifo;
         let mut waiting = std::mem::take(&mut self.pending);
-        let mut first = true;
         while let Some(mut entry) = waiting.pop_front() {
-            let decision = self
-                .policy
-                .place(&entry.job, entry.home, &self.index, &mut self.rng);
+            let decision = self.place_decision(&entry.job, entry.home);
             if matches!(decision, Placement::Blocked) {
-                if fifo && first {
-                    // Head-of-line blocked with nothing else touched yet:
-                    // restore the original deque in O(1) instead of moving
-                    // every entry through a fresh one.
+                if fifo {
+                    // Head-of-line blocked: final order is any in-pass
+                    // admission rejections (usually none), the blocked
+                    // head, then the untouched tail. Splicing the few
+                    // rejections onto the tail keeps the exit O(placed)
+                    // instead of O(backlog) — re-queueing thousands of
+                    // waiting entries on every completion is what used to
+                    // dominate large-cluster wall clock.
                     waiting.push_front(entry);
+                    while let Some(rejected) = self.pending.pop_back() {
+                        waiting.push_front(rejected);
+                    }
                     self.pending = waiting;
                     return;
                 }
                 self.pending.push_back(entry);
-                if fifo {
-                    self.pending.extend(waiting);
-                    return;
-                }
             } else {
                 // A held job accrues queuing time while blocked.
                 entry.job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
                 self.place_job(entry.job, entry.home, now, sched, false);
             }
-            first = false;
         }
     }
 
@@ -671,6 +907,32 @@ impl ClusterWorld {
         if !self.policy.migrates_on_overload() {
             return;
         }
+        // Visit set: nodes that could be over threshold (only nodes hosting
+        // work can have overflow) plus currently flagged nodes, which must
+        // be revisited so their edge-triggered bits fall exactly when the
+        // old full walk would have cleared them. For every other node the
+        // per-node loop body is a provable no-op (it would only write
+        // `false` over an already-false bit), so the scan skips it — on an
+        // idle or lightly loaded large cluster the whole scan is O(active)
+        // instead of O(nodes). Ascending node order, like the old walk.
+        let mut visit: Vec<usize> = Vec::new();
+        for &i in self.active.union(&self.blocked_set) {
+            let i = i as usize;
+            if self.blocked_nodes[i] {
+                visit.push(i);
+                continue;
+            }
+            if self.nodes[i].is_reserved() || !self.nodes[i].is_up() {
+                continue;
+            }
+            let usage = self.detector_usage(i);
+            if usage.overflow() > self.config.overload_bytes(usage.user) {
+                visit.push(i);
+            }
+        }
+        if visit.is_empty() {
+            return;
+        }
         // Largest and second-largest committed idle memory over nodes that
         // could receive a migration. A destination for `src` exists iff the
         // best such value *excluding src* covers the victim's working set,
@@ -679,22 +941,22 @@ impl ClusterWorld {
         // any action that changes committed capacity (migration started,
         // reservation begun, job suspended) — all rare.
         let mut bound = self.dest_bound();
-        for i in 0..self.nodes.len() {
+        for i in visit {
             let src = self.nodes[i].id();
             if self.nodes[i].is_reserved() || !self.nodes[i].is_up() {
-                self.blocked_nodes[i] = false;
+                self.set_blocked(i, false);
                 continue;
             }
             let usage = self.detector_usage(i);
             let threshold = self.config.overload_bytes(usage.user);
             if usage.overflow() <= threshold {
-                self.blocked_nodes[i] = false;
+                self.set_blocked(i, false);
                 continue;
             }
             // The node is seriously faulting; try to migrate its most
             // memory-intensive job away.
             let Some(victim) = self.nodes[i].most_memory_intensive_job() else {
-                self.blocked_nodes[i] = false;
+                self.set_blocked(i, false);
                 continue;
             };
             let victim_id = victim.id();
@@ -708,23 +970,26 @@ impl ClusterWorld {
             // applies, collapsed to its maximum — false means the scan
             // below would find nothing, true means it must find something.
             let dest = if feasible {
+                // Best-first walk of the placement order; the first entry
+                // surviving the live-state filters is exactly the old
+                // linear `min_by_key` winner, found without visiting the
+                // rest of the cluster.
                 self.index
-                    .iter()
+                    .placement_order()
                     .filter(|e| {
                         e.node != src
-                            && e.accepts_submissions()
                             && e.idle_memory.saturating_sub(self.in_transit_demand(e.node))
                                 >= victim_ws
                             && self.has_uncommitted_slot(e.node)
                     })
-                    .min_by_key(|e| (e.active_jobs, std::cmp::Reverse(e.idle_memory), e.node))
                     .map(|e| e.node)
+                    .next()
             } else {
                 None
             };
             match dest {
                 Some(dst) => {
-                    self.blocked_nodes[i] = false;
+                    self.set_blocked(i, false);
                     self.start_migration(src, victim_id, dst, false, now, sched);
                     self.counters.overload_migrations += 1;
                     bound = self.dest_bound();
@@ -734,7 +999,7 @@ impl ClusterWorld {
                     // to migrate jobs from this workstation": the job
                     // blocking problem.
                     if !self.blocked_nodes[i] {
-                        self.blocked_nodes[i] = true;
+                        self.set_blocked(i, true);
                         self.counters.blocking_detections += 1;
                         self.log.record(
                             now,
@@ -810,12 +1075,14 @@ impl ClusterWorld {
         if !self.reservations.can_reserve(self.nodes.len()) {
             return false; // §2.2 point 4: protect normal jobs.
         }
+        // Best-first walk of the ordered reservation index; the first entry
+        // surviving the filters equals the old linear max_by_key. The index
+        // can lag a reservation made earlier in this same scan (or a crash
+        // or stalled release); live state is authoritative for reserved/up,
+        // the index for load.
         let candidate = self
             .index
-            .iter()
-            // The index can lag a reservation made earlier in this same
-            // scan (or a crash or stalled release); live state is
-            // authoritative for reserved/up, the index for load.
+            .by_idle_desc()
             .filter(|e| {
                 !e.reserved
                     && !self.reservations.is_reserved(e.node)
@@ -823,17 +1090,12 @@ impl ClusterWorld {
                     && self.nodes[e.node.0 as usize].is_up()
                     && !self.is_stalled(e.node)
             })
-            .max_by_key(|e| {
-                (
-                    e.idle_memory,
-                    std::cmp::Reverse(e.active_jobs),
-                    std::cmp::Reverse(e.node),
-                )
-            })
-            .map(|e| e.node);
+            .map(|e| e.node)
+            .next();
         if let Some(node_id) = candidate {
             self.reservations.begin(node_id, now);
             self.node(node_id).set_reserved(true);
+            self.touch(node_id);
             self.log.record(
                 now,
                 SchedulerEventKind::ReservationBegan,
@@ -955,7 +1217,13 @@ impl ClusterWorld {
     /// count as an ordinary destination.
     fn blocking_victim(&self, exclude_dst: NodeId) -> Option<(NodeId, JobId, Bytes)> {
         let mut worst: Option<(Bytes, NodeId, JobId, Bytes)> = None;
-        for (i, node) in self.nodes.iter().enumerate() {
+        // Only nodes hosting work can be over threshold; the active sweep
+        // set covers every such node and iterates in the same ascending
+        // order as the old full walk, so the first-maximum tie-break is
+        // unchanged.
+        for &i in &self.active {
+            let i = i as usize;
+            let node = &self.nodes[i];
             if node.is_reserved() || !node.is_up() {
                 continue;
             }
@@ -968,12 +1236,19 @@ impl ClusterWorld {
                 continue;
             };
             let ws = victim.current_working_set();
-            let has_ordinary_dest = self.index.iter().any(|e| {
-                e.node != node.id()
-                    && e.node != exclude_dst
-                    && e.accepts_submissions()
-                    && e.idle_memory.saturating_sub(self.in_transit_demand(e.node)) >= ws
-            });
+            // Existence probe in descending idle-memory order: committed
+            // idle is at most raw idle, so once raw idle drops below `ws`
+            // no later entry can qualify and the walk stops.
+            let has_ordinary_dest = self
+                .index
+                .by_idle_desc()
+                .take_while(|e| e.idle_memory >= ws)
+                .any(|e| {
+                    e.node != node.id()
+                        && e.node != exclude_dst
+                        && e.accepts_submissions()
+                        && e.idle_memory.saturating_sub(self.in_transit_demand(e.node)) >= ws
+                });
             if has_ordinary_dest {
                 continue;
             }
@@ -996,12 +1271,16 @@ impl ClusterWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let Some(mut job) = self.node(src).remove_job(job_id, now) else {
-            // The job completed in the meantime; undo service bookkeeping.
+            // The job completed in the meantime; the advance inside
+            // `remove_job` put it in the outbox, so mark the node for the
+            // next completion sweep, then undo service bookkeeping.
+            self.note_advanced(src);
             if to_reserved && self.reservations.note_completion(dst, job_id) {
                 self.release_reserved_flag(dst, now, sched);
             }
             return;
         };
+        self.touch(src);
         self.schedule_wake(src, now, sched);
         self.log.record(
             now,
@@ -1056,11 +1335,13 @@ impl ClusterWorld {
         };
         match result {
             Ok(()) => {
+                self.touch(dst);
                 self.log
                     .record(now, SchedulerEventKind::Placed, Some(job_id), Some(dst));
                 self.schedule_wake(dst, now, sched);
             }
             Err(rejected) => {
+                self.touch(dst);
                 // Stale decision: the destination filled up while the job
                 // was on the wire. Untrack any service bookkeeping and hold
                 // the job pending.
@@ -1094,8 +1375,7 @@ impl ClusterWorld {
         let (dst, attempts) = {
             let transit = self
                 .in_transit
-                .iter_mut()
-                .find(|t| t.job.id() == job_id)
+                .get_mut(&job_id)
                 // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
                 .expect("transit present");
             transit.attempts += 1;
@@ -1115,8 +1395,7 @@ impl ClusterWorld {
             }
             let transit = self
                 .in_transit
-                .iter_mut()
-                .find(|t| t.job.id() == job_id)
+                .get_mut(&job_id)
                 // vr-lint::allow(panic-in-lib, reason = "internal invariant: the transit record outlives every scheduled TransitFail for its job")
                 .expect("transit present");
             transit.job.breakdown.migration += backoff.as_secs_f64();
@@ -1154,6 +1433,7 @@ impl ClusterWorld {
         }
         // Settle the node first so pre-crash completions count as completed.
         self.nodes[node_id.0 as usize].advance_to(now);
+        self.note_advanced(node_id);
         self.collect_completions(now, sched);
         if let Some(injector) = self.faults.as_mut() {
             injector.counters.crashes += 1;
@@ -1184,7 +1464,8 @@ impl ClusterWorld {
             );
             self.enqueue_pending(job, node_id, now);
         }
-        self.index.refresh(self.nodes.iter(), now);
+        self.touch(node_id);
+        self.refresh_index_incremental(now, |_| false);
         self.try_place_pending(now, sched);
     }
 
@@ -1204,7 +1485,8 @@ impl ClusterWorld {
         }
         self.log
             .record(now, SchedulerEventKind::NodeRestarted, None, Some(node_id));
-        self.index.refresh(self.nodes.iter(), now);
+        self.touch(node_id);
+        self.refresh_index_incremental(now, |_| false);
         self.try_place_pending(now, sched);
     }
 
@@ -1223,6 +1505,7 @@ impl ClusterWorld {
         }
         self.nodes[node_id.0 as usize].advance_to(now);
         self.nodes[node_id.0 as usize].set_reserved(false);
+        self.touch(node_id);
         self.log.record(
             now,
             SchedulerEventKind::ReservationReleased,
@@ -1244,8 +1527,12 @@ impl ClusterWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let Some(mut job) = self.node(src).remove_job(job_id, now) else {
+            // Completed during the decision window; the advance inside
+            // `remove_job` may have filled the outbox.
+            self.note_advanced(src);
             return;
         };
+        self.touch(src);
         self.schedule_wake(src, now, sched);
         // Swapping the image out to disk costs real time, charged as
         // migration time; the queue clock starts once the swap-out ends.
@@ -1286,9 +1573,7 @@ impl ClusterWorld {
                 continue;
             }
             let home = NodeId(self.rng.index(self.nodes.len()) as u32);
-            let decision = self
-                .policy
-                .place(&entry.job, home, &self.index, &mut self.rng);
+            let decision = self.place_decision(&entry.job, home);
             let dst = match decision {
                 Placement::Blocked => {
                     // A job whose demand exceeds every workstation's user
@@ -1357,7 +1642,9 @@ impl ClusterWorld {
             && self.pending.is_empty()
             && self.in_transit.is_empty()
             && self.suspended.is_empty()
-            && self.nodes.iter().all(|n| n.active_jobs() == 0)
+            // Any node hosting a job is in the active sweep set, so the
+            // cluster-wide drain check only needs to look there.
+            && self.active.iter().all(|&i| self.nodes[i as usize].active_jobs() == 0)
         {
             self.done = true;
             self.finished_at = now;
@@ -1374,7 +1661,7 @@ impl ClusterWorld {
             job.breakdown.queue += now.saturating_since(entry.since).as_secs_f64();
             jobs.push(job);
         }
-        for transit in std::mem::take(&mut self.in_transit) {
+        for transit in std::mem::take(&mut self.in_transit).into_values() {
             unfinished += 1;
             jobs.push(transit.job);
         }
@@ -1450,6 +1737,7 @@ impl World for ClusterWorld {
                     return; // stale wake: the node changed since scheduling
                 }
                 self.nodes[node.0 as usize].advance_to(now);
+                self.note_advanced(node);
                 self.collect_completions(now, sched);
                 // collect_completions only re-schedules nodes that completed
                 // something; a pure phase-boundary wake still needs a new
@@ -1469,9 +1757,7 @@ impl World for ClusterWorld {
                 }
             }
             Event::Sample => {
-                for i in 0..self.nodes.len() {
-                    self.nodes[i].advance_to(now);
-                }
+                self.advance_active(now);
                 self.collect_completions(now, sched);
                 let pending = self.pending.len();
                 self.gauges.sample(self.nodes.iter(), pending, now);
@@ -1575,6 +1861,101 @@ mod tests {
         assert_eq!(a.counters, b.counters);
         assert_eq!(a.reservations, b.reservations);
         assert_eq!(a.finished_at, b.finished_at);
+    }
+
+    #[test]
+    fn staggered_one_group_is_byte_identical_to_global() {
+        use crate::config::LoadInfoMode;
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        for policy in [PolicyKind::GLoadSharing, PolicyKind::VReconfiguration] {
+            let global = run(policy, &trace);
+            let staggered = Simulation::new(
+                SimConfig::new(small_cluster(), policy)
+                    .with_seed(7)
+                    .with_load_info(LoadInfoMode::Staggered { groups: 1 }),
+            )
+            .run(&trace);
+            // With one group every node reports at every tick, so the mode
+            // must be indistinguishable from the global exchange.
+            assert_eq!(global, staggered, "{policy}");
+        }
+    }
+
+    #[test]
+    fn staggered_load_info_completes_and_is_deterministic() {
+        use crate::config::LoadInfoMode;
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let config = || {
+            SimConfig::new(small_cluster(), PolicyKind::VReconfiguration)
+                .with_seed(7)
+                .with_load_info(LoadInfoMode::Staggered { groups: 4 })
+        };
+        let a = Simulation::new(config()).run(&trace);
+        let b = Simulation::new(config()).run(&trace);
+        assert_eq!(a, b);
+        assert!(a.all_completed(), "stale load vectors lost jobs");
+        a.check_breakdown_identity(0.01).unwrap();
+    }
+
+    #[test]
+    fn commit_aware_placement_completes_and_is_deterministic() {
+        use crate::config::PlacementMode;
+        let trace = synth::blocking_scenario(8, vr_cluster::units::Bytes::from_mb(128));
+        let config = || {
+            SimConfig::new(small_cluster(), PolicyKind::VReconfiguration)
+                .with_seed(7)
+                .with_placement(PlacementMode::CommitAware)
+        };
+        let a = Simulation::new(config()).run(&trace);
+        let b = Simulation::new(config()).run(&trace);
+        assert_eq!(a, b);
+        assert!(a.all_completed(), "commit-aware placement lost jobs");
+        a.check_breakdown_identity(0.01).unwrap();
+    }
+
+    #[test]
+    fn commit_aware_placement_spreads_a_contended_burst() {
+        use crate::config::PlacementMode;
+        use vr_workload::scale::ScaleSpec;
+        // A scale-generator burst: many jobs target the same apparently
+        // least-loaded node between exchange ticks. Optimistic placement
+        // resolves the races by admission rejection + re-queue; commit-aware
+        // subtracts in-flight demand up front, so the bounce count drops.
+        // Paper-sized 384 MB nodes: two mean SPEC working sets fill one, so
+        // the arrival peak actually contends for memory (the default 1.5 GB
+        // headroom would absorb the whole burst without a single bounce).
+        let spec = ScaleSpec::new(64, 500)
+            .with_node_memory(vr_cluster::units::Bytes::from_mb(384))
+            .with_utilization(1.2);
+        let trace = spec.trace(&mut SimRng::seed_from(42));
+        let run_with = |mode: PlacementMode| {
+            Simulation::new(
+                SimConfig::new(spec.cluster(), PolicyKind::VReconfiguration)
+                    .with_seed(7)
+                    .with_placement(mode),
+            )
+            .run(&trace)
+        };
+        let optimistic = run_with(PlacementMode::Optimistic);
+        let commit_aware = run_with(PlacementMode::CommitAware);
+        assert!(optimistic.all_completed());
+        assert!(commit_aware.all_completed());
+        assert!(
+            optimistic.counters.stale_rejections > 0,
+            "burst failed to contend: no optimistic placement ever bounced"
+        );
+        assert!(
+            commit_aware.counters.stale_rejections < optimistic.counters.stale_rejections,
+            "commit-aware bounced {} times, optimistic {}",
+            commit_aware.counters.stale_rejections,
+            optimistic.counters.stale_rejections
+        );
+        assert!(
+            commit_aware.run_stats.events_processed <= optimistic.run_stats.events_processed,
+            "commit-aware processed more events ({} vs {})",
+            commit_aware.run_stats.events_processed,
+            optimistic.run_stats.events_processed
+        );
     }
 
     #[test]

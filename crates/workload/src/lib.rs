@@ -15,6 +15,8 @@
 //!   process.
 //! * [`trace`] — [`TraceLevel`] and trace builders.
 //! * [`synth`] — adversarial workloads for §2.3 / §5 negative conditions.
+//! * [`scale`] — N-node / M-job scale-out scenarios preserving the paper's
+//!   arrival and working-set marginals.
 //! * [`csv`] — trace round-tripping without a serde format crate.
 //!
 //! ```
@@ -35,6 +37,7 @@ pub mod apps;
 pub mod arrival;
 pub mod catalog;
 pub mod csv;
+pub mod scale;
 pub mod spec2000;
 pub mod synth;
 pub mod trace;
@@ -43,4 +46,5 @@ pub use activity::{ActivityRecord, ActivitySample, PAPER_INTERVAL};
 pub use arrival::{BurstyArrivals, DiurnalArrivals, LognormalArrivals, PoissonArrivals};
 pub use catalog::{PhaseShape, ProgramSpec};
 pub use csv::{read_activity, read_trace, write_activity, write_trace, ReadTraceError};
+pub use scale::ScaleSpec;
 pub use trace::{app_trace, spec_trace, Trace, TraceLevel, DEFAULT_JITTER};

@@ -1,0 +1,275 @@
+//! Scale-out scenario generation: N-node clusters, M-job traces.
+//!
+//! The paper fixes both clusters at 32 workstations, but nothing in the
+//! model requires that. [`ScaleSpec`] synthesizes arbitrarily large
+//! scenarios that keep the paper's *statistical shape*: arrivals follow the
+//! same lognormal rate function (§3.3.2), programs are drawn uniformly from
+//! the SPEC 2000 catalog so the working-set marginal is unchanged, and
+//! lifetimes keep their relative proportions — only the catalog-wide
+//! lifetime scale is solved for so the cluster lands at a chosen CPU
+//! utilization regardless of `(nodes, jobs)`. That last step is the same
+//! normalization already applied to the 32-node traces (see
+//! [`SPEC_LIFETIME_SCALE`](crate::trace::SPEC_LIFETIME_SCALE)): without it,
+//! a 10k-node / 1M-job grid cell would sit in arbitrary chronic overload or
+//! dead idleness depending on the ratio, and cells would not be comparable.
+
+use vr_cluster::params::ClusterParams;
+use vr_cluster::units::Bytes;
+use vr_simcore::rng::SimRng;
+use vr_simcore::time::SimSpan;
+
+use crate::arrival::LognormalArrivals;
+use crate::trace::{Trace, DEFAULT_JITTER};
+
+/// A scale-out scenario: cluster size, job count, and load shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleSpec {
+    /// Number of workstations (cluster 1 node type, with
+    /// [`ScaleSpec::node_memory`] RAM).
+    pub nodes: usize,
+    /// Number of submitted jobs.
+    pub jobs: usize,
+    /// Target mean CPU utilization over the submission window: the
+    /// catalog's lifetime scale is solved so total dedicated CPU work is
+    /// `target_utilization × nodes × horizon`. Values near 1.0 put the
+    /// cluster at saturation; above 1.0 force chronic overload.
+    pub target_utilization: f64,
+    /// Shared σ = μ of the lognormal arrival-rate function. The paper's
+    /// "normal" intensity is 3.0 (see
+    /// [`TraceLevel`](crate::trace::TraceLevel)).
+    pub sigma_mu: f64,
+    /// Submission window.
+    pub horizon: SimSpan,
+    /// Per-node user memory (swap is sized to match, like both paper
+    /// clusters). The default is 1,536 MB — four times the paper's
+    /// cluster 1 node. The catalog's working-set *distribution* is
+    /// untouched; this knob sets how many jobs share a node before memory
+    /// saturates. At the paper's 384 MB, two mean-sized SPEC jobs fill a
+    /// node, so the lognormal arrival peak drives any large scenario into
+    /// deep chronic blocking and the run measures the (quadratic)
+    /// blocked-queue retry dynamics rather than steady-state scheduling;
+    /// see `scale_bench` and ARCHITECTURE's Scaling section. Set it back
+    /// to 384 MB (builder) to study exactly that regime.
+    pub node_memory: Bytes,
+}
+
+impl ScaleSpec {
+    /// A spec with the paper's "normal" arrival shape (σ = μ = 3.0 over a
+    /// ~1-hour window), a near-saturation 0.6 target CPU utilization, and
+    /// the default memory headroom.
+    pub fn new(nodes: usize, jobs: usize) -> Self {
+        ScaleSpec {
+            nodes,
+            jobs,
+            target_utilization: 0.6,
+            sigma_mu: 3.0,
+            horizon: SimSpan::from_secs(3581),
+            node_memory: Bytes::from_mb(1536),
+        }
+    }
+
+    /// Returns the spec with a different target utilization
+    /// (builder-style).
+    pub fn with_utilization(mut self, target: f64) -> Self {
+        self.target_utilization = target;
+        self
+    }
+
+    /// Returns the spec with a different per-node memory size
+    /// (builder-style).
+    pub fn with_node_memory(mut self, memory: Bytes) -> Self {
+        self.node_memory = memory;
+        self
+    }
+
+    /// Checks the spec for nonsensical values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("scale spec needs at least one workstation".into());
+        }
+        if self.jobs == 0 {
+            return Err("scale spec needs at least one job".into());
+        }
+        if !(self.target_utilization.is_finite() && self.target_utilization > 0.0) {
+            return Err(format!(
+                "target utilization must be positive and finite, got {}",
+                self.target_utilization
+            ));
+        }
+        if !(self.sigma_mu.is_finite() && self.sigma_mu > 0.0) {
+            return Err(format!(
+                "sigma/mu must be positive and finite, got {}",
+                self.sigma_mu
+            ));
+        }
+        if self.horizon.is_zero() {
+            return Err("submission horizon must be non-zero".into());
+        }
+        if self.node_memory.is_zero() {
+            return Err("node memory must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// The catalog lifetime scale that hits [`ScaleSpec::target_utilization`]:
+    /// `target × nodes × horizon / (jobs × mean catalog lifetime)`.
+    pub fn lifetime_scale(&self) -> f64 {
+        let catalog = crate::spec2000::programs();
+        let mean_lifetime: f64 =
+            catalog.iter().map(|p| p.lifetime_secs).sum::<f64>() / catalog.len() as f64;
+        self.target_utilization * self.nodes as f64 * self.horizon.as_secs_f64()
+            / (self.jobs as f64 * mean_lifetime)
+    }
+
+    /// Instantiates the cluster: `nodes` × the paper's cluster 1
+    /// workstation on 10 Mbps Ethernet, resized to
+    /// [`ScaleSpec::node_memory`] (swap sized to match, like both paper
+    /// clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` (see [`ScaleSpec::validate`]).
+    // vr-analyze::allow(panic-path, reason = "homogeneous() asserts nodes > 0, which validate() reports as an error first")
+    pub fn cluster(&self) -> ClusterParams {
+        let mut node = ClusterParams::cluster1().nodes[0];
+        node.memory =
+            vr_cluster::memory::MemoryParams::with_capacity(self.node_memory, self.node_memory);
+        ClusterParams::homogeneous(self.nodes, node, ClusterParams::cluster1().network)
+    }
+
+    /// Generates the trace: `jobs` lognormal arrivals over `horizon`,
+    /// programs drawn uniformly from the scaled SPEC 2000 catalog with the
+    /// standard ±20 % jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid (see [`ScaleSpec::validate`]).
+    // vr-analyze::allow(panic-path, reason = "the arrival and catalog asserts are exactly the conditions validate() reports as errors")
+    pub fn trace(&self, rng: &mut SimRng) -> Trace {
+        let scale = self.lifetime_scale();
+        let catalog: Vec<_> = crate::spec2000::programs()
+            .iter()
+            .map(|p| p.scale_lifetime(scale))
+            .collect();
+        let arrivals = LognormalArrivals {
+            sigma: self.sigma_mu,
+            mu: self.sigma_mu,
+            count: self.jobs,
+            horizon: self.horizon,
+        }
+        .generate(rng);
+        Trace::build(
+            format!("Scale-{}n-{}j", self.nodes, self.jobs),
+            &catalog,
+            &arrivals,
+            rng,
+            DEFAULT_JITTER,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vr_cluster::units::Bytes;
+
+    #[test]
+    fn generated_scenario_validates_and_hits_utilization() {
+        let spec = ScaleSpec::new(128, 2_000);
+        spec.validate().unwrap();
+        let trace = spec.trace(&mut SimRng::seed_from(42));
+        assert_eq!(trace.len(), 2_000);
+        trace.validate().unwrap();
+        let capacity = spec.nodes as f64 * spec.horizon.as_secs_f64();
+        let util = trace.total_cpu_work_secs() / capacity;
+        // Jitter is symmetric, so realized utilization lands near target.
+        assert!(
+            (util - spec.target_utilization).abs() < 0.05,
+            "utilization {util} vs target {}",
+            spec.target_utilization
+        );
+    }
+
+    #[test]
+    fn utilization_holds_across_the_grid() {
+        for (nodes, jobs) in [(32, 500), (256, 10_000), (1024, 20_000)] {
+            let spec = ScaleSpec::new(nodes, jobs);
+            let trace = spec.trace(&mut SimRng::seed_from(7));
+            let util = trace.total_cpu_work_secs() / (nodes as f64 * spec.horizon.as_secs_f64());
+            assert!(
+                (util - 0.6).abs() < 0.05,
+                "{nodes}x{jobs}: utilization {util}"
+            );
+        }
+    }
+
+    #[test]
+    fn working_set_marginal_matches_the_32_node_catalog() {
+        // Scaling must not touch memory demands: the mean max working set
+        // of a large scaled trace matches the unscaled catalog mean.
+        let catalog = crate::spec2000::programs();
+        let catalog_mean: f64 =
+            catalog.iter().map(|p| p.working_set_mb).sum::<f64>() / catalog.len() as f64;
+        let trace = ScaleSpec::new(512, 20_000).trace(&mut SimRng::seed_from(3));
+        let trace_mean: f64 = trace
+            .jobs
+            .iter()
+            .map(|j| j.max_working_set().as_mb_f64())
+            .sum::<f64>()
+            / trace.len() as f64;
+        assert!(
+            (trace_mean - catalog_mean).abs() / catalog_mean < 0.05,
+            "trace mean {trace_mean} MB vs catalog mean {catalog_mean} MB"
+        );
+        assert!(trace.jobs.iter().all(|j| j.max_working_set() > Bytes::ZERO));
+    }
+
+    #[test]
+    fn cluster_scales_node_count_and_memory() {
+        let cluster = ScaleSpec::new(1000, 1).cluster();
+        assert_eq!(cluster.size(), 1000);
+        assert_eq!(cluster.nodes[0].memory.user, Bytes::from_mb(1536));
+        let paper = ScaleSpec::new(32, 1)
+            .with_node_memory(Bytes::from_mb(384))
+            .cluster();
+        assert_eq!(paper.nodes[0].memory.user, Bytes::from_mb(384));
+        assert_eq!(paper.nodes[0].memory.swap, Bytes::from_mb(384));
+        // CPU and fault-model parameters stay the paper's cluster 1.
+        assert_eq!(
+            paper.nodes[0].cpu.context_switch,
+            ClusterParams::cluster1().nodes[0].cpu.context_switch
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ScaleSpec::new(64, 1_000);
+        let a = spec.trace(&mut SimRng::seed_from(42));
+        let b = spec.trace(&mut SimRng::seed_from(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        assert!(ScaleSpec::new(0, 10).validate().is_err());
+        assert!(ScaleSpec::new(10, 0).validate().is_err());
+        assert!(ScaleSpec::new(10, 10)
+            .with_utilization(f64::NAN)
+            .validate()
+            .is_err());
+        let mut bad = ScaleSpec::new(10, 10);
+        bad.sigma_mu = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = ScaleSpec::new(10, 10);
+        bad.horizon = SimSpan::ZERO;
+        assert!(bad.validate().is_err());
+        assert!(ScaleSpec::new(10, 10)
+            .with_node_memory(Bytes::ZERO)
+            .validate()
+            .is_err());
+    }
+}
