@@ -38,6 +38,7 @@ fn job(id: u64, ws_mb: u64, phases: bool) -> RunningJob {
         cpu_work: SimSpan::from_secs(200),
         memory,
         io_rate: 0.0,
+        malleable: None,
     })
 }
 

@@ -20,10 +20,12 @@
 
 use std::time::Instant;
 
+use vr_cluster::job::MalleableSpec;
 use vr_simcore::jsonio::Json;
 use vr_simcore::rng::SimRng;
 use vr_workload::trace::{spec_trace_scaled, Trace, TraceLevel, SPEC_LIFETIME_SCALE};
 use vrecon::config::SimConfig;
+use vrecon::plugin::ParamBag;
 use vrecon::policy::PolicyKind;
 use vrecon::sim::Simulation;
 
@@ -45,20 +47,72 @@ const LEVELS: [(u64, TraceLevel); 5] = [
     (5, TraceLevel::HighlyIntensive),
 ];
 
-fn scenario(level: TraceLevel) -> (SimConfig, Trace) {
-    let trace = spec_trace_scaled(
-        level,
+/// One bench row: the five historical V-R levels plus two ablation rows
+/// for the plugin families (both replay the Normal trace so their numbers
+/// are comparable against level 3).
+struct BenchRow {
+    no: u64,
+    level: TraceLevel,
+    policy: PolicyKind,
+    params: ParamBag,
+    /// Give every other job a `1..=2` malleable width range so the resize
+    /// hook has material to work with.
+    annotate_malleable: bool,
+}
+
+fn rows() -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = LEVELS
+        .iter()
+        .map(|&(no, level)| BenchRow {
+            no,
+            level,
+            policy: PolicyKind::VReconfiguration,
+            params: ParamBag::new(),
+            annotate_malleable: false,
+        })
+        .collect();
+    rows.push(BenchRow {
+        no: 6,
+        level: TraceLevel::Normal,
+        policy: PolicyKind::Malleable,
+        params: ParamBag::new().with("max_step", 1u32),
+        annotate_malleable: true,
+    });
+    rows.push(BenchRow {
+        no: 7,
+        level: TraceLevel::Normal,
+        policy: PolicyKind::Fractional,
+        params: ParamBag::new().with("oversub", 1.5),
+        annotate_malleable: false,
+    });
+    rows
+}
+
+fn scenario(row: &BenchRow) -> (SimConfig, Trace) {
+    let mut trace = spec_trace_scaled(
+        row.level,
         &mut SimRng::seed_from(TRACE_SEED),
         SPEC_LIFETIME_SCALE,
     );
+    if row.annotate_malleable {
+        for job in trace.jobs.iter_mut().step_by(2) {
+            job.malleable = Some(MalleableSpec {
+                min_width: 1,
+                max_width: 2,
+            });
+        }
+    }
     let cluster = vr_cluster::params::ClusterParams::cluster1();
-    let config = SimConfig::new(cluster, PolicyKind::VReconfiguration).with_seed(SIM_SEED);
+    let config = SimConfig::new(cluster, row.policy)
+        .with_policy_params(row.params.clone())
+        .with_seed(SIM_SEED);
     (config, trace)
 }
 
 /// One level's measurements.
 struct LevelResult {
     level: u64,
+    policy: String,
     trace_name: String,
     engine_events: u64,
     wall_secs: f64,
@@ -67,8 +121,8 @@ struct LevelResult {
     kinds: Vec<(String, u64)>,
 }
 
-fn measure(level_no: u64, level: TraceLevel) -> LevelResult {
-    let (config, trace) = scenario(level);
+fn measure(row: &BenchRow) -> LevelResult {
+    let (config, trace) = scenario(row);
     let sim = Simulation::new(config);
 
     // Untraced timed runs: the throughput number excludes tracer overhead
@@ -98,7 +152,8 @@ fn measure(level_no: u64, level: TraceLevel) -> LevelResult {
         0.0
     };
     LevelResult {
-        level: level_no,
+        level: row.no,
+        policy: row.policy.to_string(),
         trace_name: trace.name.clone(),
         engine_events,
         wall_secs: best,
@@ -121,7 +176,6 @@ fn to_json(results: &[LevelResult]) -> Json {
             Json::obj([
                 ("group", Json::str("spec")),
                 ("cluster", Json::str("cluster1")),
-                ("policy", Json::str("vrecon")),
                 ("seed", Json::U64(SIM_SEED)),
                 ("trace_seed", Json::U64(TRACE_SEED)),
             ]),
@@ -134,6 +188,7 @@ fn to_json(results: &[LevelResult]) -> Json {
                     .map(|r| {
                         Json::obj([
                             ("level", Json::U64(r.level)),
+                            ("policy", Json::str(r.policy.clone())),
                             ("trace", Json::str(r.trace_name.clone())),
                             ("engine_events", Json::U64(r.engine_events)),
                             ("wall_secs", Json::f64(r.wall_secs)),
@@ -263,11 +318,17 @@ fn die(message: &str) -> ! {
 fn main() {
     let cli = parse_cli();
     let mut results = Vec::new();
-    for (no, level) in LEVELS {
-        let r = measure(no, level);
+    for row in rows() {
+        let r = measure(&row);
         eprintln!(
-            "level {no} ({}): {} events in {:.3}s = {:.0} events/sec, {} blocking detections",
-            r.trace_name, r.engine_events, r.wall_secs, r.events_per_sec, r.blocking_detections
+            "level {} ({} under {}): {} events in {:.3}s = {:.0} events/sec, {} blocking detections",
+            r.level,
+            r.trace_name,
+            r.policy,
+            r.engine_events,
+            r.wall_secs,
+            r.events_per_sec,
+            r.blocking_detections
         );
         results.push(r);
     }

@@ -18,7 +18,7 @@
 //! byte-identical for any worker count.
 
 use vr_cluster::cpu::CpuParams;
-use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile};
+use vr_cluster::job::{JobClass, JobId, JobSpec, MalleableSpec, MemoryProfile};
 use vr_cluster::memory::{FaultModel, MemoryParams};
 use vr_cluster::network::NetworkParams;
 use vr_cluster::node::NodeParams;
@@ -31,6 +31,7 @@ use vr_simcore::rng::SimRng;
 use vr_simcore::time::{SimSpan, SimTime};
 use vr_workload::trace::Trace;
 use vrecon::config::SimConfig;
+use vrecon::plugin::{kind_of, registry, ParamBag};
 use vrecon::policy::PolicyKind;
 use vrecon::{compare_reports, Simulation};
 
@@ -63,6 +64,10 @@ pub struct ScenarioJob {
     pub cpu_work_us: u64,
     /// Working-set size in MB.
     pub ws_mb: u64,
+    /// Optional `(min_width, max_width)` malleable range. Widths flow into
+    /// slot accounting and the width-aware rate split under every policy;
+    /// only the malleable policy *changes* them at runtime.
+    pub malleable: Option<(u32, u32)>,
 }
 
 /// A self-contained, replayable fuzz scenario.
@@ -72,6 +77,8 @@ pub struct CheckScenario {
     pub nodes: Vec<ScenarioNode>,
     /// Scheduling policy under test.
     pub policy: PolicyKind,
+    /// Policy parameter bag (empty for the classic families).
+    pub policy_params: ParamBag,
     /// Scheduler RNG seed.
     pub seed: u64,
     /// Simulation horizon in seconds.
@@ -123,6 +130,7 @@ impl CheckScenario {
             load_exchange_period: SimSpan::from_secs(1),
         };
         let mut config = SimConfig::new(cluster, self.policy)
+            .with_policy_params(self.policy_params.clone())
             .with_seed(self.seed)
             .with_max_sim_time(SimSpan::from_secs(self.max_sim_time_s))
             .with_audit(true);
@@ -142,6 +150,10 @@ impl CheckScenario {
                 cpu_work: SimSpan::from_micros(j.cpu_work_us),
                 memory: MemoryProfile::constant(Bytes::from_mb(j.ws_mb)),
                 io_rate: 0.0,
+                malleable: j.malleable.map(|(min, max)| MalleableSpec {
+                    min_width: min,
+                    max_width: max,
+                }),
             })
             .collect();
         let trace = Trace {
@@ -158,6 +170,11 @@ impl CheckScenario {
         let mut out = String::from("# vr-check fuzz reproducer\n");
         out.push_str(&format!("spec-version {WIRE_FORMAT_VERSION}\n"));
         out.push_str(&format!("policy {}\n", self.policy));
+        if !self.policy_params.is_empty() {
+            // Additive keyword: absent line = empty bag, so version 1 specs
+            // keep their meaning.
+            out.push_str(&format!("policy-params {}\n", self.policy_params.render()));
+        }
         out.push_str(&format!("seed {}\n", self.seed));
         out.push_str(&format!("max-sim-time-s {}\n", self.max_sim_time_s));
         for n in &self.nodes {
@@ -165,9 +182,13 @@ impl CheckScenario {
         }
         for j in &self.jobs {
             out.push_str(&format!(
-                "job submit_us={} cpu_work_us={} ws_mb={}\n",
+                "job submit_us={} cpu_work_us={} ws_mb={}",
                 j.submit_us, j.cpu_work_us, j.ws_mb
             ));
+            if let Some((min, max)) = j.malleable {
+                out.push_str(&format!(" malleable={min}:{max}"));
+            }
+            out.push('\n');
         }
         if let Some(plan) = &self.fault_plan {
             for crash in &plan.node_crashes {
@@ -225,6 +246,7 @@ impl CheckScenario {
         }
 
         let mut policy = None;
+        let mut policy_params = ParamBag::new();
         let mut seed = 0u64;
         let mut max_sim_time_s = 3600u64;
         let mut nodes = Vec::new();
@@ -260,6 +282,10 @@ impl CheckScenario {
                     let name = single()?;
                     policy = Some(parse_policy(name)?);
                 }
+                "policy-params" => {
+                    policy_params = ParamBag::parse(single()?)
+                        .map_err(|e| format!("bad policy-params in '{line}': {e}"))?;
+                }
                 "seed" => seed = num(single()?, line)?,
                 "max-sim-time-s" => max_sim_time_s = num(single()?, line)?,
                 "node" => {
@@ -282,12 +308,19 @@ impl CheckScenario {
                     let mut submit_us = None;
                     let mut cpu_work_us = None;
                     let mut ws_mb = None;
+                    let mut malleable = None;
                     for field in &rest {
                         let (key, value) = kv(field, line)?;
                         match key {
                             "submit_us" => submit_us = Some(num(value, line)?),
                             "cpu_work_us" => cpu_work_us = Some(num(value, line)?),
                             "ws_mb" => ws_mb = Some(num(value, line)?),
+                            "malleable" => {
+                                let (min, max) = value.split_once(':').ok_or_else(|| {
+                                    format!("expected malleable=min:max in '{line}'")
+                                })?;
+                                malleable = Some((num(min, line)?, num(max, line)?));
+                            }
                             other => return Err(format!("unknown job field '{other}'")),
                         }
                     }
@@ -297,6 +330,7 @@ impl CheckScenario {
                         cpu_work_us: cpu_work_us
                             .ok_or_else(|| format!("job needs cpu_work_us: '{line}'"))?,
                         ws_mb: ws_mb.ok_or_else(|| format!("job needs ws_mb: '{line}'"))?,
+                        malleable,
                     });
                 }
                 "fault-crash" => {
@@ -356,6 +390,7 @@ impl CheckScenario {
         Ok(CheckScenario {
             nodes,
             policy: policy.ok_or_else(|| "missing 'policy' line".to_owned())?,
+            policy_params,
             seed,
             max_sim_time_s,
             jobs,
@@ -365,9 +400,12 @@ impl CheckScenario {
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    // Historical Display names first (what `render` emits), then the
+    // registry's kebab-case names so a spec can be written against either.
     PolicyKind::ALL
         .into_iter()
         .find(|p| p.to_string() == name)
+        .or_else(|| kind_of(name))
         .ok_or_else(|| format!("unknown policy '{name}'"))
 }
 
@@ -395,7 +433,28 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
             slots: *rng.choose(&[2, 4, 8]),
         })
         .collect();
-    let policy = PolicyKind::ALL[rng.index(PolicyKind::ALL.len())];
+    // Draw the policy from the plugin registry — the same table the CLI and
+    // config layer resolve names against — so a family added there is
+    // fuzzed without touching this file.
+    let entries = registry();
+    let entry = &entries[rng.index(entries.len())];
+    let policy = entry.kind;
+    // A parameter bag for the families that have knobs, sometimes left at
+    // defaults (empty) to cover both construction paths. Bags are
+    // policy-matched: every entry rejects keys it does not know.
+    let policy_params = match policy {
+        PolicyKind::Malleable if rng.uniform() < 0.6 => {
+            ParamBag::new().with("max_step", 1 + rng.index(3))
+        }
+        PolicyKind::Fractional if rng.uniform() < 0.6 => {
+            ParamBag::new().with("oversub", *rng.choose(&[1.0, 1.5, 2.0, 3.0]))
+        }
+        _ => ParamBag::new(),
+    };
+    // Malleable width ranges on a slice of the workload, under *every*
+    // policy: widths feed slot accounting and the width-aware rate split
+    // even when no policy resizes them.
+    let annotate_malleable = rng.uniform() < 0.35 || policy == PolicyKind::Malleable;
     // Scale the workload with the cluster so large scenarios actually land
     // jobs on a meaningful fraction of nodes.
     let n_jobs = if large {
@@ -424,10 +483,18 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
             } else {
                 t += 1_100_000_000 + rng.index(500_000_000) as u64;
             }
+            let malleable = if annotate_malleable && rng.uniform() < 0.5 {
+                let min = 1 + rng.index(2) as u32;
+                let max = min + rng.index(3) as u32;
+                Some((min, max))
+            } else {
+                None
+            };
             ScenarioJob {
                 submit_us: t,
                 cpu_work_us: 1_000_000 + rng.index(119_000_000) as u64,
                 ws_mb: 8 + rng.index(293) as u64,
+                malleable,
             }
         })
         .collect();
@@ -459,6 +526,7 @@ pub fn generate(seed: u64, iter: u64) -> CheckScenario {
     CheckScenario {
         nodes,
         policy,
+        policy_params,
         seed: rng.next_u64(),
         max_sim_time_s: if large { 900 } else { 3600 },
         jobs,
@@ -588,6 +656,20 @@ fn candidates(scenario: &CheckScenario) -> Vec<CheckScenario> {
             }
             out.push(c);
         }
+    }
+    // Strip malleable annotations and policy parameters — a divergence that
+    // survives without them is a plain-width bug, not a resize bug.
+    if scenario.jobs.iter().any(|j| j.malleable.is_some()) {
+        let mut c = scenario.clone();
+        for j in &mut c.jobs {
+            j.malleable = None;
+        }
+        out.push(c);
+    }
+    if !scenario.policy_params.is_empty() {
+        let mut c = scenario.clone();
+        c.policy_params = ParamBag::new();
+        out.push(c);
     }
     // Halve times (submission order is preserved by monotone halving).
     if scenario.jobs.iter().any(|j| j.submit_us > 0) {
@@ -819,6 +901,14 @@ mod tests {
                 "fault-crash needs node",
             ),
             ("spec-version one\npolicy G-Loadsharing", "bad number"),
+            (
+                "policy Malleable\njob submit_us=0 cpu_work_us=1000000 ws_mb=8 malleable=2",
+                "expected malleable=min:max",
+            ),
+            (
+                "policy Malleable\npolicy-params max_step",
+                "bad policy-params",
+            ),
         ];
         for (text, needle) in cases {
             let err = CheckScenario::parse(text)
@@ -828,6 +918,49 @@ mod tests {
                 "spec {text:?}: error {err:?} lacks {needle:?}"
             );
         }
+    }
+
+    /// A spec may name its policy by the registry's kebab-case key instead
+    /// of the Display name, and carries parameter bags and malleable ranges
+    /// through a byte-exact round trip.
+    #[test]
+    fn registry_names_params_and_widths_round_trip() {
+        let text = "policy malleable\n\
+                    policy-params max_step=2\n\
+                    seed 4\n\
+                    max-sim-time-s 600\n\
+                    node user_mb=128 slots=4\n\
+                    job submit_us=0 cpu_work_us=5000000 ws_mb=16 malleable=1:3\n";
+        let scenario = CheckScenario::parse(text).unwrap();
+        assert_eq!(scenario.policy, PolicyKind::Malleable);
+        assert_eq!(scenario.policy_params.get::<u32>("max_step").unwrap(), Some(2));
+        assert_eq!(scenario.jobs[0].malleable, Some((1, 3)));
+        let rendered = scenario.render();
+        assert_eq!(CheckScenario::parse(&rendered).unwrap(), scenario);
+        assert_eq!(CheckScenario::parse(&rendered).unwrap().render(), rendered);
+        scenario.to_sim().expect("spec must build a valid sim");
+    }
+
+    /// The generator draws every registry family — including both new ones —
+    /// and exercises non-empty parameter bags and malleable width ranges.
+    #[test]
+    fn generator_covers_the_whole_registry() {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut bagged = 0;
+        let mut annotated = 0;
+        for iter in 0..400 {
+            let s = generate(21, iter);
+            seen.insert(s.policy.to_string());
+            if !s.policy_params.is_empty() {
+                bagged += 1;
+            }
+            if s.jobs.iter().any(|j| j.malleable.is_some()) {
+                annotated += 1;
+            }
+        }
+        assert_eq!(seen.len(), registry().len(), "families drawn: {seen:?}");
+        assert!(bagged > 0, "no scenario carried a parameter bag");
+        assert!(annotated > 0, "no scenario carried malleable jobs");
     }
 
     #[test]
@@ -919,6 +1052,7 @@ mod tests {
                 128
             ],
             policy: PolicyKind::GLoadSharing,
+            policy_params: ParamBag::new(),
             seed: 9,
             max_sim_time_s: 900,
             jobs: (0..32)
@@ -926,6 +1060,7 @@ mod tests {
                     submit_us: i * 1_000_000,
                     cpu_work_us: 2_000_000,
                     ws_mb: 32,
+                    malleable: None,
                 })
                 .collect(),
             fault_plan: None,

@@ -27,11 +27,14 @@
 //!   `cpu.rs` / `memory.rs`), re-stated here operation-for-operation so the
 //!   two implementations agree bit-for-bit where they should.
 //!
-//! Deliberate scope limits (the generator and the differential tests stay
-//! inside them): thrashing protection must be `Off` — [`run_oracle`]
-//! returns an error otherwise rather than silently diverging. Network RAM
-//! *is* in scope: the remote-backing stall scale is re-derived at every
-//! snapshot refresh, mirroring the engine's pass.
+//! Everything the engine models is in scope: network RAM (the
+//! remote-backing stall scale is re-derived at every snapshot refresh,
+//! mirroring the engine's pass), thrashing protection (the shared
+//! redistribution formula is applied to independently computed raw stalls,
+//! in the same operation order as the engine's `fill_rates`), and the
+//! plugin families — malleable resize directives are restated from the
+//! policy's documented selection rules, and fractional slot caps are
+//! re-derived from the parameter bag at construction.
 
 use vr_cluster::job::{JobId, JobSpec, JobState, RunningJob};
 use vr_cluster::memory::FaultModel;
@@ -45,6 +48,7 @@ use vr_simcore::rng::SimRng;
 use vr_simcore::time::{SimSpan, SimTime};
 use vr_workload::trace::Trace;
 use vrecon::config::{PendingDiscipline, ReservingEnd, SimConfig};
+use vrecon::plugin::{FractionalParams, MalleableParams};
 use vrecon::policy::PolicyKind;
 use vrecon::report::{RunReport, SchedulerCounters};
 use vrecon::reservation::ReservationStats;
@@ -104,6 +108,10 @@ struct ONode {
     /// (see [`Oracle::update_network_ram`]); 1.0 when the extension is off
     /// or the node's overflow cannot be remotely backed.
     stall_scale: f64,
+    /// Effective admission ceiling in slots: the hardware slot count for
+    /// every policy except the fractional family, which oversubscribes it.
+    /// Fixed at construction — the oracle has no resize-the-cap path.
+    slot_cap: u32,
 }
 
 impl ONode {
@@ -119,14 +127,20 @@ impl ONode {
         self.demand().saturating_sub(self.params.memory.user)
     }
 
+    /// Slots consumed by the resident set: the sum of job widths, recounted
+    /// by linear scan on every query (classic jobs are width 1).
+    fn used_slots(&self) -> u32 {
+        self.jobs.iter().map(|j| j.width).sum()
+    }
+
     fn has_slot(&self) -> bool {
-        (self.jobs.len() as u32) < self.params.cpu.slots
+        self.used_slots() < self.slot_cap
     }
 
     fn can_admit(&self, job: &RunningJob) -> bool {
         self.up
             && !self.reserved
-            && self.has_slot()
+            && self.used_slots() + job.width <= self.slot_cap
             && self.demand() + job.current_working_set() <= self.params.memory.capacity_limit()
     }
 
@@ -151,7 +165,7 @@ impl ONode {
     ) -> Result<(), Box<RunningJob>> {
         self.advance_to(now);
         if !self.up
-            || !self.has_slot()
+            || self.used_slots() + job.width > self.slot_cap
             || self.demand() + job.current_working_set() > self.params.memory.capacity_limit()
         {
             return Err(Box::new(job));
@@ -199,6 +213,11 @@ impl ONode {
     /// Per-job stall factors under the documented paging model
     /// (`s_j = κ_eff · w_j / w̄`, κ_eff linear or quadratic in the relative
     /// overflow), restated independently of `FaultModel::stall_factors`.
+    ///
+    /// Operation order mirrors the engine's `fill_rates` exactly: raw
+    /// per-job stalls first, then the thrashing-protection redistribution
+    /// over the raw values, then the network-RAM scale over the result —
+    /// so the f64 outputs stay bit-identical.
     fn stall_factors(&self) -> Vec<f64> {
         let k = self.jobs.len();
         if k == 0 {
@@ -208,35 +227,49 @@ impl ONode {
         let user = self.params.memory.user;
         let total: Bytes = working_sets.iter().copied().sum();
         let overflow = total.saturating_sub(user);
-        if overflow.is_zero() || total.is_zero() {
-            return vec![0.0; k];
-        }
-        let kappa_eff = match self.params.fault_model {
-            FaultModel::Off => return vec![0.0; k],
-            FaultModel::LinearOverflow { kappa } => {
-                kappa * (overflow.as_u64() as f64 / user.as_u64() as f64)
-            }
-            FaultModel::QuadraticOverflow { kappa } => {
-                let rho = overflow.as_u64() as f64 / user.as_u64() as f64;
-                kappa * rho * rho
+        let mut stalls = if overflow.is_zero() || total.is_zero() {
+            // All-zero raw stalls: protection redistributes nothing and the
+            // scale multiplies zeros, so both later passes are no-ops by
+            // construction — mirroring the engine, which still runs them.
+            vec![0.0; k]
+        } else {
+            match self.params.fault_model {
+                FaultModel::Off => vec![0.0; k],
+                FaultModel::LinearOverflow { kappa } => {
+                    let kappa_eff = kappa * (overflow.as_u64() as f64 / user.as_u64() as f64);
+                    let mean_ws = total.as_u64() as f64 / k as f64;
+                    working_sets
+                        .iter()
+                        .map(|w| kappa_eff * (w.as_u64() as f64 / mean_ws))
+                        .collect()
+                }
+                FaultModel::QuadraticOverflow { kappa } => {
+                    let rho = overflow.as_u64() as f64 / user.as_u64() as f64;
+                    let kappa_eff = kappa * rho * rho;
+                    let mean_ws = total.as_u64() as f64 / k as f64;
+                    working_sets
+                        .iter()
+                        .map(|w| kappa_eff * (w.as_u64() as f64 / mean_ws))
+                        .collect()
+                }
             }
         };
-        let mean_ws = total.as_u64() as f64 / k as f64;
-        // The scale multiplies the *finished* stall factor, after the
-        // per-job proportionality — the same operation order as the
-        // engine's `fill_rates`, so the f64 results stay bit-identical.
-        working_sets
-            .iter()
-            .map(|w| {
-                let stall = kappa_eff * (w.as_u64() as f64 / mean_ws);
-                // vr-lint::allow(float-eq, reason = "sentinel check mirroring the engine: 1.0 is assigned verbatim, never computed")
-                if self.stall_scale == 1.0 {
-                    stall
-                } else {
-                    stall * self.stall_scale
-                }
-            })
-            .collect()
+        if self.params.protection != ThrashingProtection::Off {
+            // The redistribution arithmetic is shared with the engine the
+            // same way the service-model formulas are: it is part of the
+            // documented model, not of the machinery under test.
+            let remaining: Vec<f64> = self.jobs.iter().map(|j| j.remaining_secs()).collect();
+            self.params
+                .protection
+                .apply(&mut stalls, &working_sets, &remaining);
+        }
+        // vr-lint::allow(float-eq, reason = "sentinel check mirroring the engine: 1.0 is assigned verbatim, never computed")
+        if self.stall_scale != 1.0 {
+            for s in &mut stalls {
+                *s *= self.stall_scale;
+            }
+        }
+        stalls
     }
 
     /// Per-job progress rates: an equal CPU share degraded by context-switch
@@ -250,13 +283,33 @@ impl ONode {
         }
         let q = self.params.cpu.quantum.as_secs_f64();
         let cs = self.params.cpu.context_switch.as_secs_f64();
-        let efficiency = if k <= 1 || q + cs <= 0.0 {
-            1.0
+        let total_width: u32 = self.jobs.iter().map(|j| j.width).sum();
+        let rates = if total_width as usize == k {
+            // All widths 1 (classic policies): the historical arithmetic.
+            let efficiency = if k <= 1 || q + cs <= 0.0 {
+                1.0
+            } else {
+                q / (q + cs)
+            };
+            let share = self.params.cpu.speed * efficiency / k as f64;
+            stalls.iter().map(|s| share / (1.0 + s)).collect()
         } else {
-            q / (q + cs)
+            // Width-aware restatement: a width-w job holds w of the
+            // W = Σ widths logical slots, so it gets w equal shares of the
+            // processor-sharing rate at multiprogramming level W.
+            let w_total = total_width as usize;
+            let efficiency = if w_total <= 1 || q + cs <= 0.0 {
+                1.0
+            } else {
+                q / (q + cs)
+            };
+            let share = self.params.cpu.speed * efficiency / w_total as f64;
+            stalls
+                .iter()
+                .zip(&self.jobs)
+                .map(|(s, j)| share * j.width as f64 / (1.0 + s))
+                .collect()
         };
-        let share = self.params.cpu.speed * efficiency / k as f64;
-        let rates = stalls.iter().map(|s| share / (1.0 + s)).collect();
         (rates, stalls)
     }
 
@@ -466,6 +519,9 @@ struct Oracle {
     /// The unsorted future-event list, popped by linear (time, seq) scan.
     events: Vec<(SimTime, u64, Ev)>,
     seq: u64,
+    /// Parsed malleable tunables when the policy is the malleable family —
+    /// the resize scan's restated selection rules read them directly.
+    malleable: Option<MalleableParams>,
 }
 
 /// Runs the naive reference model over `trace` and produces a [`RunReport`]
@@ -476,11 +532,10 @@ struct Oracle {
 ///
 /// # Errors
 ///
-/// Returns an error if the config or trace fails validation, or if the
-/// scenario is outside the oracle's documented scope (thrashing protection
-/// not `Off`). Network RAM *is* modelled: the oracle re-derives the
-/// remote-backing stall scale at every snapshot refresh, exactly where the
-/// engine recomputes it.
+/// Returns an error if the config or trace fails validation (including an
+/// unbuildable policy parameter bag). Network RAM, thrashing protection,
+/// and the malleable/fractional plugin families are all modelled — the
+/// oracle re-derives each from the config exactly where the engine does.
 pub fn run_oracle(
     config: &SimConfig,
     trace: &Trace,
@@ -488,14 +543,23 @@ pub fn run_oracle(
 ) -> Result<RunReport, String> {
     config.validate()?;
     trace.validate()?;
-    if config
-        .cluster
-        .nodes
-        .iter()
-        .any(|n| n.protection != ThrashingProtection::Off)
-    {
-        return Err("oracle scope: thrashing protection is not modelled".to_owned());
-    }
+    // Re-derive the plugin families' tunables from the parameter bag the
+    // same way `SimConfig::validate` proved them buildable; the behaviour
+    // they drive is restated below, not delegated.
+    let malleable = match config.policy {
+        PolicyKind::Malleable => Some(
+            MalleableParams::from_bag(&config.policy_params)
+                .map_err(|e| format!("malleable parameters: {e}"))?,
+        ),
+        _ => None,
+    };
+    let fractional = match config.policy {
+        PolicyKind::Fractional => Some(
+            FractionalParams::from_bag(&config.policy_params)
+                .map_err(|e| format!("fractional parameters: {e}"))?,
+        ),
+        _ => None,
+    };
 
     let mut o = Oracle {
         config: config.clone(),
@@ -515,6 +579,10 @@ pub fn run_oracle(
                 outbox: Vec::new(),
                 counters: NodeCounters::default(),
                 stall_scale: 1.0,
+                // Same clamp as the engine's `Workstation::set_slot_cap`.
+                slot_cap: fractional
+                    .map_or(params.cpu.slots, |f| f.slot_cap(params.cpu.slots))
+                    .max(1),
             })
             .collect(),
         index: Vec::new(),
@@ -542,6 +610,7 @@ pub fn run_oracle(
         blocked_nodes: Vec::new(),
         events: Vec::new(),
         seq: 0,
+        malleable,
     };
     o.refresh_snapshot();
 
@@ -849,7 +918,9 @@ impl Oracle {
             }
             PolicyKind::GLoadSharing
             | PolicyKind::VReconfiguration
-            | PolicyKind::SuspendLargest => {
+            | PolicyKind::SuspendLargest
+            | PolicyKind::Malleable
+            | PolicyKind::Fractional => {
                 let demand = job.current_working_set();
                 if self
                     .index_get(home)
@@ -1017,7 +1088,7 @@ impl Oracle {
 
     fn has_uncommitted_slot(&self, node: u32) -> bool {
         let n = &self.nodes[node as usize];
-        n.jobs.len() + self.in_transit_count(node) < n.params.cpu.slots as usize
+        n.used_slots() as usize + self.in_transit_count(node) < n.slot_cap as usize
     }
 
     fn serving_room_for(&self, ws: Bytes) -> Option<u32> {
@@ -1089,6 +1160,88 @@ impl Oracle {
                     }
                 }
             }
+        }
+    }
+
+    /// Mirrors the engine's `resize_scan`, with the malleable family's
+    /// directive selection restated from its documented rules: at most one
+    /// width change per node per exchange tick, nodes visited in ascending
+    /// id order, the trigger recomputed from the pending queue. Every node
+    /// was already advanced to `now` by the exchange-top index refresh.
+    fn resize_scan(&mut self, now: SimTime) {
+        let Some(params) = self.malleable else {
+            return;
+        };
+        let pressure = !self.pending.is_empty();
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].jobs.is_empty() {
+                continue;
+            }
+            let node = &self.nodes[i];
+            if !node.up || node.reserved {
+                continue;
+            }
+            let used = node.used_slots();
+            let cap = node.slot_cap;
+            let free = cap.saturating_sub(used);
+            // (job, new width, is-grow): the widest shrinkable job under
+            // pressure with no free slot, the narrowest growable job when
+            // idle capacity exists — ties toward the smaller id, both ways.
+            let directive: Option<(JobId, u32, bool)> = if pressure && free == 0 {
+                node.jobs
+                    .iter()
+                    .filter(|j| j.spec.malleable.is_some_and(|m| j.width > m.min_width))
+                    .max_by_key(|j| (j.width, std::cmp::Reverse(j.spec.id)))
+                    .map(|j| {
+                        let min = j.spec.malleable.map_or(1, |m| m.min_width);
+                        (
+                            j.spec.id,
+                            j.width.saturating_sub(params.max_step).max(min),
+                            false,
+                        )
+                    })
+            } else if !pressure && free > 0 {
+                node.jobs
+                    .iter()
+                    .filter(|j| j.spec.malleable.is_some_and(|m| j.width < m.max_width))
+                    .min_by_key(|j| (j.width, j.spec.id))
+                    .map(|j| {
+                        let max = j.spec.malleable.map_or(j.width, |m| m.max_width);
+                        (
+                            j.spec.id,
+                            (j.width + params.max_step.min(free)).min(max),
+                            true,
+                        )
+                    })
+            } else {
+                None
+            };
+            let Some((job_id, to, grow)) = directive else {
+                continue;
+            };
+            // Apply, mirroring `Workstation::resize_job`'s guards (the
+            // advance is a no-op here: the node already sits at `now`).
+            let node = &mut self.nodes[i];
+            let Some(job) = node.jobs.iter_mut().find(|j| j.spec.id == job_id) else {
+                continue;
+            };
+            let old = job.width;
+            if to == old || to == 0 || (to > old && used - old + to > cap) {
+                continue;
+            }
+            job.width = to;
+            node.epoch += 1;
+            if grow {
+                self.counters.grows += 1;
+            } else {
+                self.counters.shrinks += 1;
+            }
+            self.schedule_wake(i as u32, now);
+            any = true;
+        }
+        if any {
+            self.refresh_snapshot();
         }
     }
 
@@ -1507,6 +1660,7 @@ impl Oracle {
             Ev::Exchange => {
                 self.refresh_index_lossy(now);
                 self.overload_scan(now);
+                self.resize_scan(now);
                 self.check_reservations(now);
                 self.try_resume_suspended(now);
                 self.check_done(now);
@@ -1683,12 +1837,104 @@ mod tests {
     }
 
     #[test]
-    fn thrashing_protection_is_still_out_of_scope() {
-        let (mut config, trace) = blocking_pair(PolicyKind::GLoadSharing, false);
-        for node in &mut config.cluster.nodes {
+    fn thrashing_protection_matches_the_engine_bit_for_bit() {
+        // Formerly a documented scope limit; now a differential obligation.
+        for protection in [
+            ThrashingProtection::ProtectLargest,
+            ThrashingProtection::ProtectShortestRemaining,
+        ] {
+            let (mut config, trace) = blocking_pair(PolicyKind::GLoadSharing, false);
+            for node in &mut config.cluster.nodes {
+                node.protection = protection;
+            }
+            let engine = Simulation::new(config.clone()).run(&trace);
+            let oracle = run_oracle(&config, &trace, OracleSkew::None)
+                .unwrap_or_else(|e| panic!("{protection:?}: oracle rejected protection: {e}"));
+            let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+            assert!(diff.is_match(), "{protection:?}: {}", diff.render());
+            // The scenario must actually page, or the redistribution pass
+            // was never exercised and the run proved nothing.
+            assert!(
+                engine.summary.totals.page > 0.0,
+                "{protection:?}: scenario never paged"
+            );
+        }
+    }
+
+    #[test]
+    fn protection_changes_the_oracle_outcome() {
+        // The protection pass must not be a silent no-op in the oracle:
+        // redistributing the largest job's stall changes who pages when.
+        let (off_cfg, trace) = blocking_pair(PolicyKind::GLoadSharing, false);
+        let mut on_cfg = off_cfg.clone();
+        for node in &mut on_cfg.cluster.nodes {
             node.protection = ThrashingProtection::ProtectLargest;
         }
-        let err = run_oracle(&config, &trace, OracleSkew::None).unwrap_err();
-        assert!(err.contains("thrashing protection"), "{err}");
+        let off = run_oracle(&off_cfg, &trace, OracleSkew::None).unwrap();
+        let on = run_oracle(&on_cfg, &trace, OracleSkew::None).unwrap();
+        assert_ne!(
+            off.summary.avg_slowdown, on.summary.avg_slowdown,
+            "protection never changed a single outcome"
+        );
+    }
+
+    /// The blocking scenario with every other job declared malleable, so
+    /// grow and shrink directives both have material to work on.
+    fn malleable_trace() -> Trace {
+        let mut trace = synth::blocking_scenario(6, Bytes::from_mb(128));
+        for (i, job) in trace.jobs.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                job.malleable = Some(vr_cluster::job::MalleableSpec {
+                    min_width: 1,
+                    max_width: 3,
+                });
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn malleable_resizes_and_matches_the_engine() {
+        let trace = malleable_trace();
+        let config = SimConfig::new(small_cluster(6), PolicyKind::Malleable).with_seed(7);
+        let engine = Simulation::new(config.clone()).run(&trace);
+        let oracle = run_oracle(&config, &trace, OracleSkew::None).unwrap();
+        let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+        assert!(diff.is_match(), "{}", diff.render());
+        // The restated directive logic must actually fire, or the
+        // differential run never left the classic path.
+        assert!(
+            engine.counters.grows + engine.counters.shrinks > 0,
+            "no resize directive ever fired"
+        );
+    }
+
+    #[test]
+    fn malleable_respects_a_custom_step_differentially() {
+        let trace = malleable_trace();
+        let config = SimConfig::new(small_cluster(6), PolicyKind::Malleable)
+            .with_seed(7)
+            .with_policy_params(vrecon::plugin::ParamBag::new().with("max_step", 2));
+        let engine = Simulation::new(config.clone()).run(&trace);
+        let oracle = run_oracle(&config, &trace, OracleSkew::None).unwrap();
+        let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+        assert!(diff.is_match(), "{}", diff.render());
+    }
+
+    #[test]
+    fn fractional_oversubscription_matches_the_engine() {
+        // Default oversub (2.0) and a fractional custom value, both
+        // against the restated slot-cap arithmetic.
+        for params in [
+            vrecon::plugin::ParamBag::new(),
+            vrecon::plugin::ParamBag::new().with("oversub", 1.5),
+        ] {
+            let (config, trace) = blocking_pair(PolicyKind::Fractional, false);
+            let config = config.with_policy_params(params.clone());
+            let engine = Simulation::new(config.clone()).run(&trace);
+            let oracle = run_oracle(&config, &trace, OracleSkew::None).unwrap();
+            let diff = compare_reports(&engine, &oracle, crate::fuzz::DIFF_TOLERANCE);
+            assert!(diff.is_match(), "oversub {:?}: {}", params.render(), diff.render());
+        }
     }
 }

@@ -14,7 +14,9 @@ use vr_simcore::rng::SimRng;
 use vr_simcore::time::SimTime;
 use vr_workload::trace::Trace;
 use vrecon::config::SimConfig;
+use vrecon::plugin::{kind_of, policy_name, FractionalParams, ParamBag};
 use vrecon::policy::PolicyKind;
+use vrecon::report_json::encode_report;
 use vrecon::{compare_reports, Simulation};
 
 /// Two job specs are interchangeable if they differ at most in id and name.
@@ -234,6 +236,155 @@ pub fn zero_fault_plan_equivalence(config: &SimConfig, trace: &Trace) -> Result<
     ))
 }
 
+/// **Property: registry-built ≡ enum-built.**
+///
+/// Resolving the config's policy through the string registry (name →
+/// kind) and round-tripping its parameter bag through `render`/`parse`
+/// must produce a run whose encoded report is *byte-identical* to the
+/// original's: the registry is an addressing layer, not a behaviour
+/// layer.
+///
+/// # Errors
+///
+/// Returns an error if the registry loses or remaps the policy, the bag
+/// fails to round-trip, or the two encoded reports differ anywhere.
+pub fn registry_enum_equivalence(config: &SimConfig, trace: &Trace) -> Result<(), String> {
+    config.validate()?;
+    trace.validate()?;
+    let name = policy_name(config.policy);
+    let kind = kind_of(name).ok_or_else(|| format!("registry lost policy `{name}`"))?;
+    if kind != config.policy {
+        return Err(format!(
+            "registry maps `{name}` to {kind}, not {}",
+            config.policy
+        ));
+    }
+    let bag = ParamBag::parse(&config.policy_params.render())
+        .map_err(|e| format!("parameter bag failed to round-trip: {e}"))?;
+    if bag != config.policy_params {
+        return Err("parameter bag changed under render/parse".to_owned());
+    }
+    let mut registry_config = config.clone();
+    registry_config.policy = kind;
+    registry_config.policy_params = bag;
+
+    let base = Simulation::new(config.clone()).run(trace);
+    let rebuilt = Simulation::new(registry_config).run(trace);
+    if encode_report(&base) == encode_report(&rebuilt) {
+        Ok(())
+    } else {
+        let diff = compare_reports(&base, &rebuilt, 0.0);
+        Err(format!(
+            "registry-built run diverged from enum-built:\n{}",
+            diff.render()
+        ))
+    }
+}
+
+/// **Property: a frozen malleable range is G-Loadsharing.**
+///
+/// When every malleable declaration in the trace has `min_width ==
+/// max_width`, no job can ever grow or shrink, so the malleable family is
+/// G-Loadsharing with extra (always-empty) resize scans: the two reports
+/// must be equal in every field once the policy label is normalized —
+/// grow and shrink are exact inverses of each other, and here neither
+/// ever fires.
+///
+/// # Errors
+///
+/// Returns an error if a precondition fails (wrong policy, an unfrozen
+/// range) or the reports differ.
+pub fn frozen_malleable_is_gloadsharing(config: &SimConfig, trace: &Trace) -> Result<(), String> {
+    config.validate()?;
+    trace.validate()?;
+    if config.policy != PolicyKind::Malleable {
+        return Err("precondition: frozen_malleable_is_gloadsharing requires Malleable".to_owned());
+    }
+    if let Some(job) = trace
+        .jobs
+        .iter()
+        .find(|j| j.malleable.is_some_and(|m| m.min_width != m.max_width))
+    {
+        return Err(format!(
+            "precondition: job {:?} has an unfrozen range",
+            job.id
+        ));
+    }
+    let mut gls_config = config.clone();
+    gls_config.policy = PolicyKind::GLoadSharing;
+    gls_config.policy_params = ParamBag::new();
+
+    let mut malleable = Simulation::new(config.clone()).run(trace);
+    let gls = Simulation::new(gls_config).run(trace);
+    if malleable.counters.grows + malleable.counters.shrinks != 0 {
+        return Err(format!(
+            "a frozen range resized anyway: {} grows, {} shrinks",
+            malleable.counters.grows, malleable.counters.shrinks
+        ));
+    }
+    malleable.policy = PolicyKind::GLoadSharing;
+    if malleable == gls {
+        Ok(())
+    } else {
+        let diff = compare_reports(&malleable, &gls, 0.0);
+        Err(format!(
+            "frozen malleable diverged from G-Loadsharing:\n{}",
+            if diff.is_match() {
+                "(difference is in the event log or run stats)".to_owned()
+            } else {
+                diff.render()
+            }
+        ))
+    }
+}
+
+/// **Property: unit oversubscription is G-Loadsharing.**
+///
+/// `oversub = 1` makes the fractional slot cap `floor(slots × 1) = slots`
+/// on every node — the hardware ceiling — so the fractional family
+/// degenerates to G-Loadsharing exactly, the same way a CPU-speed factor
+/// of 1 degenerates the scaling law to identity.
+///
+/// # Errors
+///
+/// Returns an error if a precondition fails (wrong policy, `oversub`
+/// not 1) or the reports differ.
+pub fn unit_oversub_is_gloadsharing(config: &SimConfig, trace: &Trace) -> Result<(), String> {
+    config.validate()?;
+    trace.validate()?;
+    if config.policy != PolicyKind::Fractional {
+        return Err("precondition: unit_oversub_is_gloadsharing requires Fractional".to_owned());
+    }
+    let params = FractionalParams::from_bag(&config.policy_params)?;
+    // vr-lint::allow(float-eq, reason = "precondition on a literal parameter value, not on computed arithmetic")
+    if params.oversub != 1.0 {
+        return Err(format!(
+            "precondition: oversub must be exactly 1, got {}",
+            params.oversub
+        ));
+    }
+    let mut gls_config = config.clone();
+    gls_config.policy = PolicyKind::GLoadSharing;
+    gls_config.policy_params = ParamBag::new();
+
+    let mut fractional = Simulation::new(config.clone()).run(trace);
+    let gls = Simulation::new(gls_config).run(trace);
+    fractional.policy = PolicyKind::GLoadSharing;
+    if fractional == gls {
+        Ok(())
+    } else {
+        let diff = compare_reports(&fractional, &gls, 0.0);
+        Err(format!(
+            "unit-oversub fractional diverged from G-Loadsharing:\n{}",
+            if diff.is_match() {
+                "(difference is in the event log or run stats)".to_owned()
+            } else {
+                diff.render()
+            }
+        ))
+    }
+}
+
 /// Side-by-side blocking measurements for the G-Loadsharing vs
 /// V-Reconfiguration comparison of [`gls_vs_vr`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -308,6 +459,7 @@ mod tests {
                     cpu_work: SimSpan::from_secs(work_s),
                     memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
                     io_rate: 0.0,
+                    malleable: None,
                 });
             }
         }
@@ -360,6 +512,131 @@ mod tests {
             let config = SimConfig::new(small_cluster(4), policy).with_seed(9);
             zero_fault_plan_equivalence(&config, &trace)
                 .unwrap_or_else(|e| panic!("{policy}: {e}"));
+        }
+    }
+
+    /// Per-policy parameter bags with non-default values, so the registry
+    /// equivalence run exercises the parse/render path with real content.
+    fn bag_for(policy: PolicyKind) -> ParamBag {
+        match policy {
+            PolicyKind::Malleable => ParamBag::new().with("max_step", 2),
+            PolicyKind::Fractional => ParamBag::new().with("oversub", 1.5),
+            _ => ParamBag::new(),
+        }
+    }
+
+    fn annotate_malleable(mut trace: Trace, min: u32, max: u32) -> Trace {
+        for (i, job) in trace.jobs.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                job.malleable = Some(vr_cluster::job::MalleableSpec {
+                    min_width: min,
+                    max_width: max,
+                });
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn registry_build_equals_enum_build_for_all_policies() {
+        let trace = annotate_malleable(
+            burst_trace(&[(0, 4, 30, 40), (10, 3, 60, 80), (50, 2, 15, 20)]),
+            1,
+            2,
+        );
+        for policy in PolicyKind::ALL {
+            let config = SimConfig::new(small_cluster(4), policy)
+                .with_seed(11)
+                .with_policy_params(bag_for(policy));
+            registry_enum_equivalence(&config, &trace).unwrap_or_else(|e| panic!("{policy}: {e}"));
+        }
+    }
+
+    #[test]
+    fn frozen_malleable_matches_gls() {
+        // Frozen at width 2: the width-aware rate path runs under *both*
+        // policies (widths come from the spec, not the policy), and no
+        // resize directive can fire.
+        let trace = annotate_malleable(burst_trace(&[(0, 6, 40, 30), (20, 4, 25, 60)]), 2, 2);
+        let config = SimConfig::new(small_cluster(4), PolicyKind::Malleable).with_seed(5);
+        frozen_malleable_is_gloadsharing(&config, &trace).unwrap();
+    }
+
+    #[test]
+    fn unit_oversub_matches_gls() {
+        let trace = burst_trace(&[(0, 8, 40, 30), (15, 6, 25, 60)]);
+        let config = SimConfig::new(small_cluster(4), PolicyKind::Fractional)
+            .with_seed(5)
+            .with_policy_params(ParamBag::new().with("oversub", 1.0));
+        unit_oversub_is_gloadsharing(&config, &trace).unwrap();
+    }
+
+    #[test]
+    fn fractional_time_sharing_matches_the_speed_law() {
+        // The fractional analogue of the CPU-speed-scaling law: with 2×
+        // oversubscription on one workstation, 2k CPU-bound jobs all run
+        // at once, each at speed·ε(2k)/2k — so every completion lands at
+        // exactly 2k·W / (speed·ε(2k)), the processor-sharing prediction.
+        let cluster = small_cluster(1);
+        let node = cluster.nodes[0];
+        let k = 2 * node.cpu.slots as usize; // 16 jobs vs 8 hardware slots
+        let work_s = 120u64;
+        let trace = burst_trace(&[(0, k, work_s, 2)]);
+        let config = SimConfig::new(cluster.clone(), PolicyKind::Fractional).with_seed(3);
+        let report = Simulation::new(config).run(&trace);
+        assert!(report.all_completed(), "fractional run left jobs pending");
+        assert_eq!(
+            report.counters.blocked_submissions, 0,
+            "oversubscription should have absorbed the whole burst"
+        );
+        let q = node.cpu.quantum.as_secs_f64();
+        let cs = node.cpu.context_switch.as_secs_f64();
+        let eff = q / (q + cs);
+        let expected = k as f64 * work_s as f64 / (node.cpu.speed * eff);
+        for job in &report.jobs {
+            let got = job.completed_at.unwrap().as_secs_f64();
+            assert!(
+                (got - expected).abs() <= 1e-6 * expected,
+                "job {:?} completed at {got:.6}s, processor sharing predicts {expected:.6}s",
+                job.id()
+            );
+        }
+        // The law's other half: the hardware cap alone cannot absorb the
+        // burst, so plain G-Loadsharing must block the overflow jobs.
+        let gls_config = SimConfig::new(cluster, PolicyKind::GLoadSharing).with_seed(3);
+        let gls = Simulation::new(gls_config).run(&trace);
+        assert!(
+            gls.counters.blocked_submissions > 0,
+            "scenario failed to saturate the hardware slots"
+        );
+    }
+
+    #[test]
+    fn param_bags_round_trip_under_random_contents() {
+        let mut rng = SimRng::seed_from(123);
+        for _ in 0..200 {
+            let mut bag = ParamBag::new();
+            for _ in 0..rng.index(5) {
+                let key = format!("k{}", rng.index(8));
+                let value = format!("{}.{}", rng.index(1000), rng.index(10));
+                bag = bag.with(&key, value);
+            }
+            let round = ParamBag::parse(&bag.render())
+                .unwrap_or_else(|e| panic!("render/parse failed on {:?}: {e}", bag.render()));
+            assert_eq!(bag, round, "bag changed under round-trip");
+        }
+    }
+
+    #[test]
+    fn every_registry_entry_rejects_unknown_keys() {
+        for entry in vrecon::plugin::registry() {
+            let bag = ParamBag::new().with("definitely_not_a_knob", 1);
+            let err = vrecon::plugin::build_named(entry.name, &bag);
+            assert!(
+                err.is_err(),
+                "{} accepted an unknown parameter key",
+                entry.name
+            );
         }
     }
 

@@ -20,6 +20,7 @@ use vr_workload::trace::{
 use vr_workload::{read_trace, write_trace};
 use vrecon::config::{LoadInfoMode, PlacementMode, SimConfig};
 use vrecon::encode_report;
+use vrecon::plugin::{build_policy, kind_of, registry, ParamBag};
 use vrecon::policy::PolicyKind;
 use vrecon::report::RunReport;
 use vrecon::sim::Simulation;
@@ -56,7 +57,9 @@ USAGE:
                  [--check BASELINE] [--tolerance T]
   vrecon spec    [--seed N] [--iter N] [--out FILE]
 
-POLICIES: none | random | cpu | weighted | gls | suspend | vrecon
+POLICIES: none | random | cpu | weighted | gls | suspend | vrecon, or any
+registry name — malleable and fractional take knobs via `name:k=v,...`
+(e.g. `--policy malleable:max_step=2`, `--policy fractional:oversub=1.5`)
 
 `sweep` runs its whole matrix on the parallel experiment runner: `--jobs N`
 sets the worker count (0 or unset = all cores) and results are cached by
@@ -147,19 +150,41 @@ fn parse_level(raw: &str) -> Result<TraceLevel, ArgError> {
     }
 }
 
-fn parse_policy(raw: &str) -> Result<PolicyKind, ArgError> {
-    match raw {
-        "none" => Ok(PolicyKind::NoLoadSharing),
-        "random" => Ok(PolicyKind::Random),
-        "cpu" => Ok(PolicyKind::CpuOnly),
-        "gls" => Ok(PolicyKind::GLoadSharing),
-        "weighted" => Ok(PolicyKind::WeightedCpuMem),
-        "suspend" => Ok(PolicyKind::SuspendLargest),
-        "vrecon" => Ok(PolicyKind::VReconfiguration),
-        other => Err(ArgError(format!(
-            "unknown policy {other}; expected none|random|cpu|weighted|gls|suspend|vrecon"
-        ))),
-    }
+/// Parses `--policy name[:k=v,...]`: a historical short name or any
+/// registry name, optionally followed by a parameter bag for the families
+/// that take knobs (e.g. `malleable:max_step=2`, `fractional:oversub=1.5`).
+fn parse_policy(raw: &str) -> Result<(PolicyKind, ParamBag), ArgError> {
+    let (name, params) = match raw.split_once(':') {
+        Some((name, params)) => (
+            name,
+            ParamBag::parse(params)
+                .map_err(|e| ArgError(format!("bad policy parameters in {raw}: {e}")))?,
+        ),
+        None => (raw, ParamBag::new()),
+    };
+    let kind = match name {
+        "none" => Some(PolicyKind::NoLoadSharing),
+        "random" => Some(PolicyKind::Random),
+        "cpu" => Some(PolicyKind::CpuOnly),
+        "gls" => Some(PolicyKind::GLoadSharing),
+        "weighted" => Some(PolicyKind::WeightedCpuMem),
+        "suspend" => Some(PolicyKind::SuspendLargest),
+        "vrecon" => Some(PolicyKind::VReconfiguration),
+        // Fall through to the plugin registry's own names
+        // (g-loadsharing, malleable, fractional, ...).
+        other => kind_of(other),
+    };
+    let kind = kind.ok_or_else(|| {
+        ArgError(format!(
+            "unknown policy {name}; expected none|random|cpu|weighted|gls|suspend|vrecon \
+             or a registry name ({})",
+            registry().map(|e| e.name).join("|")
+        ))
+    })?;
+    // Surface unknown-knob errors here, where the message can name the
+    // flag, instead of from config.validate() later.
+    build_policy(kind, &params).map_err(|e| ArgError(format!("--policy {raw}: {e}")))?;
+    Ok((kind, params))
 }
 
 fn parse_cluster(args: &Args) -> Result<ClusterParams, ArgError> {
@@ -476,9 +501,11 @@ pub fn run(args: &Args) -> Result<String, ArgError> {
     let trace = load_trace(args.single_positional("trace file")?)?;
     let cluster = parse_cluster(args)?;
     let cluster_size = cluster.size();
-    let policy = parse_policy(args.opt_or("policy", "vrecon"))?;
+    let (policy, policy_params) = parse_policy(args.opt_or("policy", "vrecon"))?;
     let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
-    let mut config = SimConfig::new(cluster, policy).with_seed(seed);
+    let mut config = SimConfig::new(cluster, policy)
+        .with_policy_params(policy_params)
+        .with_seed(seed);
     if args.flag("netram") {
         config = config.with_network_ram();
     }
@@ -853,11 +880,13 @@ pub fn trace(args: &Args) -> Result<String, ArgError> {
         cluster.nodes.truncate(n);
     }
     let level = parse_level(args.opt_or("level", "3"))?;
-    let policy = parse_policy(args.opt_or("policy", "vrecon"))?;
+    let (policy, policy_params) = parse_policy(args.opt_or("policy", "vrecon"))?;
     let seed = args.opt_parse::<u64>("seed")?.unwrap_or(7);
     let trace_seed = args.opt_parse::<u64>("trace-seed")?.unwrap_or(42);
     let workload = build(level, &mut SimRng::seed_from(trace_seed));
-    let mut config = SimConfig::new(cluster, policy).with_seed(seed);
+    let mut config = SimConfig::new(cluster, policy)
+        .with_policy_params(policy_params)
+        .with_seed(seed);
     if let Some(horizon) = parse_max_sim_time(args)? {
         config = config.with_max_sim_time(horizon);
     }
@@ -1269,10 +1298,34 @@ mod tests {
         assert!(parse_level("6").is_err());
         assert_eq!(
             parse_policy("vrecon").unwrap(),
-            PolicyKind::VReconfiguration
+            (PolicyKind::VReconfiguration, ParamBag::new())
         );
-        assert_eq!(parse_policy("suspend").unwrap(), PolicyKind::SuspendLargest);
+        assert_eq!(
+            parse_policy("suspend").unwrap(),
+            (PolicyKind::SuspendLargest, ParamBag::new())
+        );
         assert!(parse_policy("magic").is_err());
+        // Registry names work alongside the historical short names, with an
+        // optional parameter bag after a colon.
+        assert_eq!(
+            parse_policy("g-loadsharing").unwrap(),
+            (PolicyKind::GLoadSharing, ParamBag::new())
+        );
+        assert_eq!(
+            parse_policy("malleable:max_step=2").unwrap(),
+            (
+                PolicyKind::Malleable,
+                ParamBag::new().with("max_step", 2u32)
+            )
+        );
+        assert_eq!(
+            parse_policy("fractional:oversub=1.5").unwrap(),
+            (PolicyKind::Fractional, ParamBag::new().with("oversub", 1.5))
+        );
+        // Unknown knobs are rejected at the flag, naming the offender.
+        let err = parse_policy("gls:max_step=2").unwrap_err();
+        assert!(err.0.contains("max_step"), "{}", err.0);
+        assert!(parse_policy("malleable:max_step").is_err());
     }
 
     #[test]

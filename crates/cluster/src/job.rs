@@ -207,6 +207,41 @@ impl MemoryProfile {
     }
 }
 
+/// A malleable job's declared slot-width range.
+///
+/// A malleable job starts at `min_width` slots and may be grown or shrunk
+/// by the scheduler within `min_width..=max_width` at load-exchange ticks;
+/// a job running at width `w` holds `w` job slots and receives `w`
+/// processor-sharing shares. Non-malleable jobs (the default) are
+/// equivalent to `min_width == max_width == 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MalleableSpec {
+    /// Smallest width the job can run at (≥ 1).
+    pub min_width: u32,
+    /// Largest width the job may be grown to (≥ `min_width`).
+    pub max_width: u32,
+}
+
+impl MalleableSpec {
+    /// Checks `1 <= min_width <= max_width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_width == 0 {
+            return Err("malleable min_width must be at least 1".into());
+        }
+        if self.max_width < self.min_width {
+            return Err(format!(
+                "malleable max_width {} is below min_width {}",
+                self.max_width, self.min_width
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Static description of a job, as read from a workload trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -228,12 +263,22 @@ pub struct JobSpec {
     /// time into cpu + page + queue + migration), so I/O intensity is carried
     /// through to reports but does not perturb timing.
     pub io_rate: f64,
+    /// Optional malleable slot-width range. `None` (the common case) means
+    /// a rigid single-slot job; only the malleable scheduling family reads
+    /// it.
+    #[serde(default)]
+    pub malleable: Option<MalleableSpec>,
 }
 
 impl JobSpec {
     /// The job's peak memory demand.
     pub fn max_working_set(&self) -> Bytes {
         self.memory.max_working_set()
+    }
+
+    /// The slot width the job starts at (its declared minimum, or 1).
+    pub fn initial_width(&self) -> u32 {
+        self.malleable.map_or(1, |m| m.min_width)
     }
 }
 
@@ -333,6 +378,10 @@ pub struct RunningJob {
     pub remote_submitted: bool,
     /// When the job finished, if it has.
     pub completed_at: Option<SimTime>,
+    /// Current slot width (processor-sharing weight). Always 1 for rigid
+    /// jobs; the malleable family moves it within the job's declared
+    /// [`MalleableSpec`] range.
+    pub width: u32,
     /// Current-memory-phase memo (see [`PhaseMemo`]).
     #[serde(skip)]
     pub phase_memo: PhaseMemo,
@@ -341,6 +390,7 @@ pub struct RunningJob {
 impl RunningJob {
     /// Wraps a spec in its initial (pending) state.
     pub fn new(spec: JobSpec) -> Self {
+        let width = spec.initial_width();
         RunningJob {
             spec,
             progress_secs: 0.0,
@@ -349,6 +399,7 @@ impl RunningJob {
             migrations: 0,
             remote_submitted: false,
             completed_at: None,
+            width,
             phase_memo: PhaseMemo::default(),
         }
     }
@@ -419,6 +470,7 @@ mod tests {
             cpu_work: SimSpan::from_secs(cpu_secs),
             memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
             io_rate: 0.0,
+            malleable: None,
         }
     }
 

@@ -39,6 +39,7 @@
 //!     cpu_work: SimSpan::from_secs(120),
 //!     memory: MemoryProfile::constant(Bytes::from_mb(60)),
 //!     io_rate: 0.0,
+//!     malleable: None,
 //! });
 //! nodes[0].try_admit(job, SimTime::ZERO).unwrap();
 //! nodes[0].advance_to(SimTime::from_secs(121));

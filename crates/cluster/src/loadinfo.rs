@@ -455,6 +455,7 @@ mod tests {
                     cpu_work: SimSpan::from_secs(100),
                     memory: MemoryProfile::constant(Bytes::from_mb(ws)),
                     io_rate: 0.0,
+                    malleable: None,
                 }),
                 SimTime::ZERO,
             )
@@ -596,6 +597,7 @@ mod tests {
                     cpu_work: SimSpan::from_secs(100),
                     memory: MemoryProfile::constant(Bytes::from_mb(10)),
                     io_rate: 0.0,
+                    malleable: None,
                 }),
                 SimTime::ZERO,
             )
@@ -723,6 +725,7 @@ mod tests {
                     cpu_work: SimSpan::from_secs(50),
                     memory: MemoryProfile::constant(Bytes::from_mb(30)),
                     io_rate: 0.0,
+                    malleable: None,
                 }),
                 SimTime::from_secs(1),
             )

@@ -136,6 +136,13 @@ pub struct Workstation {
     /// Multiplier applied to page-fault stalls (1.0 = local disk; < 1.0
     /// when network RAM serves faults from remote memory).
     stall_scale: f64,
+    /// Effective job-slot ceiling. Defaults to the hardware slot count;
+    /// fractional (time-sharing) policies raise it above the hardware
+    /// count to oversubscribe the CPU.
+    slot_cap: u32,
+    /// Cached sum of resident job widths (classic jobs have width 1), so
+    /// slot accounting stays O(1) under malleable widths.
+    used_slots: u32,
     /// Cached sum of resident working sets, maintained incrementally on
     /// admit/remove and re-derived after each advancement (working sets
     /// drift across memory phases). Makes [`Workstation::memory_usage`]
@@ -149,6 +156,7 @@ pub struct Workstation {
 impl Workstation {
     /// Creates an idle workstation.
     pub fn new(id: NodeId, params: NodeParams) -> Self {
+        let slot_cap = params.cpu.slots;
         Workstation {
             id,
             params,
@@ -160,6 +168,8 @@ impl Workstation {
             completed: Vec::new(),
             counters: NodeCounters::default(),
             stall_scale: 1.0,
+            slot_cap,
+            used_slots: 0,
             demand: Bytes::ZERO,
             scratch: std::cell::RefCell::new(RateScratch::default()),
         }
@@ -185,9 +195,33 @@ impl Workstation {
         self.jobs.len()
     }
 
-    /// `true` if a CPU job slot is free.
+    /// `true` if a CPU job slot is free (against the effective cap, which
+    /// fractional policies may raise above the hardware count).
     pub fn has_slot(&self) -> bool {
-        (self.jobs.len() as u32) < self.params.cpu.slots
+        self.used_slots < self.slot_cap
+    }
+
+    /// Effective job-slot ceiling (see [`Workstation::set_slot_cap`]).
+    pub fn slot_cap(&self) -> u32 {
+        self.slot_cap
+    }
+
+    /// Slots currently consumed by resident jobs (the sum of their widths;
+    /// classic jobs are width 1).
+    pub fn used_slots(&self) -> u32 {
+        self.used_slots
+    }
+
+    /// Overrides the effective slot ceiling, e.g. when a fractional
+    /// (time-sharing) policy oversubscribes the CPU. Never lowered below
+    /// one; lowering below the current occupancy only blocks further
+    /// admissions (resident jobs are untouched).
+    pub fn set_slot_cap(&mut self, cap: u32) {
+        let cap = cap.max(1);
+        if self.slot_cap != cap {
+            self.slot_cap = cap;
+            self.epoch += 1;
+        }
     }
 
     /// Current memory occupancy (as of the last advancement). O(1): reads
@@ -250,6 +284,7 @@ impl Workstation {
         self.reserved = false;
         self.epoch += 1;
         self.demand = Bytes::ZERO;
+        self.used_slots = 0;
         std::mem::take(&mut self.jobs)
     }
 
@@ -337,7 +372,7 @@ impl Workstation {
         if self.reserved {
             return Err(AdmitError::Reserved);
         }
-        if !self.has_slot() {
+        if self.used_slots + job.width > self.slot_cap {
             return Err(AdmitError::NoSlot);
         }
         let after = self.memory_usage().demand + job.current_working_set();
@@ -363,6 +398,7 @@ impl Workstation {
         }
         job.state = JobState::Running;
         self.demand += job.current_working_set();
+        self.used_slots += job.width;
         self.jobs.push(job);
         self.counters.admitted += 1;
         self.epoch += 1;
@@ -388,7 +424,7 @@ impl Workstation {
                 reason: AdmitError::Down,
             }));
         }
-        if !self.has_slot() {
+        if self.used_slots + job.width > self.slot_cap {
             return Err(Box::new(RejectedJob {
                 job,
                 reason: AdmitError::NoSlot,
@@ -403,6 +439,7 @@ impl Workstation {
         }
         job.state = JobState::Running;
         self.demand += job.current_working_set();
+        self.used_slots += job.width;
         self.jobs.push(job);
         self.counters.admitted += 1;
         self.epoch += 1;
@@ -417,6 +454,7 @@ impl Workstation {
         let idx = self.jobs.iter().position(|j| j.id() == id)?;
         let job = self.jobs.swap_remove(idx);
         self.demand = self.demand.saturating_sub(job.current_working_set());
+        self.used_slots = self.used_slots.saturating_sub(job.width);
         self.counters.migrated_out += 1;
         self.epoch += 1;
         Some(job)
@@ -512,6 +550,7 @@ impl Workstation {
                     done.state = JobState::Completed;
                     done.completed_at = Some(completion_time);
                     done.progress_secs = done.spec.cpu_work.as_secs_f64();
+                    self.used_slots = self.used_slots.saturating_sub(done.width);
                     self.counters.completed += 1;
                     self.completed.push(done);
                     self.epoch += 1;
@@ -600,8 +639,10 @@ impl Workstation {
     /// rates are pure per-job functions of one [`StallCurve`] and one CPU
     /// share. Everything else falls back to [`Workstation::fill_rates`].
     fn fused_rates_apply(&self) -> bool {
-        // vr-lint::allow(float-eq, reason = "sentinel check: 1.0 is the exact no-scaling default, assigned verbatim and never computed")
-        self.params.protection == ThrashingProtection::Off && self.stall_scale == 1.0
+        self.params.protection == ThrashingProtection::Off
+            // vr-lint::allow(float-eq, reason = "sentinel check: 1.0 is the exact no-scaling default, assigned verbatim and never computed")
+            && self.stall_scale == 1.0
+            && self.used_slots as usize == self.jobs.len()
     }
 
     /// Fills `scratch.rates` / `scratch.stalls` for the given job set. An
@@ -641,9 +682,46 @@ impl Workstation {
                 *s *= stall_scale;
             }
         }
-        params
-            .cpu
-            .progress_rates_into(&scratch.stalls, &mut scratch.rates);
+        let total_width: u32 = jobs.iter().map(|j| j.width).sum();
+        if total_width as usize == jobs.len() {
+            // All widths 1 (classic policies): the historical arithmetic,
+            // term for term.
+            params
+                .cpu
+                .progress_rates_into(&scratch.stalls, &mut scratch.rates);
+        } else {
+            // Width-aware generalization: a width-w job holds w of the
+            // W = Σ widths logical slots, so it receives w equal shares of
+            // the processor-sharing rate at multiprogramming level W.
+            // Reduces to the classic expression when every width is 1.
+            let share = params.cpu.progress_share(total_width as usize);
+            scratch.rates.clear();
+            for (s, job) in scratch.stalls.iter().zip(jobs) {
+                scratch.rates.push(share * job.width as f64 / (1.0 + s));
+            }
+        }
+    }
+
+    /// Changes a resident job's slot width in place (malleable
+    /// scheduling), advancing the node to `now` first. Returns `false`
+    /// without side effects when the job is not resident, the width is
+    /// unchanged, or growing would exceed the slot cap.
+    pub fn resize_job(&mut self, id: JobId, new_width: u32, now: SimTime) -> bool {
+        self.advance_to(now);
+        let Some(job) = self.jobs.iter_mut().find(|j| j.id() == id) else {
+            return false;
+        };
+        let old = job.width;
+        if new_width == old || new_width == 0 {
+            return false;
+        }
+        if new_width > old && self.used_slots - old + new_width > self.slot_cap {
+            return false;
+        }
+        job.width = new_width;
+        self.used_slots = self.used_slots - old + new_width;
+        self.epoch += 1;
+        true
     }
 
     /// The resident job with the largest current memory demand, if any —
@@ -683,6 +761,7 @@ mod tests {
             cpu_work: SimSpan::from_secs_f64(cpu_secs),
             memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
             io_rate: 0.0,
+            malleable: None,
         })
     }
 

@@ -45,6 +45,7 @@ fn build_job(id: u64, desc: &JobDesc) -> RunningJob {
         cpu_work: SimSpan::from_secs_f64(desc.work_secs),
         memory,
         io_rate: 0.0,
+        malleable: None,
     })
 }
 

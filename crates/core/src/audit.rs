@@ -172,13 +172,16 @@ impl InvariantAuditor {
                     format!("{id} reports demand {reported} but jobs sum to {recomputed}"),
                 );
             }
-            let slots = node.params().cpu.slots as usize;
-            if node.active_jobs() > slots {
+            // Slot accounting is width-aware, against the *effective* cap:
+            // fractional oversubscription raises it above the hardware slot
+            // count, and malleable jobs occupy their current width.
+            let cap = node.slot_cap();
+            if node.used_slots() > cap {
                 self.violation(
                     now,
                     format!(
-                        "{id} runs {} jobs over its {slots} slots",
-                        node.active_jobs()
+                        "{id} commits width {} over its {cap}-slot cap",
+                        node.used_slots()
                     ),
                 );
             }

@@ -322,6 +322,7 @@ mod tests {
             cpu_work: SimSpan::from_secs(10),
             memory: MemoryProfile::constant(Bytes::from_mb(16)),
             io_rate: 0.0,
+            malleable: None,
         });
         job.breakdown.cpu = 10.0;
         job.completed_at = Some(SimTime::from_secs(10));

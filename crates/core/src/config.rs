@@ -6,6 +6,7 @@ use vr_cluster::params::ClusterParams;
 use vr_faults::FaultPlan;
 use vr_simcore::time::SimSpan;
 
+use crate::plugin::{build_policy, ParamBag};
 use crate::policy::PolicyKind;
 
 /// How the cluster-level queue of blocked submissions is served.
@@ -78,6 +79,11 @@ pub struct SimConfig {
     pub cluster: ClusterParams,
     /// The inter-workstation scheduling policy.
     pub policy: PolicyKind,
+    /// Parameters handed to the policy's registry builder (see
+    /// [`ParamBag`]); the empty bag means every family's defaults. An
+    /// invalid bag is a [`SimConfig::validate`] error.
+    #[serde(default)]
+    pub policy_params: ParamBag,
     /// Virtual-reconfiguration tunables (only used by
     /// [`PolicyKind::VReconfiguration`]).
     pub reservation: ReservationOptions,
@@ -195,6 +201,7 @@ impl SimConfig {
         SimConfig {
             cluster,
             policy,
+            policy_params: ParamBag::new(),
             reservation: ReservationOptions::default(),
             sample_period: SimSpan::from_secs(1),
             pending_retry_period: SimSpan::from_secs(1),
@@ -233,6 +240,13 @@ impl SimConfig {
     /// Returns the config with a different seed (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the config with the given policy parameter bag
+    /// (builder-style); validated by [`SimConfig::validate`].
+    pub fn with_policy_params(mut self, params: ParamBag) -> Self {
+        self.policy_params = params;
         self
     }
 
@@ -294,6 +308,9 @@ impl SimConfig {
         if self.cluster.nodes.is_empty() {
             return Err("cluster has no workstations".into());
         }
+        // Building the policy plugin validates the parameter bag (unknown
+        // keys, unparsable or out-of-range values).
+        build_policy(self.policy, &self.policy_params)?;
         if self.sample_period.is_zero() {
             return Err("sample period must be non-zero".into());
         }

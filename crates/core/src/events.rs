@@ -56,6 +56,8 @@ pub enum SchedulerEventKind {
     /// A job was re-queued by fault recovery (crash drain or abandoned
     /// migration).
     Requeued,
+    /// A malleable job's slot width was changed (grown or shrunk) in place.
+    JobResized,
 }
 
 impl SchedulerEventKind {
@@ -80,6 +82,7 @@ impl SchedulerEventKind {
             SchedulerEventKind::NodeRestarted => "node-restarted",
             SchedulerEventKind::MigrationFailed => "migration-failed",
             SchedulerEventKind::Requeued => "requeued",
+            SchedulerEventKind::JobResized => "job-resized",
         }
     }
 }

@@ -9,6 +9,8 @@
 //!
 //! * [`policy`] — [`PolicyKind`]: G-Loadsharing,
 //!   V-Reconfiguration, and ablation baselines.
+//! * [`plugin`] — the [`Policy`] trait, the string-keyed policy
+//!   registry, and the [`ParamBag`] parameter grammar.
 //! * [`sim`] — the trace-driven [`Simulation`] driver.
 //! * [`reservation`] — reserving periods, special service, adaptive
 //!   release.
@@ -48,6 +50,7 @@ pub mod audit;
 pub mod compare;
 pub mod config;
 pub mod events;
+pub mod plugin;
 pub mod policy;
 pub mod report;
 pub mod report_json;
@@ -58,6 +61,9 @@ pub use audit::InvariantAuditor;
 pub use compare::{compare_reports, FieldDiff, ReportDiff};
 pub use config::{DetectorMode, PendingDiscipline, ReservationOptions, ReservingEnd, SimConfig};
 pub use events::{EventLog, SchedulerEvent, SchedulerEventKind};
+pub use plugin::{
+    build_named, build_policy, policy_name, ParamBag, Policy, PolicyEntry, ResizeDirective,
+};
 pub use policy::{Placement, PolicyKind};
 pub use report::{RunReport, SchedulerCounters};
 pub use report_json::{decode_report, encode_report};

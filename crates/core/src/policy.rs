@@ -59,6 +59,24 @@ pub enum PolicyKind {
     /// re-suspended is pinned after five suspensions (endless swap churn
     /// of the same peak-sized job is a livelock, not a remedy).
     SuspendLargest,
+    /// Malleable scheduling ("Evaluating Malleable Job Scheduling in HPC
+    /// Clusters"): jobs may declare a `min..=max` slot-width range
+    /// ([`MalleableSpec`]); placement and migration follow
+    /// [`GLoadSharing`](PolicyKind::GLoadSharing), and on every load
+    /// exchange the policy issues grow directives into idle slots and
+    /// shrink directives under queue pressure. A job running at width `w`
+    /// holds `w` slots and receives `w` processor-sharing shares. With no
+    /// malleable jobs in the trace it behaves exactly like G-Loadsharing.
+    ///
+    /// [`MalleableSpec`]: vr_cluster::job::MalleableSpec
+    Malleable,
+    /// Dynamic fractional resource scheduling (Casanova/Stillwell/Vivien):
+    /// instead of whole-slot reservation, each workstation's admission cap
+    /// is raised to `floor(slots × oversub)` and the processor-sharing
+    /// model hands every resident job a fractional CPU share. Placement
+    /// and migration follow [`GLoadSharing`](PolicyKind::GLoadSharing);
+    /// with `oversub = 1` it is exactly G-Loadsharing.
+    Fractional,
 }
 
 impl fmt::Display for PolicyKind {
@@ -71,6 +89,8 @@ impl fmt::Display for PolicyKind {
             PolicyKind::VReconfiguration => "V-Reconfiguration",
             PolicyKind::WeightedCpuMem => "Weighted-CPU-Mem",
             PolicyKind::SuspendLargest => "Suspend-Largest",
+            PolicyKind::Malleable => "Malleable",
+            PolicyKind::Fractional => "Fractional",
         };
         f.write_str(s)
     }
@@ -90,7 +110,7 @@ pub enum Placement {
 
 impl PolicyKind {
     /// All policies, baseline-first.
-    pub const ALL: [PolicyKind; 7] = [
+    pub const ALL: [PolicyKind; 9] = [
         PolicyKind::NoLoadSharing,
         PolicyKind::Random,
         PolicyKind::CpuOnly,
@@ -98,6 +118,8 @@ impl PolicyKind {
         PolicyKind::GLoadSharing,
         PolicyKind::SuspendLargest,
         PolicyKind::VReconfiguration,
+        PolicyKind::Malleable,
+        PolicyKind::Fractional,
     ];
 
     /// `true` if the policy performs fault-driven preemptive migration.
@@ -108,6 +130,8 @@ impl PolicyKind {
                 | PolicyKind::VReconfiguration
                 | PolicyKind::SuspendLargest
                 | PolicyKind::WeightedCpuMem
+                | PolicyKind::Malleable
+                | PolicyKind::Fractional
         )
     }
 
@@ -201,7 +225,9 @@ impl PolicyKind {
             }
             PolicyKind::GLoadSharing
             | PolicyKind::VReconfiguration
-            | PolicyKind::SuspendLargest => {
+            | PolicyKind::SuspendLargest
+            | PolicyKind::Malleable
+            | PolicyKind::Fractional => {
                 // §1: accept locally when the workstation has idle memory
                 // and a free job slot; otherwise remote-submit to a lightly
                 // loaded workstation with available memory and slots; else
@@ -248,6 +274,7 @@ mod tests {
             cpu_work: SimSpan::from_secs(100),
             memory: MemoryProfile::constant(Bytes::from_mb(10)),
             io_rate: 0.0,
+            malleable: None,
         })
     }
 
@@ -360,7 +387,11 @@ mod tests {
         assert!(!PolicyKind::VReconfiguration.suspends_on_blocking());
         assert!(PolicyKind::WeightedCpuMem.migrates_on_overload());
         assert!(!PolicyKind::WeightedCpuMem.reconfigures());
-        assert_eq!(PolicyKind::ALL.len(), 7);
+        assert!(PolicyKind::Malleable.migrates_on_overload());
+        assert!(!PolicyKind::Malleable.reconfigures());
+        assert!(PolicyKind::Fractional.migrates_on_overload());
+        assert!(!PolicyKind::Fractional.suspends_on_blocking());
+        assert_eq!(PolicyKind::ALL.len(), 9);
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct SchedulerCounters {
     pub suspensions: u64,
     /// Suspended jobs resumed.
     pub resumes: u64,
+    /// Malleable jobs grown to a wider slot width.
+    pub grows: u64,
+    /// Malleable jobs shrunk to a narrower slot width.
+    pub shrinks: u64,
 }
 
 /// Everything measured during one run.
@@ -213,6 +217,7 @@ mod tests {
             cpu_work: SimSpan::from_secs_f64(cpu),
             memory: MemoryProfile::constant(Bytes::from_mb(10)),
             io_rate: 0.0,
+            malleable: None,
         });
         j.breakdown = TimeBreakdown {
             cpu,

@@ -19,7 +19,7 @@
 //! cache treats as misses) rather than silent misreads.
 
 use vr_cluster::job::{
-    JobClass, JobId, JobSpec, JobState, MemoryProfile, RunningJob, TimeBreakdown,
+    JobClass, JobId, JobSpec, JobState, MalleableSpec, MemoryProfile, RunningJob, TimeBreakdown,
 };
 use vr_cluster::node::{NodeCounters, NodeId};
 use vr_cluster::units::Bytes;
@@ -42,7 +42,11 @@ use crate::reservation::ReservationStats;
 ///
 /// v2: added `run_stats` (engine counters: events processed, final time,
 /// drained flag) so horizon-truncated runs are detectable from the report.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: policy plugins — `width` on jobs, optional `malleable` spec,
+/// `grows`/`shrinks` scheduler counters, and the `malleable`/`fractional`
+/// policy tokens.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Encodes a report as a compact JSON string.
 pub fn encode_report(report: &RunReport) -> String {
@@ -184,6 +188,8 @@ fn policy_token(policy: PolicyKind) -> &'static str {
         PolicyKind::VReconfiguration => "vrecon",
         PolicyKind::WeightedCpuMem => "weighted",
         PolicyKind::SuspendLargest => "suspend",
+        PolicyKind::Malleable => "malleable",
+        PolicyKind::Fractional => "fractional",
     }
 }
 
@@ -196,6 +202,8 @@ fn policy_from_token(token: &str) -> Result<PolicyKind, String> {
         "vrecon" => PolicyKind::VReconfiguration,
         "weighted" => PolicyKind::WeightedCpuMem,
         "suspend" => PolicyKind::SuspendLargest,
+        "malleable" => PolicyKind::Malleable,
+        "fractional" => PolicyKind::Fractional,
         other => return Err(format!("unknown policy token {other:?}")),
     })
 }
@@ -265,6 +273,7 @@ fn event_kind_from_token(token: &str) -> Result<SchedulerEventKind, String> {
             NodeRestarted,
             MigrationFailed,
             Requeued,
+            JobResized,
         ]
         .into_iter()
         .map(|kind| (kind.to_string(), kind))
@@ -294,6 +303,7 @@ fn job_to_json(job: &RunningJob) -> Json {
                 None => Json::Null,
             },
         ),
+        ("width", Json::U64(u64::from(job.width))),
     ])
 }
 
@@ -313,6 +323,7 @@ fn job_from_json(doc: &Json) -> Result<RunningJob, String> {
                 other.as_u64().ok_or("completed_at is not an integer")?,
             )),
         },
+        width: u32_field(doc, "width")?,
         phase_memo: Default::default(),
     })
 }
@@ -340,6 +351,16 @@ fn spec_to_json(spec: &JobSpec) -> Json {
             ),
         ),
         ("io_rate", Json::f64(spec.io_rate)),
+        (
+            "malleable",
+            match spec.malleable {
+                Some(m) => Json::Arr(vec![
+                    Json::U64(u64::from(m.min_width)),
+                    Json::U64(u64::from(m.max_width)),
+                ]),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -365,6 +386,23 @@ fn spec_from_json(doc: &Json) -> Result<JobSpec, String> {
         cpu_work: span_field(doc, "cpu_work")?,
         memory: MemoryProfile::from_phases(phases).map_err(|e| e.to_string())?,
         io_rate: f64_field(doc, "io_rate")?,
+        malleable: match field(doc, "malleable")? {
+            Json::Null => None,
+            other => {
+                let pair = other.as_arr().ok_or("malleable is not a pair")?;
+                let [min, max] = pair else {
+                    return Err("malleable is not a pair".to_owned());
+                };
+                let min = min.as_u64().ok_or("malleable min width is not an integer")?;
+                let max = max.as_u64().ok_or("malleable max width is not an integer")?;
+                let spec = MalleableSpec {
+                    min_width: u32::try_from(min).map_err(|_| "malleable min exceeds u32")?,
+                    max_width: u32::try_from(max).map_err(|_| "malleable max exceeds u32")?,
+                };
+                spec.validate()?;
+                Some(spec)
+            }
+        },
     })
 }
 
@@ -514,6 +552,8 @@ fn counters_to_json(c: &SchedulerCounters) -> Json {
         ("stale_rejections", Json::U64(c.stale_rejections)),
         ("suspensions", Json::U64(c.suspensions)),
         ("resumes", Json::U64(c.resumes)),
+        ("grows", Json::U64(c.grows)),
+        ("shrinks", Json::U64(c.shrinks)),
     ])
 }
 
@@ -528,6 +568,8 @@ fn counters_from_json(doc: &Json) -> Result<SchedulerCounters, String> {
         stale_rejections: u64_field(doc, "stale_rejections")?,
         suspensions: u64_field(doc, "suspensions")?,
         resumes: u64_field(doc, "resumes")?,
+        grows: u64_field(doc, "grows")?,
+        shrinks: u64_field(doc, "shrinks")?,
     })
 }
 
@@ -695,8 +737,13 @@ mod tests {
             ])
             .unwrap(),
             io_rate: 0.25,
+            malleable: Some(MalleableSpec {
+                min_width: 1,
+                max_width: 4,
+            }),
         };
         let mut job = RunningJob::new(spec);
+        job.width = 3;
         job.progress_secs = 120.0;
         job.breakdown = TimeBreakdown {
             cpu: 120.0,
@@ -753,6 +800,8 @@ mod tests {
                 stale_rejections: 7,
                 suspensions: 8,
                 resumes: 9,
+                grows: 10,
+                shrinks: 11,
             },
             reservations: ReservationStats {
                 started: 1,
@@ -819,7 +868,7 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut text = encode_report(&sample_report());
-        text = text.replacen("\"schema\":2", "\"schema\":999", 1);
+        text = text.replacen("\"schema\":3", "\"schema\":999", 1);
         let err = decode_report(&text).unwrap_err();
         assert!(err.contains("schema"), "{err}");
     }

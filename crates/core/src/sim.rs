@@ -58,7 +58,10 @@ use vr_workload::trace::Trace;
 
 use crate::config::{DetectorMode, LoadInfoMode, PlacementMode, ReservingEnd, SimConfig};
 use crate::events::{EventLog, SchedulerEventKind};
-use crate::policy::{Placement, PolicyKind};
+use crate::plugin::{build_policy, Policy, ResizeDirective};
+use crate::policy::Placement;
+#[cfg(test)]
+use crate::policy::PolicyKind;
 use crate::report::{RunReport, SchedulerCounters};
 use crate::reservation::{ReservationManager, ReservationPhase};
 
@@ -250,7 +253,10 @@ impl TraceSource for ClusterWorld {
 /// `pub(crate)` (with visible fields) so the invariant auditor in
 /// [`crate::audit`] can inspect the world after every event.
 pub(crate) struct ClusterWorld {
-    policy: PolicyKind,
+    /// The policy as a trait object, built from the registry. All
+    /// capability queries and placement calls dispatch through this; the
+    /// enum tag lives on in `config.policy` for the report.
+    plugin: Box<dyn Policy>,
     pub(crate) config: SimConfig,
     pub(crate) nodes: Vec<Workstation>,
     index: LoadIndex,
@@ -344,10 +350,17 @@ struct DestBound {
 
 impl ClusterWorld {
     fn new(config: &SimConfig, total_jobs: usize) -> Self {
-        let nodes = config.cluster.build_nodes();
+        let plugin = build_policy(config.policy, &config.policy_params)
+            // vr-lint::allow(panic-in-lib, reason = "SimConfig::validate() rejects unbuildable parameter bags before a world is ever constructed")
+            .expect("policy parameters were validated by SimConfig::validate");
+        let mut nodes = config.cluster.build_nodes();
+        for node in &mut nodes {
+            let cap = plugin.slot_cap(node.params().cpu.slots);
+            node.set_slot_cap(cap);
+        }
         let node_count = nodes.len();
         let mut world = ClusterWorld {
-            policy: config.policy,
+            plugin,
             config: config.clone(),
             nodes,
             index: LoadIndex::new(),
@@ -734,13 +747,7 @@ impl ClusterWorld {
     /// Only the GLS-family policies have memory-aware placement to adjust;
     /// the rest fall through to the policy unchanged.
     fn place_decision(&mut self, job: &RunningJob, home: NodeId) -> Placement {
-        if self.config.placement == PlacementMode::CommitAware
-            && matches!(
-                self.policy,
-                PolicyKind::GLoadSharing
-                    | PolicyKind::VReconfiguration
-                    | PolicyKind::SuspendLargest
-            )
+        if self.config.placement == PlacementMode::CommitAware && self.plugin.commit_aware_placement()
         {
             let demand = job.current_working_set();
             if self.index.get(home).is_some_and(|load| {
@@ -760,9 +767,9 @@ impl ClusterWorld {
                 .best_destination_where(demand, Some(home), |e| {
                     let i = e.node.0 as usize;
                     let n = &nodes[i];
-                    let committed_slots = n.active_jobs() + inbound[i].count as usize;
+                    let committed_slots = n.used_slots() as usize + inbound[i].count as usize;
                     e.idle_memory.saturating_sub(inbound[i].demand) >= demand
-                        && committed_slots < n.params().cpu.slots as usize
+                        && committed_slots < n.slot_cap() as usize
                 })
                 .map(|e| e.node);
             return match dest {
@@ -770,7 +777,7 @@ impl ClusterWorld {
                 None => Placement::Blocked,
             };
         }
-        self.policy.place(job, home, &self.index, &mut self.rng)
+        self.plugin.place(job, home, &self.index, &mut self.rng)
     }
 
     /// Executes a placement decision for `job`.
@@ -904,7 +911,7 @@ impl ClusterWorld {
     /// still run on every tick while the state persists, so scheduling
     /// behaviour is unchanged.
     fn overload_scan(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
-        if !self.policy.migrates_on_overload() {
+        if !self.plugin.migrates_on_overload() {
             return;
         }
         // Visit set: nodes that could be over threshold (only nodes hosting
@@ -1008,11 +1015,11 @@ impl ClusterWorld {
                             Some(src),
                         );
                     }
-                    if self.policy.reconfigures() {
+                    if self.plugin.reconfigures() {
                         if self.reconfigure(src, victim_id, victim_ws, now, sched) {
                             bound = self.dest_bound();
                         }
-                    } else if self.policy.suspends_on_blocking()
+                    } else if self.plugin.suspends_on_blocking()
                         && self.suspend_counts[victim_id.0 as usize] < MAX_SUSPENSIONS_PER_JOB
                     {
                         self.suspend_job(src, victim_id, now, sched);
@@ -1045,6 +1052,53 @@ impl ClusterWorld {
             }
         }
         DestBound { best, second }
+    }
+
+    /// Malleable resize pass, run each load-exchange tick after the
+    /// overload scan. The trigger is the cluster-wide *pressure* flag
+    /// (pending queue non-empty — recomputable by the differential
+    /// oracle, unlike the edge-triggered per-node blocking bits): under
+    /// pressure the policy may shrink one over-wide job per full node to
+    /// free a slot; otherwise it may grow one under-wide job per node
+    /// with free slots. Nodes are visited in ascending id order and all
+    /// are already advanced to `now` by the index refresh at the top of
+    /// the Exchange handler.
+    fn resize_scan(&mut self, now: SimTime, sched: &mut Scheduler<'_, Event>) {
+        if !self.plugin.resizes() {
+            return;
+        }
+        let pressure = !self.pending.is_empty();
+        let mut any = false;
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].active_jobs() == 0 {
+                continue;
+            }
+            let node_id = self.nodes[i].id();
+            let Some(directive) = self.plugin.resize(&self.nodes[i], pressure) else {
+                continue;
+            };
+            if !self.nodes[i].resize_job(directive.job(), directive.to(), now) {
+                continue;
+            }
+            match directive {
+                ResizeDirective::Grow { .. } => self.counters.grows += 1,
+                ResizeDirective::Shrink { .. } => self.counters.shrinks += 1,
+            }
+            self.log.record(
+                now,
+                SchedulerEventKind::JobResized,
+                Some(directive.job()),
+                Some(node_id),
+            );
+            self.touch(node_id);
+            self.schedule_wake(node_id, now, sched);
+            any = true;
+        }
+        if any {
+            // Resizing changes slot occupancy (a scheduling input); refresh
+            // so later passes in this tick see the new capacity.
+            self.refresh_index_incremental(now, |_| false);
+        }
     }
 
     /// The reconfiguration routine (§2.1 framework). `victim_id` /
@@ -1134,7 +1188,7 @@ impl ClusterWorld {
     /// `true` if `node` still has an uncommitted job slot.
     fn has_uncommitted_slot(&self, node: NodeId) -> bool {
         let n = &self.nodes[node.0 as usize];
-        n.active_jobs() + self.in_transit_count(node) < n.params().cpu.slots as usize
+        n.used_slots() as usize + self.in_transit_count(node) < n.slot_cap() as usize
     }
 
     /// A reserved workstation that can host a `ws`-sized job right now.
@@ -1749,6 +1803,7 @@ impl World for ClusterWorld {
             Event::Exchange => {
                 self.refresh_index_lossy(now, sched);
                 self.overload_scan(now, sched);
+                self.resize_scan(now, sched);
                 self.check_reservations(now, sched);
                 self.try_resume_suspended(now, sched);
                 self.check_done(now);

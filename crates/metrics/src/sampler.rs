@@ -142,6 +142,7 @@ mod tests {
                     cpu_work: SimSpan::from_secs(100),
                     memory: MemoryProfile::constant(Bytes::from_mb(10)),
                     io_rate: 0.0,
+                    malleable: None,
                 }),
                 SimTime::ZERO,
             )

@@ -98,6 +98,7 @@ mod tests {
             cpu_work: SimSpan::from_secs_f64(cpu),
             memory: MemoryProfile::constant(Bytes::from_mb(10)),
             io_rate: 0.0,
+            malleable: None,
         });
         j.breakdown = TimeBreakdown {
             cpu,

@@ -17,7 +17,11 @@ use vrecon::{RunReport, SimConfig, Simulation};
 /// Version salt folded into every scenario hash. Bump when the simulator's
 /// semantics change in a way `Debug` output does not capture, so stale
 /// cache entries stop matching.
-pub const SCENARIO_HASH_VERSION: u64 = 1;
+///
+/// Version 2: the policy plugin refactor — configs carry a policy
+/// parameter bag and job specs a malleable width range, both of which now
+/// shape scheduling decisions.
+pub const SCENARIO_HASH_VERSION: u64 = 2;
 
 /// One fully specified simulation run.
 ///
@@ -155,11 +159,20 @@ mod tests {
         let mut faults = base();
         faults.config.fault_plan =
             Some(FaultPlan::default().with_crash(1, SimTime::from_secs(50), None));
+        // Parameter bags are cache-relevant: the same family with a
+        // different knob value is a different run.
+        let mut params = base();
+        params.config.policy = PolicyKind::Fractional;
+        params.config.policy_params = vrecon::plugin::ParamBag::new().with("oversub", 1.5);
+        let mut params2 = params.clone();
+        params2.config.policy_params = vrecon::plugin::ParamBag::new().with("oversub", 3.0);
         let hashes = [
             a.content_hash(),
             seed.content_hash(),
             policy.content_hash(),
             faults.content_hash(),
+            params.content_hash(),
+            params2.content_hash(),
         ];
         for i in 0..hashes.len() {
             for j in i + 1..hashes.len() {

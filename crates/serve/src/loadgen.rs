@@ -83,6 +83,7 @@ pub fn heavy_scenario(variant: u64, jobs: usize) -> CheckScenario {
             4
         ],
         policy: PolicyKind::VReconfiguration,
+        policy_params: vrecon::plugin::ParamBag::new(),
         seed: 9_000 + variant,
         max_sim_time_s: 200_000,
         jobs: (0..jobs as u64)
@@ -90,6 +91,7 @@ pub fn heavy_scenario(variant: u64, jobs: usize) -> CheckScenario {
                 submit_us: i * 100_000,
                 cpu_work_us: 30_000_000,
                 ws_mb: 48,
+                malleable: None,
             })
             .collect(),
         fault_plan: None,

@@ -163,6 +163,7 @@ impl ActivityRecord {
             cpu_work: self.cpu_work(),
             memory,
             io_rate: self.io_rate(),
+            malleable: None,
         })
     }
 }
@@ -185,6 +186,7 @@ mod tests {
             cpu_work: SimSpan::from_secs(work_secs),
             memory: MemoryProfile::from_phases(phases).unwrap(),
             io_rate,
+            malleable: None,
         }
     }
 

@@ -103,6 +103,7 @@ impl ProgramSpec {
             cpu_work,
             memory: self.memory_profile(peak, cpu_work),
             io_rate: self.io_rate,
+            malleable: None,
         }
     }
 

@@ -18,7 +18,7 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
-use vr_cluster::job::{JobClass, JobId, JobSpec, MemoryProfile};
+use vr_cluster::job::{JobClass, JobId, JobSpec, MalleableSpec, MemoryProfile};
 use vr_cluster::units::Bytes;
 use vr_simcore::time::{SimSpan, SimTime};
 
@@ -120,7 +120,7 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
                 format!("{until}:{}", p.working_set.as_u64())
             })
             .collect();
-        writeln!(
+        write!(
             w,
             "{},{},{},{},{},{},{}",
             job.id.0,
@@ -131,6 +131,13 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
             job.io_rate,
             phases.join(";")
         )?;
+        // Malleable jobs carry an optional eighth column `min:max`; rigid
+        // jobs keep the classic seven so pre-existing traces round-trip
+        // byte for byte.
+        if let Some(m) = job.malleable {
+            write!(w, ",{}:{}", m.min_width, m.max_width)?;
+        }
+        writeln!(w)?;
     }
     Ok(())
 }
@@ -168,8 +175,8 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 7 {
-            return Err(bad(n, "expected 7 comma-separated fields"));
+        if fields.len() != 7 && fields.len() != 8 {
+            return Err(bad(n, "expected 7 or 8 comma-separated fields"));
         }
         let id: u64 = fields[0].parse().map_err(|_| bad(n, "bad id"))?;
         let class = parse_class(fields[2]).ok_or_else(|| bad(n, "unknown class"))?;
@@ -191,6 +198,21 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
         }
         let memory = MemoryProfile::from_phases(phases)
             .map_err(|e| bad(n, &format!("invalid memory profile: {e}")))?;
+        let malleable = match fields.get(7) {
+            None => None,
+            Some(field) => {
+                let (min, max) = field
+                    .split_once(':')
+                    .ok_or_else(|| bad(n, "bad malleable spec (expected min:max)"))?;
+                let spec = MalleableSpec {
+                    min_width: min.parse().map_err(|_| bad(n, "bad malleable min width"))?,
+                    max_width: max.parse().map_err(|_| bad(n, "bad malleable max width"))?,
+                };
+                spec.validate()
+                    .map_err(|e| bad(n, &format!("invalid malleable spec: {e}")))?;
+                Some(spec)
+            }
+        };
         jobs.push(JobSpec {
             id: JobId(id),
             name: fields[1].to_owned(),
@@ -199,6 +221,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
             cpu_work: SimSpan::from_micros(cpu_work),
             memory,
             io_rate,
+            malleable,
         });
     }
     Ok(Trace { name, jobs })
@@ -332,6 +355,40 @@ mod tests {
             assert_eq!(a.cpu_work, b.cpu_work);
             assert_eq!(a.memory, b.memory);
             assert!((a.io_rate - b.io_rate).abs() < 1e-12);
+            assert_eq!(a.malleable, b.malleable);
+        }
+    }
+
+    #[test]
+    fn malleable_column_round_trips() {
+        let mut trace = spec_trace(TraceLevel::Light, &mut SimRng::seed_from(99));
+        trace.jobs[1].malleable = Some(MalleableSpec {
+            min_width: 1,
+            max_width: 3,
+        });
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.jobs[0].malleable, None);
+        assert_eq!(
+            back.jobs[1].malleable,
+            Some(MalleableSpec {
+                min_width: 1,
+                max_width: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_malleable_column() {
+        let base =
+            format!("{MAGIC}\n#name=x\nid,name,class,submit_us,cpu_work_us,io_rate,phases\n");
+        for bad in ["2", "0:2", "3:1", "a:b"] {
+            let line = format!("{base}0,j,cpu,0,1000,0,max:100,{bad}\n");
+            assert!(
+                read_trace(line.as_bytes()).is_err(),
+                "malleable column {bad:?} should be rejected"
+            );
         }
     }
 

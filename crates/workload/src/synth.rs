@@ -200,6 +200,7 @@ pub fn blocking_scenario(nodes: usize, node_memory: Bytes) -> Trace {
                 cpu_work: SimSpan::from_secs_f64(life_s),
                 memory,
                 io_rate: 0.0,
+                malleable: None,
             });
             id += 1;
         };

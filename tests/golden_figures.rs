@@ -143,6 +143,50 @@ fn reduced_fig1_fig2_match_golden_snapshots() {
     }
 }
 
+/// Every pre-plugin policy family, resolved **through the registry** (name
+/// round-trip plus a rendered-and-reparsed parameter bag), reproduces a
+/// byte-identical `RunReport` on the golden scenarios. This is the contract
+/// the plugin refactor was built under: the registry is a new front door,
+/// not a new scheduler. All seven families run the Light golden trace —
+/// the heavier traces take minutes per non-sharing family in debug builds
+/// and add no byte-identity coverage (the snapshot test above already
+/// pins their behaviour).
+#[test]
+fn registry_resolution_is_byte_identical_on_golden_scenarios() {
+    use vrecon::plugin::{kind_of, policy_name, ParamBag};
+    use vrecon::report_json::encode_report;
+
+    let classic = [
+        PolicyKind::NoLoadSharing,
+        PolicyKind::Random,
+        PolicyKind::CpuOnly,
+        PolicyKind::WeightedCpuMem,
+        PolicyKind::GLoadSharing,
+        PolicyKind::SuspendLargest,
+        PolicyKind::VReconfiguration,
+    ];
+    for policy in classic {
+        let level = TraceLevel::Light;
+        let trace = spec_trace_scaled(level, &mut SimRng::seed_from(TRACE_SEED), LIFETIME_SCALE);
+
+        let direct = SimConfig::new(reduced_cluster(), policy).with_seed(SCHED_SEED);
+        let via_registry = kind_of(policy_name(policy))
+            .unwrap_or_else(|| panic!("{policy} has no registry entry"));
+        let bag = ParamBag::parse(&ParamBag::new().render()).unwrap();
+        let resolved = SimConfig::new(reduced_cluster(), via_registry)
+            .with_policy_params(bag)
+            .with_seed(SCHED_SEED);
+
+        let a = encode_report(&Simulation::new(direct).run(&trace));
+        let b = encode_report(&Simulation::new(resolved).run(&trace));
+        assert_eq!(
+            a, b,
+            "{policy} on {}: registry-resolved run drifted from the enum-built run",
+            trace.name
+        );
+    }
+}
+
 /// The reduced dataset preserves the paper's headline ordering: summed over
 /// the arrival levels, V-R's slowdown beats G-LS, and no single level loses
 /// by more than 1% (the heavily scaled-down traces make individual levels

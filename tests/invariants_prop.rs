@@ -73,6 +73,7 @@ fn build_trace(w: &RandomWorkload) -> Trace {
                     .expect("increasing boundaries")
                 },
                 io_rate: 0.0,
+                malleable: None,
             }
         })
         .collect();

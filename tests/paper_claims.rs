@@ -33,6 +33,7 @@ fn burst_trace(bursts: &[(u64, usize, u64, u64)]) -> Trace {
                 cpu_work: SimSpan::from_secs(work_s),
                 memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
                 io_rate: 0.0,
+                malleable: None,
             });
         }
     }
@@ -193,6 +194,7 @@ fn claim_oversized_job_gets_dedicated_service() {
         ])
         .unwrap(),
         io_rate: 0.0,
+        malleable: None,
     });
     jobs.sort_by_key(|j| j.submit);
     for (i, j) in jobs.iter_mut().enumerate() {
@@ -237,6 +239,7 @@ fn claim_network_ram_helps_oversized_jobs() {
         ])
         .unwrap(),
         io_rate: 0.0,
+        malleable: None,
     });
     jobs.sort_by_key(|j| j.submit);
     for (i, j) in jobs.iter_mut().enumerate() {

@@ -20,6 +20,7 @@ fn one_job_trace(ws_mb: u64, work_secs: u64) -> Trace {
             cpu_work: SimSpan::from_secs(work_secs),
             memory: MemoryProfile::constant(Bytes::from_mb(ws_mb)),
             io_rate: 0.0,
+            malleable: None,
         }],
     }
 }
@@ -63,6 +64,7 @@ fn mass_burst_at_time_zero_completes() {
             cpu_work: SimSpan::from_secs_f64(rng.uniform_range(10.0, 120.0)),
             memory: MemoryProfile::constant(Bytes::from_mb_f64(rng.uniform_range(5.0, 60.0))),
             io_rate: 0.0,
+            malleable: None,
         })
         .collect();
     let trace = Trace {

@@ -38,6 +38,7 @@ fn job_strategy(id: u64) -> impl Strategy<Value = JobSpec> {
                 cpu_work: SimSpan::from_micros(work),
                 memory: MemoryProfile::from_phases(phases).expect("strictly increasing"),
                 io_rate: io,
+                malleable: None,
             }
         })
 }
